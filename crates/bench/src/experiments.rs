@@ -1,0 +1,812 @@
+//! Experiment functions regenerating every table and figure in the
+//! paper's evaluation. Each returns structured data; the `harness` binary
+//! prints it, and the Criterion benches time representative kernels.
+
+use exynos_branch::config::FrontendConfig;
+use exynos_branch::frontend::FrontEnd;
+use exynos_branch::history::{GlobalHistory, PathHistory};
+use exynos_branch::indirect::{IndirectConfig, IndirectPredictor};
+use exynos_branch::shp::{apply_bias_delta, Shp, ShpConfig};
+use exynos_branch::storage_budget;
+use exynos_branch::ubtb::{MicroBtb, UbtbConfig};
+use exynos_core::config::CoreConfig;
+use exynos_core::sim::Simulator;
+use exynos_trace::gen::loops::{LoopNest, LoopNestParams};
+use exynos_trace::gen::markov::{MarkovBranches, MarkovParams};
+use exynos_trace::gen::streaming::{MultiStride, MultiStrideParams, StrideComponent};
+use exynos_trace::{standard_suite, SlicePlan, TraceGen};
+
+/// A compact per-slice, per-generation result record.
+#[derive(Debug, Clone)]
+pub struct SliceRecord {
+    /// Slice name from the catalog.
+    pub name: String,
+    /// Generation name.
+    pub gen: &'static str,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Mispredicts per kilo-instruction.
+    pub mpki: f64,
+    /// Average demand-load latency (cycles).
+    pub load_latency: f64,
+}
+
+/// Run the full suite (at `scale`) across all six generations with the
+/// given windows. This is the engine behind Figs. 9, 16 and 17.
+pub fn run_population(scale: usize, warmup: u64, detail: u64) -> Vec<SliceRecord> {
+    let suite = standard_suite(scale);
+    let mut out = Vec::new();
+    for cfg in CoreConfig::all_generations() {
+        for slice in &suite {
+            let mut sim = Simulator::new(cfg.clone());
+            let mut gen = slice.instantiate();
+            let r = sim.run_slice(&mut *gen, SlicePlan::new(warmup, detail));
+            out.push(SliceRecord {
+                name: slice.name.clone(),
+                gen: cfg.gen.name(),
+                ipc: r.ipc,
+                mpki: r.mpki,
+                load_latency: r.avg_load_latency,
+            });
+        }
+    }
+    out
+}
+
+/// Mean of a per-generation metric over records.
+pub fn gen_mean(records: &[SliceRecord], gen: &str, metric: impl Fn(&SliceRecord) -> f64) -> f64 {
+    let vals: Vec<f64> = records.iter().filter(|r| r.gen == gen).map(metric).collect();
+    vals.iter().sum::<f64>() / vals.len().max(1) as f64
+}
+
+/// Sorted per-slice values of a metric for one generation (the X axis of
+/// the paper's Figs. 9/16/17 "across workload slices" plots).
+pub fn gen_curve(records: &[SliceRecord], gen: &str, metric: impl Fn(&SliceRecord) -> f64) -> Vec<f64> {
+    let mut vals: Vec<f64> = records.iter().filter(|r| r.gen == gen).map(metric).collect();
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    vals
+}
+
+// ---------------------------------------------------------------------
+// Fig. 1 — SHP MPKI vs GHIST length
+// ---------------------------------------------------------------------
+
+/// Drive a standalone SHP (bias included) over CBP-like history-dependent
+/// branch traces with the GHIST length capped at `ghist_len`; returns
+/// average MPKI over the trace set.
+pub fn fig1_shp_mpki_vs_ghist(ghist_len: usize, branches_per_trace: usize) -> f64 {
+    use std::collections::HashMap;
+    let mut total_miss = 0u64;
+    let mut total_insts = 0u64;
+    // A small CBP-like set whose required history spans the sweep axis:
+    // phase disambiguation needs roughly sites * log2(pattern) GHIST bits,
+    // so these traces need ~12, ~24, ~40, ~60, ~96 and ~144 bits.
+    for (depth, sites, seed) in [
+        (4u32, 6usize, 11u64),
+        (8, 8, 12),
+        (16, 10, 13),
+        (32, 12, 14),
+        (64, 16, 15),
+        (64, 24, 16),
+    ] {
+        let mut gen = MarkovBranches::new(
+            &MarkovParams {
+                sites,
+                history_depth: depth,
+                noise: 0.01,
+                work_between: 4,
+                load_frac: 0.0,
+                ..Default::default()
+            },
+            90,
+            seed,
+        );
+        let mut shp = Shp::new(ShpConfig {
+            ghist_len: ghist_len.max(1),
+            ..ShpConfig::m1()
+        });
+        let mut g = GlobalHistory::new();
+        let mut p = PathHistory::new();
+        let mut biases: HashMap<u64, i8> = HashMap::new();
+        let mut branches = 0usize;
+        while branches < branches_per_trace {
+            let inst = gen.next_inst();
+            total_insts += 1;
+            let Some(b) = inst.branch else { continue };
+            if !b.kind.is_conditional() {
+                continue;
+            }
+            branches += 1;
+            let bias = *biases.get(&inst.pc).unwrap_or(&0);
+            let pred = if ghist_len == 0 {
+                // Bias-only predictor (leftmost point of the sweep).
+                let taken = bias >= 0;
+                let d: i8 = if taken != b.taken || bias.unsigned_abs() < 8 {
+                    if b.taken { 1 } else { -1 }
+                } else {
+                    0
+                };
+                biases.insert(inst.pc, apply_bias_delta(bias, d));
+                taken
+            } else {
+                let pr = shp.predict(inst.pc, bias, &g, &p);
+                let d = shp.update(&pr, b.taken, false);
+                biases.insert(inst.pc, apply_bias_delta(bias, d));
+                pr.taken
+            };
+            if pred != b.taken {
+                total_miss += 1;
+            }
+            g.push(b.taken);
+            p.push(inst.pc);
+        }
+    }
+    total_miss as f64 * 1000.0 / total_insts.max(1) as f64
+}
+
+// ---------------------------------------------------------------------
+// Fig. 4 — µBTB graph dump
+// ---------------------------------------------------------------------
+
+/// Train a µBTB on a loop kernel and return the learned graph snapshot.
+pub fn fig4_ubtb_graph() -> (Vec<(u64, u64, bool, bool, bool)>, bool) {
+    let mut u = MicroBtb::new(UbtbConfig::m1());
+    let mut gen = LoopNest::new(
+        &LoopNestParams {
+            depth: 2,
+            trip_counts: vec![8, 64],
+            body_len: 4,
+            loads_per_body: 0,
+            stores_per_body: 0,
+            ..Default::default()
+        },
+        91,
+        5,
+    );
+    for _ in 0..20_000 {
+        let inst = gen.next_inst();
+        if let Some(b) = inst.branch {
+            let pred = u.predict(inst.pc);
+            let ok = matches!(pred, exynos_branch::ubtb::UbtbPrediction::Hit { taken, target }
+                if taken == b.taken && (!b.taken || target == b.target));
+            u.update(
+                inst.pc,
+                b.taken,
+                b.target,
+                matches!(b.kind, exynos_trace::BranchKind::UncondDirect),
+                ok,
+            );
+        }
+    }
+    (u.graph_snapshot(), u.is_locked())
+}
+
+// ---------------------------------------------------------------------
+// Fig. 5 / Fig. 7 — taken-branch throughput and MRB refill
+// ---------------------------------------------------------------------
+
+/// Bubbles per taken branch on a chain of small always-taken basic blocks
+/// *larger than the µBTB* — the mBTB-path scenario of Fig. 5, where the
+/// 1AT (M3) and ZAT/ZOT (M5) mechanisms cut 2 bubbles to 1 and then 0.
+pub fn fig5_bubbles_per_taken(cfg: FrontendConfig) -> f64 {
+    use exynos_trace::{BranchInfo, BranchKind, Inst, Reg};
+    let mut fe = FrontEnd::new(cfg);
+    // 512 basic blocks of 3 instructions + an always-taken branch, cyclic.
+    const BLOCKS: u64 = 512;
+    const BLOCK_INSTS: u64 = 4;
+    let base = 0x7_0000_0000u64;
+    let block_pc = |b: u64| base + b * BLOCK_INSTS * 4;
+    let mut b = 0u64;
+    for _ in 0..400_000 {
+        for k in 0..BLOCK_INSTS {
+            let pc = block_pc(b) + k * 4;
+            let inst = if k == BLOCK_INSTS - 1 {
+                let next = (b + 1) % BLOCKS;
+                Inst::branch(
+                    pc,
+                    BranchInfo {
+                        kind: BranchKind::CondDirect,
+                        taken: true,
+                        target: block_pc(next),
+                    },
+                    [Some(Reg::int(1)), None],
+                )
+            } else {
+                Inst::alu(pc, Reg::int(2), [Some(Reg::int(1)), None])
+            };
+            let _ = fe.on_inst(&inst);
+        }
+        b = (b + 1) % BLOCKS;
+    }
+    let s = fe.stats();
+    s.bubbles as f64 / s.taken_branches.max(1) as f64
+}
+
+/// MRB effect (Fig. 7): run a mispredict-prone workload on M5 with and
+/// without the MRB; returns (covered redirects with MRB, bubble
+/// reduction fraction).
+pub fn fig7_mrb_effect() -> (u64, f64) {
+    let run = |mrb: bool| -> (u64, u64, u64) {
+        let mut cfg = FrontendConfig::m5();
+        if !mrb {
+            cfg.mrb_entries = None;
+        }
+        let mut fe = FrontEnd::new(cfg);
+        let mut gen = MarkovBranches::new(
+            &MarkovParams {
+                sites: 64,
+                history_depth: 8,
+                noise: 0.10,
+                work_between: 3,
+                load_frac: 0.0,
+                ..Default::default()
+            },
+            93,
+            3,
+        );
+        for _ in 0..300_000 {
+            let inst = gen.next_inst();
+            let _ = fe.on_inst(&inst);
+        }
+        let s = fe.stats();
+        (s.mrb_covered, s.bubbles, s.taken_branches)
+    };
+    let (covered, bubbles_with, _) = run(true);
+    let (_, bubbles_without, _) = run(false);
+    let reduction = 1.0 - bubbles_with as f64 / bubbles_without.max(1) as f64;
+    (covered, reduction)
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8 — indirect prediction: full VPC vs M6 hybrid
+// ---------------------------------------------------------------------
+
+/// For `targets` distinct indirect targets following a noisy Markov walk,
+/// returns (accuracy, mean extra prediction cycles) for the given
+/// indirect configuration.
+pub fn fig8_indirect(targets: usize, cfg: IndirectConfig) -> (f64, f64) {
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+    let mut perm: Vec<usize> = (0..targets).collect();
+    perm.shuffle(&mut rng);
+    let mut shp = Shp::new(ShpConfig::m5());
+    let mut g = GlobalHistory::new();
+    let mut p = PathHistory::new();
+    let mut pred = IndirectPredictor::new(cfg, 64);
+    let mut cur = 0usize;
+    let n = 8_000;
+    for _ in 0..n {
+        cur = if rng.gen_bool(0.85) {
+            perm[cur]
+        } else {
+            rng.gen_range(0..targets)
+        };
+        let t = 0x9000 + cur as u64 * 0x40;
+        let pr = pred.predict(0x4000, &shp, &g, &p);
+        let _ = pred.update(0x4000, t, pr.target, &mut shp, &mut g, &mut p);
+    }
+    let s = pred.stats();
+    (
+        s.correct as f64 / s.lookups.max(1) as f64,
+        s.extra_cycles as f64 / s.lookups.max(1) as f64,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Table II — storage budgets
+// ---------------------------------------------------------------------
+
+/// Computed storage budgets per generation: (name, shp KB, l1 KB, l2 KB).
+pub fn table2_storage() -> Vec<(&'static str, f64, f64, f64)> {
+    FrontendConfig::all_generations()
+        .into_iter()
+        .map(|c| {
+            let b = storage_budget(&c);
+            (c.name, b.shp_kb, b.l1btb_kb, b.l2btb_kb)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 14 / Fig. 15 — prefetch delivery and adaptivity
+// ---------------------------------------------------------------------
+
+/// One-pass/two-pass behaviour (Fig. 14): run an L2-resident stream and a
+/// DRAM-sized stream on M1; returns the two-pass stats for each.
+pub fn fig14_twopass() -> (exynos_prefetch::twopass::TwoPassStats, exynos_prefetch::twopass::TwoPassStats) {
+    let run = |ws: u64| {
+        let mut sim = Simulator::new(CoreConfig::m1());
+        let mut gen = MultiStride::new(
+            &MultiStrideParams {
+                components: vec![StrideComponent { stride: 1, repeat: 1 }],
+                working_set: ws,
+                work_between: 3,
+                ..Default::default()
+            },
+            94,
+            5,
+        );
+        let _ = sim.run_slice(&mut gen, SlicePlan::new(5_000, 60_000));
+        sim.memsys().twopass().stats()
+    };
+    // Resident: wraps within 256 KiB (fits the 2 MB M1 L2 after one lap).
+    // Streaming: 256 MiB never fits.
+    (run(256 << 10), run(256 << 20))
+}
+
+/// Adaptive standalone prefetcher (Fig. 15): a phase-alternating stream
+/// (prefetch-friendly, then random) on M5; returns its stats.
+pub fn fig15_adaptive() -> exynos_prefetch::standalone::StandaloneStats {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+    let mut sp = exynos_prefetch::StandalonePrefetcher::new(Default::default());
+    for phase in 0..8 {
+        if phase % 2 == 0 {
+            // Friendly: unit-stride walk.
+            let base = (phase as u64 + 1) * (1 << 24) / 64;
+            for i in 0..3_000u64 {
+                let _ = sp.on_l2_access(base + i, true);
+                // Aggressive-mode accuracy feedback: friendly phases
+                // confirm.
+                if i % 4 == 0 {
+                    sp.on_prefetch_outcome(true);
+                }
+            }
+        } else {
+            // Hostile: random lines.
+            for _ in 0..3_000 {
+                let _ = sp.on_l2_access(rng.gen::<u64>() >> 24, true);
+                sp.on_prefetch_outcome(false);
+            }
+        }
+    }
+    sp.stats()
+}
+
+// ---------------------------------------------------------------------
+// §IV.D — L2BTB capacity/latency ablation (BBench +2.8% claim)
+// ---------------------------------------------------------------------
+
+/// The M4 L2BTB capacity/latency change measured in isolation (§IV.D).
+/// Returns ((bubbles/branch, MPKI) with the M3-era L2BTB,
+/// (bubbles/branch, MPKI) with the M4 L2BTB).
+pub fn btb_ablation_web() -> ((f64, f64), (f64, f64)) {
+    // The paper measured the M4 L2BTB change "in isolation" (+2.8% on
+    // BBench). We isolate it the same way: a front-end-only run over a
+    // branch working set of ~24k sites — between the M3-era capacity
+    // (16k entries) and the M4 capacity (32k) — so *retention* is the
+    // differentiator. Reported as (bubbles/branch, MPKI) per config,
+    // where MPKI includes the discovery redirects a thrashing L2BTB
+    // re-pays every lap.
+    let run = |cfg: &FrontendConfig| {
+        let mut fe = FrontEnd::new(cfg.clone());
+        let mut gen = MarkovBranches::new(
+            &MarkovParams {
+                sites: 24_000,
+                history_depth: 4,
+                noise: 0.0,
+                work_between: 4,
+                load_frac: 0.0,
+                ..Default::default()
+            },
+            96,
+            5,
+        );
+        for _ in 0..1_500_000 {
+            let inst = gen.next_inst();
+            let _ = fe.on_inst(&inst);
+        }
+        let s = fe.stats();
+        (
+            s.bubbles as f64 / s.branches.max(1) as f64,
+            s.mpki(),
+        )
+    };
+    let m4 = CoreConfig::m4();
+    let mut old = m4.frontend.clone();
+    old.btb.l2btb_entries = CoreConfig::m3().frontend.btb.l2btb_entries;
+    old.btb.l2_fill_latency = CoreConfig::m3().frontend.btb.l2_fill_latency;
+    old.btb.l2_fill_bandwidth = CoreConfig::m3().frontend.btb.l2_fill_bandwidth;
+    (run(&old), run(&m4.frontend))
+}
+
+// ---------------------------------------------------------------------
+// §IV.A — branch-pair statistics (60 / 24 / 16)
+// ---------------------------------------------------------------------
+
+/// Lead-taken / second-taken / both-not-taken percentages over the suite.
+pub fn branch_pair_stats() -> (f64, f64, f64) {
+    let mut lead = 0u64;
+    let mut second = 0u64;
+    let mut both_nt = 0u64;
+    for slice in standard_suite(1)
+        .into_iter()
+        .filter(|s| s.name.starts_with("web/") || s.name.starts_with("specint/"))
+    {
+        let mut fe = FrontEnd::new(FrontendConfig::m1());
+        let mut gen = slice.instantiate();
+        for _ in 0..20_000 {
+            let inst = gen.next_inst();
+            let _ = fe.on_inst(&inst);
+        }
+        let s = fe.stats();
+        lead += s.pair_lead_taken;
+        second += s.pair_second_taken;
+        both_nt += s.pair_both_not_taken;
+    }
+    let total = (lead + second + both_nt).max(1) as f64;
+    (
+        100.0 * lead as f64 / total,
+        100.0 * second as f64 / total,
+        100.0 * both_nt as f64 / total,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_longer_ghist_reduces_mpki() {
+        let short = fig1_shp_mpki_vs_ghist(4, 3_000);
+        let long = fig1_shp_mpki_vs_ghist(165, 3_000);
+        assert!(
+            long < short * 0.8,
+            "GHIST 165 must clearly beat GHIST 4: {long:.2} vs {short:.2}"
+        );
+    }
+
+    #[test]
+    fn fig4_graph_learns_both_edge_kinds() {
+        let (graph, locked) = fig4_ubtb_graph();
+        assert!(locked, "kernel must lock");
+        assert!(graph.len() >= 2);
+        assert!(graph.iter().any(|&(_, _, t, nt, _)| t && nt), "a node with both edges");
+    }
+
+    #[test]
+    fn fig5_m5_fewer_bubbles_than_m3() {
+        let m3 = fig5_bubbles_per_taken(FrontendConfig::m3());
+        let m5 = fig5_bubbles_per_taken(FrontendConfig::m5());
+        assert!(m5 < m3, "ZAT/ZOT must cut bubbles/taken: {m5:.3} vs {m3:.3}");
+    }
+
+    #[test]
+    fn fig8_hybrid_wins_at_high_target_counts() {
+        let (acc_full, cyc_full) = fig8_indirect(128, IndirectConfig::full_vpc());
+        let (acc_hyb, cyc_hyb) = fig8_indirect(128, IndirectConfig::m6_hybrid());
+        assert!(acc_hyb > acc_full, "{acc_hyb:.3} vs {acc_full:.3}");
+        assert!(cyc_hyb < cyc_full, "{cyc_hyb:.2} vs {cyc_full:.2}");
+    }
+
+    #[test]
+    fn fig14_modes_differ_by_working_set() {
+        let (resident, streaming) = fig14_twopass();
+        assert!(resident.to_one_pass >= 1, "L2-resident flips to one-pass: {resident:?}");
+        assert!(
+            streaming.first_passes > streaming.one_passes,
+            "streaming stays two-pass: {streaming:?}"
+        );
+    }
+
+    #[test]
+    fn fig15_adaptive_toggles_modes() {
+        let s = fig15_adaptive();
+        assert!(s.promotions >= 1, "{s:?}");
+        assert!(s.demotions >= 1, "{s:?}");
+        assert!(s.phantoms > 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablations — the design choices the paper calls out, toggled one at a
+// time. Each returns (metric with the feature, metric without).
+// ---------------------------------------------------------------------
+
+/// One ablation result.
+#[derive(Debug, Clone)]
+pub struct Ablation {
+    /// Feature name.
+    pub name: &'static str,
+    /// Metric label ("MPKI", "bubbles/taken", "avg load lat", "IPC").
+    pub metric: &'static str,
+    /// Metric with the feature enabled (the shipped design).
+    pub with_feature: f64,
+    /// Metric with the feature disabled.
+    pub without_feature: f64,
+}
+
+fn frontend_mpki(cfg: &FrontendConfig, mk: &MarkovParams, insts: u64) -> f64 {
+    let mut fe = FrontEnd::new(cfg.clone());
+    let mut gen = MarkovBranches::new(mk, 97, 3);
+    for _ in 0..insts {
+        let inst = gen.next_inst();
+        let _ = fe.on_inst(&inst);
+    }
+    fe.stats().mpki()
+}
+
+/// Run the front-end and memory-side ablation battery.
+pub fn ablations() -> Vec<Ablation> {
+    let mut out = Vec::new();
+    let mk = MarkovParams {
+        sites: 64,
+        history_depth: 8,
+        noise: 0.02,
+        work_between: 3,
+        load_frac: 0.0,
+        ..Default::default()
+    };
+
+    // Bias-weight doubling (§IV.A): scale 2 vs 1.
+    {
+        let with = frontend_mpki(&FrontendConfig::m1(), &mk, 400_000);
+        let mut cfg = FrontendConfig::m1();
+        cfg.shp.bias_scale = 1;
+        let without = frontend_mpki(&cfg, &mk, 400_000);
+        out.push(Ablation { name: "SHP bias doubling", metric: "MPKI", with_feature: with, without_feature: without });
+    }
+
+    // Always-taken filtering (§IV.A anti-aliasing). Mix AT-heavy code with
+    // hard branches in a small SHP so aliasing bites.
+    {
+        let mk_alias = MarkovParams {
+            sites: 96,
+            history_depth: 8,
+            noise: 0.02,
+            work_between: 2,
+            load_frac: 0.0,
+            ..Default::default()
+        };
+        let mut small = FrontendConfig::m1();
+        small.shp.rows = 256; // stress aliasing
+        let with = frontend_mpki(&small, &mk_alias, 400_000);
+        let mut nofilter = small.clone();
+        nofilter.at_filter = false;
+        let without = frontend_mpki(&nofilter, &mk_alias, 400_000);
+        out.push(Ablation { name: "always-taken SHP filter", metric: "MPKI", with_feature: with, without_feature: without });
+    }
+
+    // ZAT/ZOT (§IV.E): bubbles per taken branch.
+    {
+        let with = fig5_bubbles_per_taken(FrontendConfig::m5());
+        let mut cfg = FrontendConfig::m5();
+        cfg.zero_bubble_atot = false;
+        let without = fig5_bubbles_per_taken(cfg);
+        out.push(Ablation { name: "ZAT/ZOT replication", metric: "bubbles/taken", with_feature: with, without_feature: without });
+    }
+
+    // MRB (§IV.E): front-end bubbles on mispredict-prone code.
+    {
+        let bubbles = |mrb: bool| {
+            let mut cfg = FrontendConfig::m5();
+            if !mrb {
+                cfg.mrb_entries = None;
+            }
+            let mut fe = FrontEnd::new(cfg);
+            let mut gen = MarkovBranches::new(
+                &MarkovParams {
+                    sites: 64,
+                    history_depth: 8,
+                    noise: 0.10,
+                    work_between: 3,
+                    load_frac: 0.0,
+                    ..Default::default()
+                },
+                93,
+                3,
+            );
+            for _ in 0..300_000 {
+                let inst = gen.next_inst();
+                let _ = fe.on_inst(&inst);
+            }
+            fe.stats().bubbles as f64 / fe.stats().taken_branches.max(1) as f64
+        };
+        out.push(Ablation { name: "Mispredict Recovery Buffer", metric: "bubbles/taken", with_feature: bubbles(true), without_feature: bubbles(false) });
+    }
+
+    // Integrated vs queue confirmation (§VII.D): stride confirmations.
+    {
+        use exynos_prefetch::{ConfirmScheme, MultiStrideEngine, StrideConfig};
+        let confirms = |scheme: ConfirmScheme| {
+            let mut e = MultiStrideEngine::new(StrideConfig {
+                confirm: scheme,
+                ..StrideConfig::m1()
+            });
+            let mut line = 0u64;
+            let mut phase = 0usize;
+            let pat = [2u64, 2, 5];
+            for _ in 0..20_000 {
+                let _ = e.on_demand_line(100_000 + line);
+                line += pat[phase];
+                phase = (phase + 1) % 3;
+            }
+            e.stats().confirms as f64
+        };
+        out.push(Ablation {
+            name: "integrated confirmation",
+            metric: "confirms (higher=better)",
+            with_feature: confirms(ConfirmScheme::Integrated { lookahead: 4 }),
+            without_feature: confirms(ConfirmScheme::Queue { depth: 16 }),
+        });
+    }
+
+    // Speculative DRAM read (§IX): avg load latency on a pointer chase.
+    // Measured with early page activate off — the two features overlap
+    // (both hide the leading edge of a DRAM access), so each is ablated
+    // in isolation.
+    {
+        let lat = |spec: bool| {
+            let mut cfg = CoreConfig::m5();
+            cfg.spec_read = spec;
+            cfg.dram.early_activate = false;
+            let mut sim = Simulator::new(cfg);
+            let mut gen = exynos_trace::gen::pointer_chase::PointerChase::new(
+                &exynos_trace::gen::pointer_chase::PointerChaseParams {
+                    working_set: 64 << 20,
+                    chains: 4,
+                    ..Default::default()
+                },
+                98,
+                4,
+            );
+            sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000)).avg_load_latency
+        };
+        out.push(Ablation { name: "speculative DRAM read", metric: "avg load lat", with_feature: lat(true), without_feature: lat(false) });
+    }
+
+    // Data fast path (§IX, M4): avg load latency on a DRAM-bound chase.
+    {
+        let lat = |fast: bool| {
+            let mut cfg = CoreConfig::m4();
+            cfg.dram.fast_path = fast;
+            let mut sim = Simulator::new(cfg);
+            let mut gen = exynos_trace::gen::pointer_chase::PointerChase::new(
+                &exynos_trace::gen::pointer_chase::PointerChaseParams {
+                    working_set: 64 << 20,
+                    chains: 2,
+                    ..Default::default()
+                },
+                99,
+                4,
+            );
+            sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000)).avg_load_latency
+        };
+        out.push(Ablation { name: "DRAM data fast path", metric: "avg load lat", with_feature: lat(true), without_feature: lat(false) });
+    }
+
+    // Early page activate (§IX, M5).
+    {
+        let lat = |early: bool| {
+            let mut cfg = CoreConfig::m5();
+            cfg.dram.early_activate = early;
+            let mut sim = Simulator::new(cfg);
+            let mut gen = exynos_trace::gen::pointer_chase::PointerChase::new(
+                &exynos_trace::gen::pointer_chase::PointerChaseParams {
+                    working_set: 64 << 20,
+                    chains: 2,
+                    ..Default::default()
+                },
+                100,
+                4,
+            );
+            sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000)).avg_load_latency
+        };
+        out.push(Ablation { name: "early page activate", metric: "avg load lat", with_feature: lat(true), without_feature: lat(false) });
+    }
+
+    // Buddy prefetcher (§VIII.B, M4): IPC on a 128 B-correlated workload.
+    {
+        let ipc = |buddy: bool| {
+            let mut cfg = CoreConfig::m4();
+            cfg.buddy = buddy;
+            let mut sim = Simulator::new(cfg);
+            // Spatial payloads touch the second sector of each chased line's
+            // 128 B granule.
+            let mut gen = exynos_trace::gen::pointer_chase::PointerChase::new(
+                &exynos_trace::gen::pointer_chase::PointerChaseParams {
+                    working_set: 32 << 20,
+                    chains: 4,
+                    spatial_payload: true,
+                    ..Default::default()
+                },
+                101,
+                4,
+            );
+            sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000)).ipc
+        };
+        out.push(Ablation { name: "Buddy prefetcher", metric: "IPC (higher=better)", with_feature: ipc(true), without_feature: ipc(false) });
+    }
+
+    // Standalone prefetcher (§VIII.C, M5): it observes "a global view of
+    // both the instruction and data accesses at the lower cache level" —
+    // unlike the L1 engines, it covers the *instruction* stream. Measure
+    // IPC on a straight-line code loop far larger than the L1I.
+    {
+        let ipc = |standalone: bool| {
+            let mut cfg = CoreConfig::m5();
+            if !standalone {
+                cfg.standalone = None;
+            }
+            let mut sim = Simulator::new(cfg);
+            // ~700 KB of code walked sequentially: every line is an L1I
+            // miss; only an L2-level prefetcher can stay ahead of fetch.
+            let mut gen = MarkovBranches::new(
+                &MarkovParams {
+                    sites: 20_000,
+                    history_depth: 4,
+                    noise: 0.0,
+                    work_between: 4,
+                    load_frac: 0.0,
+                    ..Default::default()
+                },
+                102,
+                4,
+            );
+            sim.run_slice(&mut gen, SlicePlan::new(10_000, 60_000)).ipc
+        };
+        out.push(Ablation { name: "standalone L2/L3 prefetcher", metric: "IPC (higher=better)", with_feature: ipc(true), without_feature: ipc(false) });
+    }
+
+    out
+}
+
+// ---------------------------------------------------------------------
+// §V design space — flush-on-switch vs CONTEXT_HASH encryption
+// ---------------------------------------------------------------------
+
+/// Compare the §V mitigation options on a context-switch-heavy web
+/// workload: returns `(policy name, post-switch MPKI over the recovery
+/// window)` for (a) no protection, (b) full predictor flush, and (c)
+/// CONTEXT_HASH target encryption. The paper's claim: encryption gives
+/// "improved security with minimal performance impact" because only
+/// indirect/RAS targets are lost, while a flush retrains everything.
+pub fn security_policy_costs() -> Vec<(&'static str, f64)> {
+    use exynos_secure::context::ContextId;
+    use exynos_trace::gen::web::{WebParams, WebWorkload};
+    #[derive(Clone, Copy, PartialEq)]
+    enum Policy {
+        None,
+        Flush,
+        Encrypt,
+    }
+    let run = |policy: Policy| -> f64 {
+        let mut cfg = FrontendConfig::m4();
+        cfg.encrypt_targets = policy == Policy::Encrypt;
+        let mut fe = FrontEnd::new(cfg);
+        let mut gen = WebWorkload::new(
+            &WebParams {
+                functions: 300,
+                dispatch_targets: 32,
+                ..Default::default()
+            },
+            103,
+            9,
+        );
+        // Train in context 0.
+        for _ in 0..150_000 {
+            let inst = gen.next_inst();
+            let _ = fe.on_inst(&inst);
+        }
+        // Context switch (same program resumes — e.g. returning from
+        // another process's timeslice).
+        match policy {
+            Policy::Flush => fe.set_context_flushing(ContextId::user(7, 0)),
+            _ => fe.set_context(ContextId::user(7, 0)),
+        }
+        let before = *fe.stats();
+        for _ in 0..30_000 {
+            let inst = gen.next_inst();
+            let _ = fe.on_inst(&inst);
+        }
+        let after = fe.stats();
+        (after.total_mispredicts() - before.total_mispredicts()) as f64 * 1000.0
+            / (after.instructions - before.instructions) as f64
+    };
+    vec![
+        ("no protection (vulnerable)", run(Policy::None)),
+        ("flush all predictors", run(Policy::Flush)),
+        ("CONTEXT_HASH encryption", run(Policy::Encrypt)),
+    ]
+}

@@ -1,0 +1,629 @@
+//! The per-generation front-end prediction pipeline.
+//!
+//! Consumes the architectural instruction stream (trace-driven, like the
+//! paper's model, §II) and produces per-instruction fetch-timing feedback:
+//! how many prediction-pipe bubbles precede the instruction, and whether a
+//! pipeline-refilling redirect (mispredict / branch discovery / trace gap)
+//! occurs at it. The out-of-order core model turns that feedback into fetch
+//! cycles.
+//!
+//! Bubble accounting per predicted-taken branch:
+//!
+//! * µBTB locked hit — 0 bubbles (§IV.B), with the mBTB/SHP clock-gated;
+//! * ZAT/ZOT replicated target — 0 bubbles (M5+, §IV.E);
+//! * 1AT always-taken mBTB hit — 1 bubble (M3+, §IV.C);
+//! * ordinary mBTB hit — 2 bubbles;
+//! * vBTB hit — 3 bubbles (extra access latency, §IV.A);
+//! * L2BTB fill — `l2_fill_latency` bubbles (§IV.D);
+//! * VPC iterations / indirect-hash latency add on top (§IV.F);
+//! * MRB-covered post-mispredict redirects are free (M5+, §IV.E).
+
+use crate::btb::{BtbEntry, BtbHierarchy, BtbHit};
+use crate::config::FrontendConfig;
+use crate::confidence::ConfidenceTable;
+use crate::history::{GlobalHistory, PathHistory};
+use crate::indirect::IndirectPredictor;
+use crate::mrb::{Mrb, MrbStats};
+use crate::ras::{Ras, RasStats};
+use crate::shp::{apply_bias_delta, Shp};
+use crate::ubtb::{MicroBtb, UbtbPrediction};
+use exynos_secure::cipher::{decrypt_target, encrypt_target};
+use exynos_secure::context::{compute_context_hash, ContextHash, ContextId, EntropySources};
+use exynos_trace::{BranchKind, Inst};
+
+/// Why the front end must refill the pipeline at an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Redirect {
+    /// A branch direction or target mispredict resolved at execute.
+    Mispredict,
+    /// A taken branch absent from every BTB level (discovery).
+    Discovery,
+    /// A PC discontinuity in the trace (phase switch / context change).
+    TraceGap,
+}
+
+/// Per-instruction timing feedback to the core model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchFeedback {
+    /// Prediction-pipe bubbles charged before this instruction's fetch
+    /// group continues.
+    pub bubbles: u32,
+    /// Pipeline-refill event at this instruction, if any.
+    pub redirect: Option<Redirect>,
+}
+
+impl FetchFeedback {
+    /// No delay.
+    pub const NONE: FetchFeedback = FetchFeedback {
+        bubbles: 0,
+        redirect: None,
+    };
+}
+
+/// Aggregate front-end statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrontendStats {
+    /// Instructions observed.
+    pub instructions: u64,
+    /// Branches observed.
+    pub branches: u64,
+    /// Conditional branches observed.
+    pub cond_branches: u64,
+    /// Taken branches observed.
+    pub taken_branches: u64,
+    /// Conditional direction mispredicts.
+    pub cond_mispredicts: u64,
+    /// Indirect (non-return) target mispredicts.
+    pub indirect_mispredicts: u64,
+    /// Return-target mispredicts.
+    pub return_mispredicts: u64,
+    /// Taken branches discovered missing from all BTBs.
+    pub discoveries: u64,
+    /// Trace-gap redirects.
+    pub trace_gaps: u64,
+    /// Total prediction-pipe bubbles charged.
+    pub bubbles: u64,
+    /// Taken redirects served with zero bubbles by ZAT/ZOT replication.
+    pub zat_zot_zero_bubble: u64,
+    /// Taken redirects served with one bubble by the 1AT path.
+    pub one_bubble_at: u64,
+    /// Taken redirects served bubble-free by µBTB lock.
+    pub ubtb_zero_bubble: u64,
+    /// Redirects whose refill was covered by MRB playback.
+    pub mrb_covered: u64,
+    /// Branch-pair pattern counts (§IV.A: 60%/24%/16%).
+    pub pair_lead_taken: u64,
+    /// Pairs where the lead was not-taken and the second was taken.
+    pub pair_second_taken: u64,
+    /// Pairs where both branches were not-taken.
+    pub pair_both_not_taken: u64,
+    /// Fetch-line lookups skipped by the Empty Line Optimization (power
+    /// proxy, §IV.E).
+    pub elo_skipped_lookups: u64,
+    /// SHP lookups performed (power proxy; gated under µBTB lock).
+    pub shp_lookups: u64,
+}
+
+impl FrontendStats {
+    /// Mispredicts per kilo-instruction — the paper's MPKI metric
+    /// (direction + target + discovery mispredicts).
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        let miss = self.cond_mispredicts
+            + self.indirect_mispredicts
+            + self.return_mispredicts
+            + self.discoveries;
+        miss as f64 * 1000.0 / self.instructions as f64
+    }
+
+    /// Total mispredict-class events.
+    pub fn total_mispredicts(&self) -> u64 {
+        self.cond_mispredicts
+            + self.indirect_mispredicts
+            + self.return_mispredicts
+            + self.discoveries
+    }
+}
+
+/// The assembled front end of one generation.
+#[derive(Debug)]
+pub struct FrontEnd {
+    cfg: FrontendConfig,
+    shp: Shp,
+    ghist: GlobalHistory,
+    phist: PathHistory,
+    ubtb: MicroBtb,
+    btb: BtbHierarchy,
+    ras: Ras,
+    ras_stats: RasStats,
+    indirect: IndirectPredictor,
+    confidence: ConfidenceTable,
+    mrb: Option<Mrb>,
+    /// Security machinery (used when `cfg.encrypt_targets`).
+    entropy: EntropySources,
+    key: ContextHash,
+    /// Next expected PC (trace-gap detection).
+    expected_pc: Option<u64>,
+    /// Previous predicted-taken branch (for ZAT/ZOT replication learning).
+    last_taken_branch: Option<(u64, u64)>, // (pc, target)
+    /// Pending zero-bubble redirect for the branch at this PC with this
+    /// target, granted by the previous branch's replicated_next.
+    pending_zero_bubble: Option<(u64, u64)>,
+    /// Branch-pair state: true while waiting for the second of a pair.
+    pair_pending_second: bool,
+    /// Empty Line Optimization: learned "line has no branches" bits.
+    elo_bits: Vec<u64>,
+    /// Line currently being scanned and whether a branch was seen in it.
+    cur_line: u64,
+    cur_line_had_branch: bool,
+    stats: FrontendStats,
+}
+
+impl FrontEnd {
+    /// Build a front end for `cfg`, keyed initially to ASID 0.
+    pub fn new(cfg: FrontendConfig) -> FrontEnd {
+        let entropy = EntropySources::from_seed(0xE5_EC0DE);
+        let key = compute_context_hash(&entropy, ContextId::user(0, 0));
+        FrontEnd {
+            shp: Shp::new(cfg.shp.clone()),
+            ghist: GlobalHistory::new(),
+            phist: PathHistory::new(),
+            ubtb: MicroBtb::new(cfg.ubtb.clone()),
+            btb: BtbHierarchy::new(cfg.btb.clone()),
+            ras: Ras::new(cfg.ras_entries, key),
+            ras_stats: RasStats::default(),
+            indirect: IndirectPredictor::new(cfg.indirect.clone(), cfg.indirect_chains),
+            confidence: ConfidenceTable::m5(),
+            mrb: cfg.mrb_entries.map(Mrb::new),
+            entropy,
+            key,
+            expected_pc: None,
+            last_taken_branch: None,
+            pending_zero_bubble: None,
+            pair_pending_second: false,
+            elo_bits: vec![0; 4096 / 64],
+            cur_line: u64::MAX,
+            cur_line_had_branch: false,
+            stats: FrontendStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FrontendConfig {
+        &self.cfg
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &FrontendStats {
+        &self.stats
+    }
+
+    /// RAS statistics.
+    pub fn ras_stats(&self) -> RasStats {
+        self.ras_stats
+    }
+
+    /// MRB statistics (zeroes when the generation has no MRB).
+    pub fn mrb_stats(&self) -> MrbStats {
+        self.mrb.as_ref().map(|m| m.stats()).unwrap_or_default()
+    }
+
+    /// µBTB statistics.
+    pub fn ubtb_stats(&self) -> crate::ubtb::UbtbStats {
+        self.ubtb.stats()
+    }
+
+    /// BTB hierarchy statistics.
+    pub fn btb_stats(&self) -> crate::btb::BtbStats {
+        self.btb.stats()
+    }
+
+    /// Indirect predictor statistics.
+    pub fn indirect_stats(&self) -> crate::indirect::IndirectStats {
+        self.indirect.stats()
+    }
+
+    /// Shared µBTB access (the UOC reads built bits through this).
+    pub fn ubtb_mut(&mut self) -> &mut MicroBtb {
+        &mut self.ubtb
+    }
+
+    /// Switch to a new execution context: recompute CONTEXT_HASH. Stored
+    /// indirect/RAS targets trained by the old context now decode to
+    /// garbage (the §V property).
+    pub fn set_context(&mut self, ctx: ContextId) {
+        self.key = compute_context_hash(&self.entropy, ctx);
+        self.ras.set_key(self.key);
+    }
+
+    /// Switch contexts with the *simple* mitigation the paper rejects for
+    /// its cost (§V: "erasing all branch prediction state on a context
+    /// change may be necessary in some context transitions, but come at
+    /// the cost of having to retrain"): flush every predictor structure.
+    pub fn set_context_flushing(&mut self, ctx: ContextId) {
+        self.set_context(ctx);
+        self.shp = Shp::new(self.cfg.shp.clone());
+        self.ubtb = MicroBtb::new(self.cfg.ubtb.clone());
+        self.btb = BtbHierarchy::new(self.cfg.btb.clone());
+        self.ras = Ras::new(self.cfg.ras_entries, self.key);
+        self.indirect = IndirectPredictor::new(self.cfg.indirect.clone(), self.cfg.indirect_chains);
+        self.ghist = GlobalHistory::new();
+        self.phist = PathHistory::new();
+        self.mrb = self.cfg.mrb_entries.map(Mrb::new);
+        self.last_taken_branch = None;
+        self.pending_zero_bubble = None;
+        self.expected_pc = None;
+    }
+
+    fn seal(&self, kind: BranchKind, target: u64) -> u64 {
+        if self.cfg.encrypt_targets && kind.is_indirect() {
+            encrypt_target(self.key, target).raw_bits()
+        } else {
+            target
+        }
+    }
+
+    fn unseal(&self, kind: BranchKind, stored: u64) -> u64 {
+        if self.cfg.encrypt_targets && kind.is_indirect() {
+            decrypt_target(self.key, exynos_secure::cipher::EncryptedTarget::from_raw(stored))
+        } else {
+            stored
+        }
+    }
+
+    /// ELO bit index for a 128 B line.
+    fn elo_index(line: u64) -> (usize, u64) {
+        let h = (line ^ (line >> 12)) as usize & 4095;
+        (h / 64, 1u64 << (h % 64))
+    }
+
+    fn elo_is_empty(&self, line: u64) -> bool {
+        let (w, m) = Self::elo_index(line);
+        self.elo_bits[w] & m != 0
+    }
+
+    fn elo_mark(&mut self, line: u64, empty: bool) {
+        let (w, m) = Self::elo_index(line);
+        if empty {
+            self.elo_bits[w] |= m;
+        } else {
+            self.elo_bits[w] &= !m;
+        }
+    }
+
+    /// Track 128 B fetch lines to learn branch-free lines (ELO).
+    fn track_line(&mut self, pc: u64, is_branch: bool) {
+        let line = pc >> 7;
+        if line != self.cur_line {
+            if self.cfg.empty_line_opt && self.cur_line != u64::MAX {
+                self.elo_mark(self.cur_line, !self.cur_line_had_branch);
+            }
+            if self.cfg.empty_line_opt && self.elo_is_empty(line) {
+                self.stats.elo_skipped_lookups += 1;
+            }
+            self.cur_line = line;
+            self.cur_line_had_branch = false;
+        }
+        if is_branch {
+            self.cur_line_had_branch = true;
+            if self.cfg.empty_line_opt {
+                self.elo_mark(line, false);
+            }
+        }
+    }
+
+    /// Branch-pair statistics (§IV.A): lead taken / second taken / both NT.
+    fn track_pair(&mut self, taken: bool) {
+        if !self.pair_pending_second {
+            if taken {
+                self.stats.pair_lead_taken += 1;
+            } else {
+                self.pair_pending_second = true;
+            }
+        } else {
+            self.pair_pending_second = false;
+            if taken {
+                self.stats.pair_second_taken += 1;
+            } else {
+                self.stats.pair_both_not_taken += 1;
+            }
+        }
+    }
+
+    /// Process one instruction of the architectural stream.
+    pub fn on_inst(&mut self, inst: &Inst) -> FetchFeedback {
+        self.stats.instructions += 1;
+        // Trace-gap detection.
+        let gap = match self.expected_pc {
+            Some(e) if e != inst.pc => true,
+            _ => false,
+        };
+        self.expected_pc = Some(inst.next_pc());
+        self.track_line(inst.pc, inst.branch.is_some());
+        if gap {
+            self.stats.trace_gaps += 1;
+            self.pending_zero_bubble = None;
+            self.last_taken_branch = None;
+            return FetchFeedback {
+                bubbles: 0,
+                redirect: Some(Redirect::TraceGap),
+            };
+        }
+        match inst.branch {
+            Some(b) => self.on_branch(inst.pc, b.kind, b.taken, b.target),
+            None => FetchFeedback::NONE,
+        }
+    }
+
+    fn on_branch(&mut self, pc: u64, kind: BranchKind, taken: bool, target: u64) -> FetchFeedback {
+        self.stats.branches += 1;
+        if kind.is_conditional() {
+            self.stats.cond_branches += 1;
+            self.track_pair(taken);
+        }
+        if taken {
+            self.stats.taken_branches += 1;
+        }
+
+        // ---------------- Prediction ----------------
+        let locked = self.ubtb.is_locked();
+        let upred = self.ubtb.predict(pc);
+        let mut used_ubtb = false;
+        let mut pred_taken;
+        let mut pred_target: Option<u64>;
+        let mut bubbles: u32 = 0;
+        let mut btb_entry: Option<(BtbEntry, BtbHit)> = None;
+        let mut indirect_pred: Option<Option<u64>> = None;
+        let mut ras_popped = false;
+
+        if locked {
+            if let UbtbPrediction::Hit { taken: t, target: tg } = upred {
+                used_ubtb = true;
+                pred_taken = match kind {
+                    BranchKind::CondDirect => t,
+                    _ => true,
+                };
+                pred_target = Some(match kind {
+                    BranchKind::Return => {
+                        // Returns still use the RAS even under lock.
+                        ras_popped = true;
+                        self.ras.pop(&mut self.ras_stats).unwrap_or(tg)
+                    }
+                    _ => tg,
+                });
+                if pred_taken {
+                    self.stats.ubtb_zero_bubble += 1;
+                }
+            } else {
+                pred_taken = false;
+                pred_target = None;
+            }
+        } else {
+            pred_taken = false;
+            pred_target = None;
+        }
+
+        if !used_ubtb {
+            // Main predictor path.
+            btb_entry = self.btb.lookup(pc);
+            match btb_entry {
+                Some((entry, hit)) => {
+                    // Direction.
+                    pred_taken = match kind {
+                        BranchKind::CondDirect => {
+                            self.stats.shp_lookups += 1;
+                            if entry.always_taken {
+                                true
+                            } else {
+                                self.shp
+                                    .predict(pc, entry.bias, &self.ghist, &self.phist)
+                                    .taken
+                            }
+                        }
+                        _ => true,
+                    };
+                    // Target.
+                    pred_target = if pred_taken {
+                        match kind {
+                            BranchKind::Return => {
+                                ras_popped = true;
+                                self.ras.pop(&mut self.ras_stats)
+                            }
+                            BranchKind::IndirectJump | BranchKind::IndirectCall => {
+                                // Chains store CONTEXT_HASH-sealed targets;
+                                // the raw (sealed) prediction is kept for
+                                // training, the unsealed one drives fetch.
+                                let p = self
+                                    .indirect
+                                    .predict(pc, &self.shp, &self.ghist, &self.phist);
+                                bubbles += p.extra_cycles;
+                                indirect_pred = Some(p.target);
+                                p.target.map(|t| self.unseal(kind, t))
+                            }
+                            _ => Some(self.unseal(kind, entry.target)),
+                        }
+                    } else {
+                        None
+                    };
+                    // Taken-redirect bubbles by serving structure.
+                    if pred_taken {
+                        let base = match hit {
+                            BtbHit::Main => {
+                                if self.cfg.zero_bubble_atot
+                                    && self
+                                        .pending_zero_bubble
+                                        .map(|(zpc, ztg)| {
+                                            zpc == pc && Some(ztg) == pred_target
+                                        })
+                                        .unwrap_or(false)
+                                {
+                                    self.stats.zat_zot_zero_bubble += 1;
+                                    0
+                                } else if self.cfg.one_bubble_at && entry.always_taken {
+                                    self.stats.one_bubble_at += 1;
+                                    1
+                                } else {
+                                    self.cfg.taken_bubbles
+                                }
+                            }
+                            BtbHit::Virtual => self.cfg.taken_bubbles + 1,
+                            BtbHit::Level2 => self.cfg.btb.l2_fill_latency,
+                        };
+                        bubbles += base;
+                    }
+                }
+                None => {
+                    // Not in any BTB: implicitly predicted not-taken.
+                    pred_taken = false;
+                    pred_target = None;
+                }
+            }
+        }
+        self.pending_zero_bubble = None;
+
+        // ---------------- Resolution ----------------
+        let dir_wrong = pred_taken != taken;
+        let target_wrong = taken && pred_taken && pred_target != Some(target);
+        let discovered = btb_entry.is_none() && !used_ubtb && taken;
+        let mispredicted = dir_wrong || target_wrong;
+        let correct = !mispredicted && !discovered;
+
+        let mut redirect = None;
+        if discovered {
+            self.stats.discoveries += 1;
+            redirect = Some(Redirect::Discovery);
+        } else if mispredicted {
+            match kind {
+                BranchKind::CondDirect => self.stats.cond_mispredicts += 1,
+                BranchKind::Return => self.stats.return_mispredicts += 1,
+                BranchKind::IndirectJump | BranchKind::IndirectCall => {
+                    self.stats.indirect_mispredicts += 1
+                }
+                _ => self.stats.discoveries += 1, // direct target drift
+            }
+            redirect = Some(Redirect::Mispredict);
+        }
+
+        // ---------------- MRB ----------------
+        if let Some(mrb) = &mut self.mrb {
+            if redirect == Some(Redirect::Mispredict) {
+                if self.confidence.is_low_confidence(pc) {
+                    mrb.on_mispredict(pc);
+                }
+            } else if taken && !mispredicted {
+                // Correct-path taken redirect: MRB playback may cover it.
+                if mrb.on_correct_path_target(target) {
+                    self.stats.mrb_covered += 1;
+                    bubbles = 0;
+                }
+            }
+        }
+        self.confidence.record(pc, correct);
+
+        // ---------------- Training ----------------
+        // RAS: calls push; a return whose prediction path never consulted
+        // the RAS (BTB miss) still pops at decode to stay balanced.
+        if kind.is_call() {
+            self.ras.push(pc + 4, &mut self.ras_stats);
+        } else if kind.is_return() && !ras_popped {
+            let _ = self.ras.pop(&mut self.ras_stats);
+        }
+        // BTB entry maintenance (discovery, direction counters, targets).
+        let sealed_target = self.seal(kind, target);
+        match btb_entry {
+            Some((mut entry, _)) => {
+                entry.record_direction(taken);
+                if taken {
+                    entry.target = sealed_target;
+                }
+                // SHP for conditionals (with always-taken filtering).
+                if kind.is_conditional() {
+                    let filtered = entry.always_taken && self.cfg.at_filter;
+                    let p = self.shp.predict(pc, entry.bias, &self.ghist, &self.phist);
+                    let d = self.shp.update(&p, taken, filtered);
+                    entry.bias = apply_bias_delta(entry.bias, d);
+                }
+                self.btb.update_entry(entry);
+            }
+            None if !used_ubtb => {
+                // Allocate discovered branches (taken, or conditional NT so
+                // the direction predictor owns it next time).
+                if taken || kind.is_conditional() {
+                    self.btb
+                        .install(BtbEntry::discover(pc, sealed_target, kind, taken));
+                }
+            }
+            _ => {
+                // µBTB-covered: the mBTB is clock-gated; keep its direction
+                // counters loosely in sync without timing side effects.
+                if let Some(mut entry) = self.btb.probe(pc) {
+                    entry.record_direction(taken);
+                    self.btb.update_entry(entry);
+                }
+            }
+        }
+        // Indirect chains + hash table (also commits virtual outcomes into
+        // the histories).
+        if kind.is_indirect() && !kind.is_return() && taken {
+            // Train in sealed-target space: the stored chain entries and
+            // the hash table hold ciphertext under the current context key.
+            let predicted_sealed = indirect_pred.unwrap_or(None);
+            self.indirect.update(
+                pc,
+                self.seal(kind, target),
+                predicted_sealed,
+                &mut self.shp,
+                &mut self.ghist,
+                &mut self.phist,
+            );
+        }
+        // Histories.
+        if kind.is_conditional() {
+            self.ghist.push(taken);
+        }
+        self.phist.push(pc);
+        // µBTB graph learning.
+        let predicted_correctly = !mispredicted && !discovered;
+        self.ubtb.update(
+            pc,
+            taken,
+            target,
+            matches!(kind, BranchKind::UncondDirect | BranchKind::DirectCall),
+            predicted_correctly,
+        );
+        // ZAT/ZOT replication learning: if this branch is always/often
+        // taken, replicate its target into the previous taken branch's
+        // entry; and arm the zero-bubble grant for the *next* occurrence.
+        // Replication applies to direct always/often-taken branches (their
+        // targets are stored in plaintext; indirect targets stay sealed).
+        if self.cfg.zero_bubble_atot && taken && !kind.is_indirect() {
+            if let Some((prev_pc, _)) = self.last_taken_branch {
+                if let Some(mut prev_entry) = self.btb.probe(prev_pc) {
+                    if let Some(cur_entry) = self.btb.probe(pc) {
+                        if cur_entry.always_taken || cur_entry.is_often_taken() {
+                            prev_entry.replicated_next = Some((pc, cur_entry.target));
+                            self.btb.update_entry(prev_entry);
+                        }
+                    }
+                }
+            }
+        }
+        // Arm the pending zero-bubble grant from this branch's replication.
+        if self.cfg.zero_bubble_atot && taken {
+            if let Some(entry) = self.btb.probe(pc) {
+                if let Some((npc, ntg)) = entry.replicated_next {
+                    self.pending_zero_bubble = Some((npc, ntg));
+                }
+            }
+        }
+        if taken {
+            self.last_taken_branch = Some((pc, target));
+        }
+
+        self.stats.bubbles += bubbles as u64;
+        FetchFeedback { bubbles, redirect }
+    }
+}

@@ -1,0 +1,218 @@
+//! Global outcome history (GHIST) and path history (PHIST) registers with
+//! interval folding.
+//!
+//! §IV.A: each SHP table is indexed by an XOR hash of (1) a hash of the
+//! GHIST pattern *in a given interval for that table* — one bit per
+//! conditional-branch outcome; (2) a hash of the PHIST in a given interval —
+//! "three bits, bits two through four, of each branch address encountered";
+//! and (3) a hash of the PC. M1 used 165 bits of GHIST and 80 entries of
+//! PHIST; M5 grew GHIST by 25% and rebalanced the intervals.
+
+/// Maximum GHIST bits any generation keeps (M5/M6 use 206).
+pub const MAX_GHIST: usize = 256;
+/// Maximum PHIST entries (3 bits each) any generation keeps.
+pub const MAX_PHIST: usize = 128;
+
+/// A shift-register of conditional-branch outcomes, newest in bit 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalHistory {
+    words: [u64; MAX_GHIST / 64],
+}
+
+impl GlobalHistory {
+    /// An all-not-taken history.
+    pub fn new() -> GlobalHistory {
+        GlobalHistory {
+            words: [0; MAX_GHIST / 64],
+        }
+    }
+
+    /// Record a conditional-branch outcome.
+    pub fn push(&mut self, taken: bool) {
+        // Shift the whole register left by one, inserting at bit 0.
+        let n = self.words.len();
+        for i in (1..n).rev() {
+            self.words[i] = (self.words[i] << 1) | (self.words[i - 1] >> 63);
+        }
+        self.words[0] = (self.words[0] << 1) | taken as u64;
+    }
+
+    /// Bit `i` of history (0 = most recent outcome).
+    pub fn bit(&self, i: usize) -> bool {
+        debug_assert!(i < MAX_GHIST);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Fold the most recent `len` bits into `out_bits` bits by XOR-ing
+    /// successive chunks (the classic folded-history index hash).
+    ///
+    /// # Panics
+    /// Panics if `out_bits` is 0 or greater than 32.
+    pub fn fold(&self, len: usize, out_bits: u32) -> u32 {
+        assert!(out_bits >= 1 && out_bits <= 32, "fold width out of range");
+        let len = len.min(MAX_GHIST);
+        if len == 0 {
+            return 0;
+        }
+        let mask = (1u64 << out_bits) - 1;
+        let mut acc = 0u64;
+        let mut consumed = 0usize;
+        while consumed < len {
+            let chunk_len = (len - consumed).min(out_bits as usize);
+            let mut chunk = 0u64;
+            for k in 0..chunk_len {
+                chunk |= (self.bit(consumed + k) as u64) << k;
+            }
+            acc ^= chunk;
+            consumed += chunk_len;
+        }
+        (acc & mask) as u32
+    }
+}
+
+impl Default for GlobalHistory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A shift-register of per-branch path nibbles: bits 2..=4 of each branch
+/// address encountered, newest first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathHistory {
+    /// 3-bit entries, newest at index 0.
+    entries: [u8; MAX_PHIST],
+}
+
+impl PathHistory {
+    /// An empty path history.
+    pub fn new() -> PathHistory {
+        PathHistory {
+            entries: [0; MAX_PHIST],
+        }
+    }
+
+    /// Record a branch address (any branch encountered).
+    pub fn push(&mut self, pc: u64) {
+        self.entries.rotate_right(1);
+        self.entries[0] = ((pc >> 2) & 0x7) as u8;
+    }
+
+    /// Fold the most recent `len` entries (3 bits each) into `out_bits`
+    /// bits.
+    ///
+    /// # Panics
+    /// Panics if `out_bits` is 0 or greater than 32.
+    pub fn fold(&self, len: usize, out_bits: u32) -> u32 {
+        assert!(out_bits >= 1 && out_bits <= 32, "fold width out of range");
+        let len = len.min(MAX_PHIST);
+        let mask = (1u64 << out_bits) - 1;
+        let mut acc = 0u64;
+        let mut bitpos = 0u32;
+        for e in self.entries.iter().take(len) {
+            acc ^= (*e as u64) << bitpos;
+            bitpos += 3;
+            if bitpos + 3 > out_bits {
+                // Wrap the rolling insertion point.
+                acc = ((acc >> out_bits) ^ acc) & mask;
+                bitpos = 0;
+            }
+        }
+        ((acc ^ (acc >> out_bits)) & mask) as u32
+    }
+}
+
+impl Default for PathHistory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghist_push_and_bit() {
+        let mut g = GlobalHistory::new();
+        g.push(true);
+        g.push(false);
+        g.push(true);
+        // Newest first: T, NT, T.
+        assert!(g.bit(0));
+        assert!(!g.bit(1));
+        assert!(g.bit(2));
+        assert!(!g.bit(3));
+    }
+
+    #[test]
+    fn ghist_shift_crosses_word_boundary() {
+        let mut g = GlobalHistory::new();
+        g.push(true);
+        for _ in 0..70 {
+            g.push(false);
+        }
+        assert!(g.bit(70));
+        assert!(!g.bit(69));
+        assert!(!g.bit(71));
+    }
+
+    #[test]
+    fn fold_depends_only_on_interval() {
+        let mut a = GlobalHistory::new();
+        let mut b = GlobalHistory::new();
+        // Same last 10 outcomes, different older outcomes.
+        b.push(true);
+        b.push(true);
+        for i in 0..10 {
+            let t = i % 3 == 0;
+            a.push(t);
+            b.push(t);
+        }
+        assert_eq!(a.fold(10, 8), b.fold(10, 8));
+        assert_ne!(a.fold(16, 8), b.fold(16, 8));
+    }
+
+    #[test]
+    fn fold_zero_len_is_zero() {
+        let mut g = GlobalHistory::new();
+        g.push(true);
+        assert_eq!(g.fold(0, 10), 0);
+    }
+
+    #[test]
+    fn fold_distinguishes_patterns() {
+        let mut a = GlobalHistory::new();
+        let mut b = GlobalHistory::new();
+        for i in 0..64 {
+            a.push(i % 2 == 0);
+            b.push(i % 3 == 0);
+        }
+        assert_ne!(a.fold(64, 12), b.fold(64, 12));
+    }
+
+    #[test]
+    fn phist_records_addr_bits_2_to_4() {
+        let mut p = PathHistory::new();
+        p.push(0b10100); // bits 2..=4 = 0b101
+        let mut q = PathHistory::new();
+        q.push(0b00100); // bits 2..=4 = 0b001
+        assert_ne!(p.fold(1, 6), q.fold(1, 6));
+        let mut r = PathHistory::new();
+        r.push(0b10100 | (0b11 << 40)); // high bits ignored
+        assert_eq!(p.fold(1, 6), r.fold(1, 6));
+    }
+
+    #[test]
+    fn phist_fold_interval_sensitivity() {
+        let mut a = PathHistory::new();
+        let mut b = PathHistory::new();
+        b.push(0x7C); // older entry differs
+        for pc in [0x10u64, 0x24, 0x38, 0x4C] {
+            a.push(pc);
+            b.push(pc);
+        }
+        assert_eq!(a.fold(4, 9), b.fold(4, 9));
+        assert_ne!(a.fold(5, 9), b.fold(5, 9));
+    }
+}

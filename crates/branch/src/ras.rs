@@ -1,0 +1,154 @@
+//! The Return Address Stack with CONTEXT_HASH target encryption.
+//!
+//! §IV: "Function returns are predicted with a Return-Address Stack (RAS)
+//! with standard mechanisms to repair multiple speculative pushes and
+//! pops." §V/Fig. 11 adds the stream-cipher encryption of stored return
+//! targets.
+
+use exynos_secure::cipher::{decrypt_target, encrypt_target, EncryptedTarget};
+use exynos_secure::context::ContextHash;
+
+/// A bounded return-address stack. Overflow wraps (oldest entries are
+/// silently overwritten), underflow predicts nothing — both are genuine
+/// mispredict sources on deep recursion.
+#[derive(Debug, Clone)]
+pub struct Ras {
+    slots: Vec<Option<EncryptedTarget>>,
+    top: usize,
+    depth: usize,
+    capacity: usize,
+    key: ContextHash,
+}
+
+/// RAS statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RasStats {
+    /// Pushes that overwrote a live entry (overflow).
+    pub overflows: u64,
+    /// Pops from an empty stack (underflow).
+    pub underflows: u64,
+}
+
+impl Ras {
+    /// A RAS with `capacity` entries, storing targets under `key`.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, key: ContextHash) -> Ras {
+        assert!(capacity > 0, "RAS capacity must be positive");
+        Ras {
+            slots: vec![None; capacity],
+            top: 0,
+            depth: 0,
+            capacity,
+            key,
+        }
+    }
+
+    /// Install a new context key (context switch). Existing entries keep
+    /// their old-key ciphertext and will decode to garbage — which is the
+    /// security property, not a bug.
+    pub fn set_key(&mut self, key: ContextHash) {
+        self.key = key;
+    }
+
+    /// Push a return address (on a call).
+    pub fn push(&mut self, ret_addr: u64, stats: &mut RasStats) {
+        if self.depth == self.capacity {
+            stats.overflows += 1;
+        } else {
+            self.depth += 1;
+        }
+        self.slots[self.top] = Some(encrypt_target(self.key, ret_addr));
+        self.top = (self.top + 1) % self.capacity;
+    }
+
+    /// Pop and predict the return target (on a return).
+    pub fn pop(&mut self, stats: &mut RasStats) -> Option<u64> {
+        if self.depth == 0 {
+            stats.underflows += 1;
+            return None;
+        }
+        self.depth -= 1;
+        self.top = (self.top + self.capacity - 1) % self.capacity;
+        self.slots[self.top]
+            .take()
+            .map(|e| decrypt_target(self.key, e))
+    }
+
+    /// Current number of live entries.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exynos_secure::context::{compute_context_hash, ContextId, EntropySources};
+
+    fn key(asid: u16) -> ContextHash {
+        compute_context_hash(&EntropySources::from_seed(11), ContextId::user(asid, 0))
+    }
+
+    #[test]
+    fn push_pop_lifo() {
+        let mut s = RasStats::default();
+        let mut r = Ras::new(8, key(1));
+        r.push(0x100, &mut s);
+        r.push(0x200, &mut s);
+        assert_eq!(r.pop(&mut s), Some(0x200));
+        assert_eq!(r.pop(&mut s), Some(0x100));
+        assert_eq!(s.overflows + s.underflows, 0);
+    }
+
+    #[test]
+    fn underflow_counts_and_returns_none() {
+        let mut s = RasStats::default();
+        let mut r = Ras::new(4, key(1));
+        assert_eq!(r.pop(&mut s), None);
+        assert_eq!(s.underflows, 1);
+    }
+
+    #[test]
+    fn overflow_wraps_and_loses_oldest() {
+        let mut s = RasStats::default();
+        let mut r = Ras::new(2, key(1));
+        r.push(0x100, &mut s);
+        r.push(0x200, &mut s);
+        r.push(0x300, &mut s); // overwrites 0x100
+        assert_eq!(s.overflows, 1);
+        assert_eq!(r.pop(&mut s), Some(0x300));
+        assert_eq!(r.pop(&mut s), Some(0x200));
+        assert_eq!(r.pop(&mut s), None, "0x100 was lost to the wrap");
+    }
+
+    #[test]
+    fn deep_recursion_depth_tracks() {
+        let mut s = RasStats::default();
+        let mut r = Ras::new(16, key(1));
+        for i in 0..10u64 {
+            r.push(0x1000 + i * 4, &mut s);
+        }
+        assert_eq!(r.depth(), 10);
+        assert_eq!(r.capacity(), 16);
+    }
+
+    #[test]
+    fn context_switch_scrambles_stale_entries() {
+        let mut s = RasStats::default();
+        let mut r = Ras::new(8, key(1));
+        r.push(0xAAA0, &mut s);
+        r.set_key(key(2));
+        let got = r.pop(&mut s).unwrap();
+        assert_ne!(got, 0xAAA0, "old-context entries must not decode");
+        // New pushes under the new key decode fine.
+        r.push(0xBBB0, &mut s);
+        assert_eq!(r.pop(&mut s), Some(0xBBB0));
+    }
+}

@@ -1,0 +1,334 @@
+//! Per-generation core configurations — Table I of the paper.
+
+use exynos_branch::FrontendConfig;
+use exynos_dram::DramConfig;
+use exynos_mem::MemGenConfig;
+use exynos_prefetch::{L1PrefetcherConfig, StandaloneConfig};
+use exynos_uoc::UocConfig;
+
+/// The six Exynos M-series generations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Generation {
+    /// M1 (14nm, Galaxy S7 era).
+    M1,
+    /// M2 (10nm LPE).
+    M2,
+    /// M3 (10nm LPP, 6-wide).
+    M3,
+    /// M4 (8nm LPP).
+    M4,
+    /// M5 (7nm).
+    M5,
+    /// M6 (5nm, completed design).
+    M6,
+}
+
+impl Generation {
+    /// All generations, in order.
+    pub const ALL: [Generation; 6] = [
+        Generation::M1,
+        Generation::M2,
+        Generation::M3,
+        Generation::M4,
+        Generation::M5,
+        Generation::M6,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Generation::M1 => "M1",
+            Generation::M2 => "M2",
+            Generation::M3 => "M3",
+            Generation::M4 => "M4",
+            Generation::M5 => "M5",
+            Generation::M6 => "M6",
+        }
+    }
+}
+
+impl std::fmt::Display for Generation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Execution-port complement (Table I "Execution Unit Details").
+///
+/// "S ALUs handle add/shift/logical; C ALUs handle simple plus
+/// mul/indirect-branch; CD ALUs handle C plus div; BR handle only direct
+/// branches"; "Generic units can perform either loads or stores".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ports {
+    /// Simple integer ALUs.
+    pub s: u32,
+    /// Complex (mul-capable) ALUs.
+    pub c: u32,
+    /// Complex + divide ALUs.
+    pub cd: u32,
+    /// Direct-branch units.
+    pub br: u32,
+    /// Load pipes.
+    pub ld: u32,
+    /// Store pipes.
+    pub st: u32,
+    /// Generic (load-or-store) pipes.
+    pub gen: u32,
+    /// FMAC-capable FP pipes.
+    pub fmac: u32,
+    /// FADD-only FP pipes.
+    pub fadd: u32,
+}
+
+/// Execution latencies (Table I "Latencies").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latencies {
+    /// Minimum branch-mispredict pipeline-refill penalty.
+    pub mispredict: u32,
+    /// L1D hit latency.
+    pub l1_hit: u32,
+    /// L1D hit latency for load-to-load cascades (M4+; equals `l1_hit`
+    /// otherwise).
+    pub l1_cascade: u32,
+    /// FMAC latency.
+    pub fmac: u32,
+    /// FMUL latency.
+    pub fmul: u32,
+    /// FADD latency.
+    pub fadd: u32,
+    /// Integer multiply latency.
+    pub imul: u32,
+    /// Integer divide latency.
+    pub idiv: u32,
+}
+
+/// A complete per-generation core configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Which generation this is.
+    pub gen: Generation,
+    /// Decode/rename/retire width (4 → 6 → 8).
+    pub width: u32,
+    /// Reorder-buffer entries.
+    pub rob: usize,
+    /// Integer physical registers.
+    pub int_prf: usize,
+    /// FP physical registers.
+    pub fp_prf: usize,
+    /// Execution ports.
+    pub ports: Ports,
+    /// Core latencies.
+    pub lat: Latencies,
+    /// Branch-prediction front end.
+    pub frontend: FrontendConfig,
+    /// Cache/TLB/miss-buffer geometry.
+    pub mem: MemGenConfig,
+    /// DRAM path.
+    pub dram: DramConfig,
+    /// L1 prefetcher complement.
+    pub l1_prefetch: L1PrefetcherConfig,
+    /// Buddy prefetcher present (M4+; requires sectored L2).
+    pub buddy: bool,
+    /// Standalone L2/L3 prefetcher (M5+).
+    pub standalone: Option<StandaloneConfig>,
+    /// Speculative DRAM read (M5+).
+    pub spec_read: bool,
+    /// Micro-op cache (M5+).
+    pub uoc: Option<UocConfig>,
+}
+
+impl CoreConfig {
+    /// M1: 4-wide, 96-entry ROB, 2S+1CD+BR, 1L/1S, 2 FP pipes.
+    pub fn m1() -> CoreConfig {
+        CoreConfig {
+            gen: Generation::M1,
+            width: 4,
+            rob: 96,
+            int_prf: 96,
+            fp_prf: 96,
+            ports: Ports { s: 2, c: 0, cd: 1, br: 1, ld: 1, st: 1, gen: 0, fmac: 1, fadd: 1 },
+            lat: Latencies {
+                mispredict: 14,
+                l1_hit: 4,
+                l1_cascade: 4,
+                fmac: 5,
+                fmul: 4,
+                fadd: 3,
+                imul: 4,
+                idiv: 12,
+            },
+            frontend: FrontendConfig::m1(),
+            mem: MemGenConfig::m1(),
+            dram: DramConfig::m1(),
+            l1_prefetch: L1PrefetcherConfig::m1(),
+            buddy: false,
+            standalone: None,
+            spec_read: false,
+            uoc: None,
+        }
+    }
+
+    /// M2: M1 resources with efficiency improvements — "several
+    /// efficiency improvements, including a number of deeper queues not
+    /// shown in Table I" (§III) — modeled as a slightly larger ROB and
+    /// deeper miss queues.
+    pub fn m2() -> CoreConfig {
+        let mut c = CoreConfig::m1();
+        c.gen = Generation::M2;
+        c.rob = 100;
+        c.frontend = FrontendConfig::m2();
+        c.mem = MemGenConfig::m2();
+        c.mem.miss_buffers = 10;
+        c.mem.l2_miss_buffers = 20;
+        c
+    }
+
+    /// M3: 6-wide, 228-entry ROB, 2L pipes, 3 FMACs, private L2 + L3.
+    pub fn m3() -> CoreConfig {
+        CoreConfig {
+            gen: Generation::M3,
+            width: 6,
+            rob: 228,
+            int_prf: 192,
+            fp_prf: 192,
+            ports: Ports { s: 2, c: 1, cd: 1, br: 1, ld: 2, st: 1, gen: 0, fmac: 3, fadd: 0 },
+            lat: Latencies {
+                mispredict: 16,
+                l1_hit: 4,
+                l1_cascade: 4,
+                fmac: 4,
+                fmul: 3,
+                fadd: 2,
+                imul: 4,
+                idiv: 12,
+            },
+            frontend: FrontendConfig::m3(),
+            mem: MemGenConfig::m3(),
+            dram: DramConfig::m1(),
+            l1_prefetch: L1PrefetcherConfig::m3(),
+            buddy: false,
+            standalone: None,
+            spec_read: false,
+            uoc: None,
+        }
+    }
+
+    /// M4: MAB-based misses, buddy prefetcher, data fast path, load
+    /// cascading, 1L/1S/1G pipes.
+    pub fn m4() -> CoreConfig {
+        let mut c = CoreConfig::m3();
+        c.gen = Generation::M4;
+        c.ports = Ports { s: 2, c: 1, cd: 1, br: 1, ld: 1, st: 1, gen: 1, fmac: 3, fadd: 0 };
+        c.lat.l1_hit = 4;
+        c.lat.l1_cascade = 3;
+        c.int_prf = 192;
+        c.fp_prf = 176;
+        c.frontend = FrontendConfig::m4();
+        c.mem = MemGenConfig::m4();
+        c.dram = DramConfig::m4();
+        c.buddy = true;
+        c
+    }
+
+    /// M5: 4S ALUs, ZAT/ZOT front end, UOC, standalone prefetcher,
+    /// speculative reads, early page activate.
+    pub fn m5() -> CoreConfig {
+        let mut c = CoreConfig::m4();
+        c.gen = Generation::M5;
+        c.ports.s = 4;
+        c.frontend = FrontendConfig::m5();
+        c.mem = MemGenConfig::m5();
+        c.dram = DramConfig::m5();
+        c.standalone = Some(StandaloneConfig::default());
+        c.spec_read = true;
+        c.uoc = Some(UocConfig::default());
+        c
+    }
+
+    /// M6: 8-wide, 256-entry ROB, 224 PRFs, 4S+2CD+2BR, 4 FMACs.
+    pub fn m6() -> CoreConfig {
+        let mut c = CoreConfig::m5();
+        c.gen = Generation::M6;
+        c.width = 8;
+        c.rob = 256;
+        c.int_prf = 224;
+        c.fp_prf = 224;
+        c.ports = Ports { s: 4, c: 0, cd: 2, br: 2, ld: 1, st: 1, gen: 1, fmac: 4, fadd: 0 };
+        c.frontend = FrontendConfig::m6();
+        c.mem = MemGenConfig::m6();
+        c
+    }
+
+    /// Configuration for `gen`.
+    pub fn for_generation(gen: Generation) -> CoreConfig {
+        match gen {
+            Generation::M1 => CoreConfig::m1(),
+            Generation::M2 => CoreConfig::m2(),
+            Generation::M3 => CoreConfig::m3(),
+            Generation::M4 => CoreConfig::m4(),
+            Generation::M5 => CoreConfig::m5(),
+            Generation::M6 => CoreConfig::m6(),
+        }
+    }
+
+    /// All six configurations in order.
+    pub fn all_generations() -> Vec<CoreConfig> {
+        Generation::ALL.iter().map(|&g| CoreConfig::for_generation(g)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_widths_and_robs() {
+        let expect = [(4, 96), (4, 100), (6, 228), (6, 228), (6, 228), (8, 256)];
+        for (cfg, (w, rob)) in CoreConfig::all_generations().iter().zip(expect) {
+            assert_eq!(cfg.width, w, "{}", cfg.gen);
+            assert_eq!(cfg.rob, rob, "{}", cfg.gen);
+        }
+    }
+
+    #[test]
+    fn table1_prfs() {
+        let expect = [(96, 96), (96, 96), (192, 192), (192, 176), (192, 176), (224, 224)];
+        for (cfg, (i, f)) in CoreConfig::all_generations().iter().zip(expect) {
+            assert_eq!((cfg.int_prf, cfg.fp_prf), (i, f), "{}", cfg.gen);
+        }
+    }
+
+    #[test]
+    fn table1_mispredict_penalties() {
+        let expect = [14, 14, 16, 16, 16, 16];
+        for (cfg, p) in CoreConfig::all_generations().iter().zip(expect) {
+            assert_eq!(cfg.lat.mispredict, p, "{}", cfg.gen);
+            assert_eq!(cfg.frontend.mispredict_penalty, p, "frontend agrees");
+        }
+    }
+
+    #[test]
+    fn feature_rollout() {
+        assert!(CoreConfig::m4().buddy && !CoreConfig::m3().buddy);
+        assert!(CoreConfig::m5().uoc.is_some() && CoreConfig::m4().uoc.is_none());
+        assert!(CoreConfig::m5().spec_read && !CoreConfig::m4().spec_read);
+        assert!(CoreConfig::m5().standalone.is_some());
+        assert!(CoreConfig::m4().dram.fast_path && !CoreConfig::m3().dram.fast_path);
+        assert!(CoreConfig::m5().dram.early_activate);
+    }
+
+    #[test]
+    fn fp_latencies_improve_in_m3() {
+        let m1 = CoreConfig::m1().lat;
+        let m3 = CoreConfig::m3().lat;
+        assert_eq!((m1.fmac, m1.fmul, m1.fadd), (5, 4, 3));
+        assert_eq!((m3.fmac, m3.fmul, m3.fadd), (4, 3, 2));
+    }
+
+    #[test]
+    fn cascade_only_from_m4() {
+        assert_eq!(CoreConfig::m3().lat.l1_cascade, 4);
+        assert_eq!(CoreConfig::m4().lat.l1_cascade, 3);
+        assert!(CoreConfig::m4().mem.load_cascade);
+    }
+}

@@ -1,0 +1,34 @@
+//! # exynos-core — the six-generation Exynos core timing model
+//!
+//! Composes every subsystem of the reproduction into a runnable,
+//! trace-driven simulator:
+//!
+//! * [`config`] — Table I per-generation configurations (M1–M6);
+//! * [`memsys`] — L1/L2/exclusive-L3/DRAM with all prefetchers (§VII–IX);
+//! * [`ports`] — execution-port scheduling;
+//! * [`sim`] — the out-of-order timing model and slice runner.
+//!
+//! ## Example
+//!
+//! ```
+//! use exynos_core::config::CoreConfig;
+//! use exynos_core::sim::Simulator;
+//! use exynos_trace::gen::loops::{LoopNest, LoopNestParams};
+//! use exynos_trace::SlicePlan;
+//!
+//! let mut sim = Simulator::new(CoreConfig::m5());
+//! let mut gen = LoopNest::new(&LoopNestParams::default(), 0, 1);
+//! let result = sim.run_slice(&mut gen, SlicePlan::new(2_000, 10_000));
+//! assert!(result.ipc > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod memsys;
+pub mod ports;
+pub mod sim;
+
+pub use config::{CoreConfig, Generation};
+pub use memsys::{MemStats, MemSystem};
+pub use sim::{run_slice_on, SimStats, Simulator, SliceResult};

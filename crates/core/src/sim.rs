@@ -1,0 +1,360 @@
+//! The trace-driven, timing-first out-of-order core model.
+//!
+//! This is the reproduction's stand-in for the paper's "trace-driven
+//! cycle-accurate performance model that reflects all six of the
+//! implementations" (§II). Per instruction it computes fetch, dispatch,
+//! issue, completion and retirement cycles under:
+//!
+//! * front-end bubbles and redirects from the branch predictor
+//!   ([`exynos_branch::FrontEnd`]), with the UOC supplying µops on
+//!   lockable kernels (M5+);
+//! * decode/rename width, ROB and PRF occupancy limits (Table I);
+//! * per-class issue ports ([`crate::ports`]);
+//! * dataflow dependencies through architectural registers;
+//! * the full memory system ([`crate::memsys`]) for loads/stores/ifetch,
+//!   including load-to-load cascading (M4+).
+//!
+//! Wrong-path execution is not modeled (a standard trace-driven
+//! limitation); the Table I mispredict penalty plus resolution delay
+//! provides the redirect cost.
+
+use crate::config::CoreConfig;
+use crate::memsys::{MemStats, MemSystem};
+use crate::ports::{PortSchedule, Resource};
+use exynos_branch::{FrontEnd, FrontendStats, Redirect};
+use exynos_trace::{BranchKind, Inst, InstKind, Reg, SlicePlan, TraceGen};
+use exynos_uoc::{Uoc, UocMode};
+use std::collections::VecDeque;
+
+/// Cumulative simulation counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycle of the last retirement.
+    pub last_retire: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Instructions supplied by the UOC (fetch/decode power proxy).
+    pub uoc_supplied: u64,
+}
+
+/// Results of one measured slice.
+#[derive(Debug, Clone)]
+pub struct SliceResult {
+    /// Instructions measured.
+    pub instructions: u64,
+    /// Cycles elapsed over the detail window.
+    pub cycles: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Branch mispredicts per kilo-instruction.
+    pub mpki: f64,
+    /// Average demand-load latency in cycles.
+    pub avg_load_latency: f64,
+    /// Front-end statistics over the whole run (warmup + detail).
+    pub frontend: FrontendStats,
+    /// Memory statistics over the whole run.
+    pub mem: MemStats,
+}
+
+/// The per-generation core simulator.
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: CoreConfig,
+    frontend: FrontEnd,
+    uoc: Option<Uoc>,
+    memsys: MemSystem,
+    ports: PortSchedule,
+    // ---- timing state ----
+    fetch_cycle: u64,
+    fetch_slots: u32,
+    cur_fetch_line: u64,
+    reg_ready: [u64; Reg::NUM_TOTAL as usize],
+    reg_by_load: [bool; Reg::NUM_TOTAL as usize],
+    rob: VecDeque<u64>,
+    int_inflight: VecDeque<u64>,
+    fp_inflight: VecDeque<u64>,
+    last_retire: u64,
+    retire_in_cycle: u32,
+    decode_depth: u64,
+    fe_restart: u64,
+    stats: SimStats,
+}
+
+impl Simulator {
+    /// Build a simulator for `cfg`.
+    pub fn new(cfg: CoreConfig) -> Simulator {
+        let decode_depth = cfg.lat.mispredict as u64 - 5;
+        Simulator {
+            frontend: FrontEnd::new(cfg.frontend.clone()),
+            uoc: cfg.uoc.clone().map(Uoc::new),
+            memsys: MemSystem::new(&cfg),
+            ports: PortSchedule::new(&cfg.ports),
+            fetch_cycle: 0,
+            fetch_slots: 0,
+            cur_fetch_line: u64::MAX,
+            reg_ready: [0; Reg::NUM_TOTAL as usize],
+            reg_by_load: [false; Reg::NUM_TOTAL as usize],
+            rob: VecDeque::with_capacity(cfg.rob),
+            int_inflight: VecDeque::new(),
+            fp_inflight: VecDeque::new(),
+            last_retire: 0,
+            retire_in_cycle: 0,
+            decode_depth,
+            fe_restart: 4,
+            stats: SimStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Front-end access (stats, context switching).
+    pub fn frontend(&self) -> &FrontEnd {
+        &self.frontend
+    }
+
+    /// Front-end mutable access (context switching in security studies).
+    pub fn frontend_mut(&mut self) -> &mut FrontEnd {
+        &mut self.frontend
+    }
+
+    /// Memory-system access (stats).
+    pub fn memsys(&self) -> &MemSystem {
+        &self.memsys
+    }
+
+    /// UOC statistics (zeroes when the generation has no UOC).
+    pub fn uoc_stats(&self) -> exynos_uoc::UocStats {
+        self.uoc.as_ref().map(|u| u.stats()).unwrap_or_default()
+    }
+
+    fn resources_for(kind: InstKind, branch: Option<BranchKind>) -> &'static [Resource] {
+        match kind {
+            InstKind::IntAlu | InstKind::Nop => {
+                &[Resource::IntS, Resource::IntC, Resource::IntCd]
+            }
+            InstKind::IntMul => &[Resource::IntC, Resource::IntCd],
+            InstKind::IntDiv => &[Resource::IntCd],
+            InstKind::Load => &[Resource::Ld, Resource::Gen],
+            InstKind::Store => &[Resource::St, Resource::Gen],
+            InstKind::FpAdd => &[Resource::Fadd, Resource::Fmac],
+            InstKind::FpMul | InstKind::FpMac => &[Resource::Fmac],
+            InstKind::Branch => match branch {
+                // Indirect branches execute on the complex ALUs (Table I
+                // footnote b); direct branches on the BR units.
+                Some(b) if b.is_indirect() => &[Resource::IntC, Resource::IntCd],
+                _ => &[Resource::Br, Resource::IntC, Resource::IntCd],
+            },
+        }
+    }
+
+    fn exec_latency(&self, kind: InstKind) -> u64 {
+        match kind {
+            InstKind::IntAlu | InstKind::Nop | InstKind::Branch => 1,
+            InstKind::IntMul => self.cfg.lat.imul as u64,
+            InstKind::IntDiv => self.cfg.lat.idiv as u64,
+            InstKind::FpAdd => self.cfg.lat.fadd as u64,
+            InstKind::FpMul => self.cfg.lat.fmul as u64,
+            InstKind::FpMac => self.cfg.lat.fmac as u64,
+            InstKind::Load | InstKind::Store => unreachable!("memory ops use the memsys"),
+        }
+    }
+
+    /// Process one instruction; returns its retirement cycle.
+    pub fn step(&mut self, inst: &Inst) -> u64 {
+        let width = self.cfg.width;
+        // ---------------- Front end ----------------
+        let fb = self.frontend.on_inst(inst);
+        // UOC mode machine (M5+): feed block structure; FetchMode gates the
+        // instruction cache and decoders.
+        let mut uoc_supply = false;
+        if let Some(uoc) = &mut self.uoc {
+            let broken = fb.redirect.is_some();
+            let taken = inst.is_taken_branch();
+            let _ = uoc.on_inst(inst.pc, inst.branch.is_some(), taken, broken, self.frontend.ubtb_mut());
+            uoc_supply = uoc.mode() == UocMode::Fetch;
+            if uoc_supply {
+                self.stats.uoc_supplied += 1;
+            }
+        }
+        // Trace gaps delay THIS instruction's fetch.
+        if fb.redirect == Some(Redirect::TraceGap) {
+            self.fetch_cycle += self.cfg.lat.mispredict as u64;
+            self.fetch_slots = 0;
+        }
+        // Prediction-pipe bubbles precede this instruction.
+        if fb.bubbles > 0 {
+            self.fetch_cycle += fb.bubbles as u64;
+            self.fetch_slots = 0;
+        }
+        // Instruction cache (skipped while the UOC supplies µops).
+        let line = inst.pc >> 6;
+        if line != self.cur_fetch_line {
+            self.cur_fetch_line = line;
+            if !uoc_supply {
+                let lat = self.memsys.ifetch(inst.pc, self.fetch_cycle);
+                if lat > 0 {
+                    self.fetch_cycle += lat;
+                    self.fetch_slots = 0;
+                }
+            }
+        }
+        // Fetch-width slotting.
+        if self.fetch_slots >= width {
+            self.fetch_cycle += 1;
+            self.fetch_slots = 0;
+        }
+        let fetch_time = self.fetch_cycle;
+        self.fetch_slots += 1;
+        // A taken branch redirects fetch: it closes the current fetch
+        // group, so at most one taken branch is consumed per cycle (the
+        // "zero-bubble" paths still deliver one redirect per cycle).
+        if inst.is_taken_branch() {
+            self.fetch_slots = width;
+        }
+
+        // ---------------- Dispatch (ROB / PRF limits) ----------------
+        let mut dispatch = fetch_time + self.decode_depth;
+        if self.rob.len() >= self.cfg.rob {
+            let oldest = self.rob.pop_front().unwrap();
+            dispatch = dispatch.max(oldest);
+        }
+        if let Some(dst) = inst.dst {
+            let (q, cap) = if dst.is_int() {
+                (&mut self.int_inflight, self.cfg.int_prf.saturating_sub(32))
+            } else {
+                (&mut self.fp_inflight, self.cfg.fp_prf.saturating_sub(32))
+            };
+            if q.len() >= cap.max(8) {
+                let freed = q.pop_front().unwrap();
+                dispatch = dispatch.max(freed);
+            }
+        }
+
+        // ---------------- Ready / issue ----------------
+        let mut ready = dispatch;
+        for src in inst.srcs.iter().flatten() {
+            if !src.is_zero() {
+                ready = ready.max(self.reg_ready[src.index()]);
+            }
+        }
+        let eligible = Self::resources_for(inst.kind, inst.branch.map(|b| b.kind));
+        let issue = self.ports.book(eligible, ready);
+
+        // ---------------- Execute ----------------
+        let complete = match inst.kind {
+            InstKind::Load => {
+                self.stats.loads += 1;
+                let vaddr = inst.mem.expect("load carries an address").vaddr;
+                let cascade = self.cfg.mem.load_cascade
+                    && inst
+                        .srcs
+                        .iter()
+                        .flatten()
+                        .any(|s| !s.is_zero() && self.reg_by_load[s.index()]);
+                self.memsys.load(inst.pc, vaddr, issue, cascade)
+            }
+            InstKind::Store => {
+                let vaddr = inst.mem.expect("store carries an address").vaddr;
+                self.memsys.store(inst.pc, vaddr, issue)
+            }
+            _ => issue + self.exec_latency(inst.kind),
+        };
+
+        // ---------------- Redirect resolution ----------------
+        match fb.redirect {
+            Some(Redirect::Mispredict) | Some(Redirect::Discovery) => {
+                // The front end restarts once this branch resolves.
+                self.fetch_cycle = self.fetch_cycle.max(complete + self.fe_restart);
+                self.fetch_slots = 0;
+                self.cur_fetch_line = u64::MAX;
+            }
+            _ => {}
+        }
+
+        // ---------------- Writeback ----------------
+        if let Some(dst) = inst.dst {
+            self.reg_ready[dst.index()] = complete;
+            self.reg_by_load[dst.index()] = inst.kind == InstKind::Load;
+        }
+
+        // ---------------- In-order retire ----------------
+        let mut rt = complete.max(self.last_retire);
+        if rt == self.last_retire {
+            if self.retire_in_cycle >= width {
+                rt += 1;
+                self.retire_in_cycle = 0;
+            }
+        } else {
+            self.retire_in_cycle = 0;
+        }
+        self.retire_in_cycle += 1;
+        self.last_retire = rt;
+        self.rob.push_back(rt);
+        if let Some(dst) = inst.dst {
+            if dst.is_int() {
+                self.int_inflight.push_back(rt);
+            } else {
+                self.fp_inflight.push_back(rt);
+            }
+        }
+        self.stats.instructions += 1;
+        self.stats.last_retire = rt;
+        rt
+    }
+
+    /// Run a warmup + detail slice of `gen`, returning measured results
+    /// for the detail window.
+    pub fn run_slice(&mut self, gen: &mut dyn TraceGen, plan: SlicePlan) -> SliceResult {
+        for _ in 0..plan.warmup {
+            let inst = gen.next_inst();
+            self.step(&inst);
+        }
+        let start_insts = self.stats.instructions;
+        let start_cycle = self.stats.last_retire;
+        let fe0 = *self.frontend.stats();
+        let mem0 = self.memsys.stats();
+        for _ in 0..plan.detail {
+            let inst = gen.next_inst();
+            self.step(&inst);
+        }
+        let instructions = self.stats.instructions - start_insts;
+        let cycles = (self.stats.last_retire - start_cycle).max(1);
+        let fe1 = *self.frontend.stats();
+        let mem1 = self.memsys.stats();
+        let mpki = (fe1.total_mispredicts() - fe0.total_mispredicts()) as f64 * 1000.0
+            / instructions.max(1) as f64;
+        let lat_num = mem1.total_load_latency - mem0.total_load_latency;
+        let lat_den = (mem1.loads - mem0.loads).max(1);
+        SliceResult {
+            instructions,
+            cycles,
+            ipc: instructions as f64 / cycles as f64,
+            mpki,
+            avg_load_latency: lat_num as f64 / lat_den as f64,
+            frontend: fe1,
+            mem: mem1,
+        }
+    }
+}
+
+/// Convenience: simulate one catalog slice on one generation.
+pub fn run_slice_on(
+    cfg: CoreConfig,
+    slice: &exynos_trace::SliceSpec,
+) -> SliceResult {
+    let mut sim = Simulator::new(cfg);
+    let mut gen = slice.instantiate();
+    let plan = slice.plan;
+    sim.run_slice(&mut *gen, plan)
+}

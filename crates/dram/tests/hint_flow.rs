@@ -1,0 +1,15 @@
+#[test]
+fn hint_then_read_hits() {
+    use exynos_dram::{DramConfig, MemoryController};
+    let mut c = MemoryController::new(DramConfig::m5());
+    let mut hits_expected = 0;
+    for i in 0..100u64 {
+        let addr = 0x1000_0000 + i * 8192 * 13;
+        let t = i * 500;
+        c.activate_hint(addr, t);
+        let _ = c.read(addr, t);
+        hits_expected += 1;
+    }
+    println!("stats={:?} expected_hits~{hits_expected}", c.stats());
+    assert!(c.stats().row_hits >= 95);
+}

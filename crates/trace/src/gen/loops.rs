@@ -1,0 +1,334 @@
+//! Tight nested-loop kernels.
+//!
+//! These are the workloads the paper's µBTB "lock" mode (§IV.B) and the
+//! micro-op cache (§VI) are built for: a small, fully predictable CFG that
+//! fits in the µBTB graph, with strided data access that the multi-stride L1
+//! prefetcher (§VII.A) covers.
+
+use super::{rng_from_seed, CodeLayout, DataLayout, RegRotor, TraceGen};
+use crate::inst::{BranchInfo, BranchKind, Inst, InstKind, Reg};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Parameters for a [`LoopNest`] kernel.
+#[derive(Debug, Clone)]
+pub struct LoopNestParams {
+    /// Loop nesting depth (1..=4).
+    pub depth: usize,
+    /// Trip count per level, innermost first. Length must equal `depth`.
+    pub trip_counts: Vec<u32>,
+    /// Instructions in the innermost loop body (excluding the back branch).
+    pub body_len: usize,
+    /// Loads per innermost body.
+    pub loads_per_body: usize,
+    /// Stores per innermost body.
+    pub stores_per_body: usize,
+    /// Byte stride between successive iterations' accesses.
+    pub stride: i64,
+    /// Working-set size in bytes; addresses wrap at this bound.
+    pub working_set: u64,
+    /// Fraction (0..=1) of ALU slots that are FP MAC ops.
+    pub fp_frac: f64,
+}
+
+impl Default for LoopNestParams {
+    fn default() -> Self {
+        LoopNestParams {
+            depth: 2,
+            trip_counts: vec![64, 1024],
+            body_len: 8,
+            loads_per_body: 2,
+            stores_per_body: 1,
+            stride: 64,
+            working_set: 16 * 1024,
+            fp_frac: 0.25,
+        }
+    }
+}
+
+/// One slot of the static loop program.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// Non-branch instruction; payload chosen at emit time.
+    Body { is_load: bool, is_store: bool, is_fp: bool },
+    /// Backward conditional branch closing loop `level`; `head` is the slot
+    /// index of that loop's first instruction.
+    Back { level: usize, head: usize },
+    /// Unconditional jump back to the top of the whole nest.
+    Restart,
+}
+
+/// A deterministic nested-loop kernel generator.
+///
+/// The emitted CFG is: per level a body of straight-line instructions
+/// terminated by a backward conditional branch that is taken
+/// `trip_count - 1` times out of every `trip_count` executions.
+#[derive(Debug, Clone)]
+pub struct LoopNest {
+    program: Vec<Slot>,
+    pcs: Vec<u64>,
+    counters: Vec<u32>,
+    trip_counts: Vec<u32>,
+    cursor: usize,
+    rotor: RegRotor,
+    rng: SmallRng,
+    data_base: u64,
+    working_set: u64,
+    stride: i64,
+    iter: u64,
+    mem_slot: u64,
+}
+
+impl LoopNest {
+    /// Build a loop nest from `params`, laying code into `region` and using
+    /// `seed` for the (static) body composition.
+    ///
+    /// # Panics
+    /// Panics if `params.depth` is 0 or does not match `trip_counts`.
+    pub fn new(params: &LoopNestParams, region: u64, seed: u64) -> LoopNest {
+        assert!(params.depth >= 1 && params.depth <= 8, "depth out of range");
+        assert_eq!(
+            params.trip_counts.len(),
+            params.depth,
+            "trip_counts must match depth"
+        );
+        let mut rng = rng_from_seed(seed);
+        let mut program = Vec::new();
+        // Head slot index per level, outermost first during layout.
+        let mut heads = vec![0usize; params.depth];
+        // Outer levels get a tiny prologue body; the innermost gets the real
+        // body. Levels are numbered 0 = innermost.
+        for lv in (1..params.depth).rev() {
+            heads[lv] = program.len();
+            for _ in 0..2 {
+                program.push(Slot::Body {
+                    is_load: false,
+                    is_store: false,
+                    is_fp: false,
+                });
+            }
+        }
+        heads[0] = program.len();
+        // Compose the innermost body: place loads/stores at spread positions.
+        let body = params.body_len.max(params.loads_per_body + params.stores_per_body + 1);
+        for i in 0..body {
+            let is_load = i < params.loads_per_body;
+            let is_store = !is_load && i < params.loads_per_body + params.stores_per_body;
+            let is_fp = !is_load && !is_store && rng.gen_bool(params.fp_frac);
+            program.push(Slot::Body {
+                is_load,
+                is_store,
+                is_fp,
+            });
+        }
+        program.push(Slot::Back {
+            level: 0,
+            head: heads[0],
+        });
+        for lv in 1..params.depth {
+            // Small epilogue body then the level's back branch.
+            program.push(Slot::Body {
+                is_load: false,
+                is_store: false,
+                is_fp: false,
+            });
+            program.push(Slot::Back {
+                level: lv,
+                head: heads[lv],
+            });
+        }
+        program.push(Slot::Restart);
+        let mut layout = CodeLayout::region(region);
+        let base = layout.alloc_block(program.len() as u64);
+        let pcs: Vec<u64> = (0..program.len()).map(|i| base + 4 * i as u64).collect();
+        LoopNest {
+            program,
+            pcs,
+            counters: vec![0; params.depth],
+            trip_counts: params.trip_counts.clone(),
+            cursor: 0,
+            rotor: RegRotor::int_range(1, 12),
+            rng,
+            data_base: DataLayout::region(region).base(),
+            working_set: params.working_set.max(64),
+            stride: params.stride,
+            iter: 0,
+            mem_slot: 0,
+        }
+    }
+
+    fn mem_addr(&mut self) -> u64 {
+        let lin = (self.iter as i64)
+            .wrapping_mul(self.stride)
+            .wrapping_add(self.mem_slot as i64 * 8);
+        self.mem_slot += 1;
+        let off = (lin.rem_euclid(self.working_set as i64)) as u64;
+        self.data_base + off
+    }
+}
+
+impl TraceGen for LoopNest {
+    fn next_inst(&mut self) -> Inst {
+        let idx = self.cursor;
+        let pc = self.pcs[idx];
+        match self.program[idx] {
+            Slot::Body {
+                is_load,
+                is_store,
+                is_fp,
+            } => {
+                self.cursor += 1;
+                if is_load {
+                    let a = self.mem_addr();
+                    let dst = self.rotor.alloc();
+                    Inst::load(pc, dst, Some(Reg::int(20)), a)
+                } else if is_store {
+                    let a = self.mem_addr();
+                    let src = self.rotor.recent(0);
+                    Inst::store(pc, Some(src), Some(Reg::int(20)), a)
+                } else if is_fp {
+                    Inst {
+                        pc,
+                        kind: InstKind::FpMac,
+                        srcs: [Some(Reg::fp(1)), Some(Reg::fp(2))],
+                        dst: Some(Reg::fp(3)),
+                        mem: None,
+                        branch: None,
+                    }
+                } else {
+                    let s0 = self.rotor.recent(1);
+                    let s1 = self.rotor.pick(&mut self.rng);
+                    let dst = self.rotor.alloc();
+                    Inst::alu(pc, dst, [Some(s0), Some(s1)])
+                }
+            }
+            Slot::Back { level, head } => {
+                self.counters[level] += 1;
+                let taken = self.counters[level] < self.trip_counts[level];
+                if taken {
+                    self.cursor = head;
+                } else {
+                    self.counters[level] = 0;
+                    self.cursor += 1;
+                }
+                if level == 0 {
+                    self.iter += 1;
+                    self.mem_slot = 0;
+                }
+                Inst::branch(
+                    pc,
+                    BranchInfo {
+                        kind: BranchKind::CondDirect,
+                        taken,
+                        target: self.pcs[head],
+                    },
+                    [Some(self.rotor.recent(0)), None],
+                )
+            }
+            Slot::Restart => {
+                self.cursor = 0;
+                Inst::branch(
+                    pc,
+                    BranchInfo {
+                        kind: BranchKind::UncondDirect,
+                        taken: true,
+                        target: self.pcs[0],
+                    },
+                    [None, None],
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenIter;
+
+    fn run(params: &LoopNestParams, n: usize) -> Vec<Inst> {
+        GenIter(LoopNest::new(params, 0, 1)).take(n).collect()
+    }
+
+    #[test]
+    fn inner_branch_taken_trip_minus_one_times() {
+        let p = LoopNestParams {
+            depth: 1,
+            trip_counts: vec![4],
+            body_len: 2,
+            loads_per_body: 0,
+            stores_per_body: 0,
+            ..Default::default()
+        };
+        let insts = run(&p, 100);
+        // Only the conditional back-branch; the nest-restart jump is
+        // unconditional.
+        let branches: Vec<_> = insts
+            .iter()
+            .filter(|i| matches!(i.branch, Some(b) if b.kind == crate::inst::BranchKind::CondDirect))
+            .collect();
+        // Pattern per nest execution: T,T,T,NT repeating.
+        let dirs: Vec<bool> = branches.iter().map(|b| b.branch.unwrap().taken).collect();
+        assert_eq!(&dirs[..8], &[true, true, true, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn nested_loops_interleave_levels() {
+        let p = LoopNestParams {
+            depth: 2,
+            trip_counts: vec![2, 3],
+            body_len: 1,
+            loads_per_body: 0,
+            stores_per_body: 0,
+            ..Default::default()
+        };
+        let insts = run(&p, 400);
+        // Two distinct branch PCs must appear.
+        let mut pcs: Vec<u64> = insts
+            .iter()
+            .filter(|i| matches!(i.branch, Some(b) if b.kind == crate::inst::BranchKind::CondDirect))
+            .map(|i| i.pc)
+            .collect();
+        pcs.sort_unstable();
+        pcs.dedup();
+        assert_eq!(pcs.len(), 2);
+    }
+
+    #[test]
+    fn loads_are_strided() {
+        let p = LoopNestParams {
+            depth: 1,
+            trip_counts: vec![1000],
+            body_len: 4,
+            loads_per_body: 1,
+            stores_per_body: 0,
+            stride: 64,
+            working_set: 1 << 20,
+            ..Default::default()
+        };
+        let insts = run(&p, 200);
+        let addrs: Vec<u64> = insts.iter().filter_map(|i| i.mem.map(|m| m.vaddr)).collect();
+        assert!(addrs.len() >= 10);
+        for w in addrs.windows(2) {
+            assert_eq!(w[1] - w[0], 64);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = LoopNestParams::default();
+        let a = run(&p, 500);
+        let b = run(&p, 500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn code_fits_small_footprint() {
+        let p = LoopNestParams::default();
+        let insts = run(&p, 2000);
+        let mut pcs: Vec<u64> = insts.iter().map(|i| i.pc).collect();
+        pcs.sort_unstable();
+        pcs.dedup();
+        assert!(pcs.len() < 64, "loop kernel must have a tiny code footprint");
+    }
+}

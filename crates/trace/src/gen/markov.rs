@@ -1,0 +1,330 @@
+//! History-dependent conditional-branch workloads.
+//!
+//! These stand in for the CBP5 traces of Fig. 1 and the "interesting middle"
+//! of Fig. 9: each synthetic branch's outcome is a boolean function of the
+//! global outcome history at a bounded depth, plus controllable noise. A
+//! hashed-perceptron predictor whose GHIST window covers the generating
+//! depth can learn the branch; one whose window is shorter cannot — which is
+//! exactly the axis Fig. 1 sweeps.
+
+use super::{rng_from_seed, CodeLayout, DataLayout, RegRotor, TraceGen};
+use crate::inst::{BranchInfo, BranchKind, Inst, Reg};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How a site's hidden outcome function works.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkovMode {
+    /// Outcome follows a fixed repeating per-site pattern of length up to
+    /// `history_depth`. The global outcome stream is then low-entropy and
+    /// recurring — the regime real programs live in, where a hashed
+    /// perceptron whose GHIST window can disambiguate the pattern phase
+    /// learns the branch (the Fig. 1 sweep axis).
+    Pattern,
+    /// Outcome = parity (XOR) of history-tap bits — linearly inseparable
+    /// *and* high-entropy: the adversarial right tail of Fig. 9 that stays
+    /// hard on every generation.
+    Parity,
+}
+
+/// Parameters for a [`MarkovBranches`] workload.
+#[derive(Debug, Clone)]
+pub struct MarkovParams {
+    /// Number of distinct static branch sites.
+    pub sites: usize,
+    /// Each branch reads taps drawn uniformly from `1..=history_depth`
+    /// positions back in global history.
+    pub history_depth: u32,
+    /// Taps per branch (how many history bits the hidden function reads).
+    pub taps: u32,
+    /// How the taps combine into an outcome.
+    pub mode: MarkovMode,
+    /// Probability a branch outcome is replaced by a coin flip.
+    pub noise: f64,
+    /// Non-branch instructions between branches.
+    pub work_between: usize,
+    /// Fraction of loads among the filler instructions.
+    pub load_frac: f64,
+    /// Data working-set size for those loads.
+    pub working_set: u64,
+}
+
+impl Default for MarkovParams {
+    fn default() -> Self {
+        MarkovParams {
+            sites: 64,
+            history_depth: 32,
+            taps: 3,
+            mode: MarkovMode::Pattern,
+            noise: 0.02,
+            work_between: 4,
+            load_frac: 0.25,
+            working_set: 64 * 1024,
+        }
+    }
+}
+
+/// One static branch site's hidden outcome function.
+#[derive(Debug, Clone)]
+struct Site {
+    pc: u64,
+    target: u64,
+    /// Parity mode: history positions (1-based, most recent = 1) XOR-ed.
+    taps: Vec<u32>,
+    /// Pattern mode: the repeating outcome pattern and current phase.
+    pattern: Vec<bool>,
+    pos: usize,
+    /// Invert the function output.
+    invert: bool,
+}
+
+/// Generator whose conditional branches are deterministic functions of
+/// bounded global history.
+#[derive(Debug, Clone)]
+pub struct MarkovBranches {
+    sites: Vec<Site>,
+    /// Global outcome history, bit 0 = most recent.
+    ghist: u64,
+    cur_site: usize,
+    slot: usize,
+    slots: usize,
+    params: MarkovParams,
+    data_base: u64,
+    rotor: RegRotor,
+    rng: SmallRng,
+    body_base: u64,
+}
+
+impl MarkovBranches {
+    /// Build a Markov-branch workload in `region` from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `sites == 0`, `history_depth == 0` or `history_depth > 64`.
+    pub fn new(params: &MarkovParams, region: u64, seed: u64) -> MarkovBranches {
+        assert!(params.sites >= 1, "need at least one branch site");
+        assert!(
+            params.history_depth >= 1 && params.history_depth <= 64,
+            "history_depth must be in 1..=64"
+        );
+        let mut rng = rng_from_seed(seed);
+        let mut layout = CodeLayout::region(region);
+        // Per-site layout, laid out contiguously (real if-then shape):
+        //   [work_between body fillers][cond branch][PAD_LEN pad fillers]
+        // Taken skips the pad to the next site's body; not-taken executes
+        // the pad and falls through into the next site. The execution
+        // order of sites is therefore FIXED — outcomes only gate pads —
+        // giving the low-entropy, recurring global history real loops
+        // have. A final unconditional branch wraps the chain to site 0.
+        let slots = params.work_between + 1 + Self::PAD_LEN;
+        let total = params.sites * slots + 1;
+        let base = layout.alloc_block(total as u64);
+        let site_pc = |i: usize| base + (i * slots * 4) as u64;
+        let n = params.sites;
+        let sites: Vec<Site> = (0..n)
+            .map(|i| {
+                let taps = (0..params.taps)
+                    .map(|_| rng.gen_range(1..=params.history_depth))
+                    .collect();
+                // All sites share one power-of-two pattern length so the
+                // *global* outcome stream has a small period (the lcm):
+                // phase disambiguation of the joint pattern needs roughly
+                // `sites * log2(plen)` bits of GHIST, which is the Fig. 1
+                // sweep knob.
+                let plen = (params.history_depth as usize).next_power_of_two().max(2);
+                let pattern = (0..plen).map(|_| rng.gen_bool(0.5)).collect();
+                Site {
+                    pc: site_pc(i) + 4 * params.work_between as u64,
+                    target: if i == n - 1 { base } else { site_pc(i + 1) },
+                    taps,
+                    pattern,
+                    pos: rng.gen_range(0..plen),
+                    invert: rng.gen_bool(0.5),
+                }
+            })
+            .collect();
+        MarkovBranches {
+            sites,
+            ghist: 0,
+            cur_site: 0,
+            slot: 0,
+            slots,
+            params: params.clone(),
+            data_base: DataLayout::region(region).base(),
+            rotor: RegRotor::int_range(2, 12),
+            rng,
+            body_base: base,
+        }
+    }
+
+    fn outcome(&mut self, site: usize) -> bool {
+        if self.rng.gen_bool(self.params.noise) {
+            // Keep Pattern phase coherent across noisy executions.
+            if self.params.mode == MarkovMode::Pattern {
+                let s = &mut self.sites[site];
+                s.pos = (s.pos + 1) % s.pattern.len();
+            }
+            return self.rng.gen_bool(0.5);
+        }
+        match self.params.mode {
+            MarkovMode::Parity => {
+                let s = &self.sites[site];
+                let mut x = s.invert;
+                for &t in &s.taps {
+                    x ^= (self.ghist >> (t - 1)) & 1 == 1;
+                }
+                x
+            }
+            MarkovMode::Pattern => {
+                let s = &mut self.sites[site];
+                let bit = s.pattern[s.pos];
+                s.pos = (s.pos + 1) % s.pattern.len();
+                bit != s.invert
+            }
+        }
+    }
+}
+
+impl MarkovBranches {
+    /// Pad instructions gated by each site's branch.
+    const PAD_LEN: usize = 2;
+}
+
+impl TraceGen for MarkovBranches {
+    fn next_inst(&mut self) -> Inst {
+        let n = self.sites.len();
+        let wb = self.params.work_between;
+        // The wrap slot after the last site's pad.
+        if self.cur_site == n {
+            let pc = self.body_base + (n * self.slots * 4) as u64;
+            self.cur_site = 0;
+            self.slot = 0;
+            return Inst::branch(
+                pc,
+                BranchInfo {
+                    kind: BranchKind::UncondDirect,
+                    taken: true,
+                    target: self.body_base,
+                },
+                [None, None],
+            );
+        }
+        let site_base = self.body_base + (self.cur_site * self.slots * 4) as u64;
+        let pc = site_base + 4 * self.slot as u64;
+        if self.slot != wb {
+            // Body or pad filler.
+            let in_pad = self.slot > wb;
+            self.slot += 1;
+            if self.slot == self.slots {
+                // Pad complete: fall through into the next site, or onto
+                // the wrap slot after the last site (cur_site == n).
+                self.cur_site += 1;
+                self.slot = 0;
+            }
+            if !in_pad && self.rng.gen_bool(self.params.load_frac) {
+                let off = self.rng.gen_range(0..self.params.working_set.max(64)) & !7;
+                let dst = self.rotor.alloc();
+                return Inst::load(pc, dst, Some(Reg::int(19)), self.data_base + off);
+            }
+            let dst = self.rotor.alloc();
+            let s = self.rotor.pick(&mut self.rng);
+            return Inst::alu(pc, dst, [Some(s), None]);
+        }
+        // The site's conditional branch: taken skips this site's pad.
+        let taken = self.outcome(self.cur_site);
+        self.ghist = (self.ghist << 1) | taken as u64;
+        let site = &self.sites[self.cur_site];
+        let (bpc, target) = (site.pc, site.target);
+        debug_assert_eq!(bpc, pc);
+        if taken {
+            // Skip the pad. The last site's taken target is site 0
+            // directly (it bypasses the wrap slot).
+            self.cur_site = if self.cur_site + 1 == n { 0 } else { self.cur_site + 1 };
+            self.slot = 0;
+        } else {
+            self.slot = wb + 1; // execute the pad
+        }
+        Inst::branch(
+            bpc,
+            BranchInfo {
+                kind: BranchKind::CondDirect,
+                taken,
+                target,
+            },
+            [Some(self.rotor.recent(0)), None],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenIter;
+
+    fn outcomes(params: &MarkovParams, n: usize, seed: u64) -> Vec<(u64, bool)> {
+        GenIter(MarkovBranches::new(params, 5, seed))
+            .take(n)
+            .filter(|i| i.branch.is_some())
+            .map(|i| (i.pc, i.branch.unwrap().taken))
+            .collect()
+    }
+
+    #[test]
+    fn zero_noise_outcomes_are_history_determined() {
+        // With no noise, replaying the generator gives identical outcomes.
+        let p = MarkovParams {
+            noise: 0.0,
+            load_frac: 0.0,
+            ..Default::default()
+        };
+        let a = outcomes(&p, 20_000, 3);
+        let b = outcomes(&p, 20_000, 3);
+        assert_eq!(a, b);
+        // And both directions appear.
+        let takens = a.iter().filter(|(_, t)| *t).count();
+        assert!(takens > a.len() / 10 && takens < a.len() * 9 / 10);
+    }
+
+    #[test]
+    fn sites_have_distinct_pcs() {
+        let p = MarkovParams {
+            sites: 16,
+            ..Default::default()
+        };
+        let o = outcomes(&p, 10_000, 1);
+        let mut pcs: Vec<u64> = o.iter().map(|(pc, _)| *pc).collect();
+        pcs.sort_unstable();
+        pcs.dedup();
+        // 16 conditional sites plus the wrap-around unconditional branch.
+        assert_eq!(pcs.len(), 17);
+    }
+
+    #[test]
+    fn pc_chain_is_consistent() {
+        let p = MarkovParams::default();
+        let insts: Vec<Inst> = GenIter(MarkovBranches::new(&p, 5, 7)).take(5_000).collect();
+        for w in insts.windows(2) {
+            assert_eq!(w[0].next_pc(), w[1].pc);
+        }
+    }
+
+    #[test]
+    fn zero_noise_system_is_eventually_periodic() {
+        // With no noise the whole generator is a finite deterministic
+        // automaton over (site, bounded history), so the outcome stream
+        // must become periodic — i.e. fully learnable with enough history.
+        let p = MarkovParams {
+            sites: 3,
+            history_depth: 2,
+            taps: 1,
+            noise: 0.0,
+            work_between: 1,
+            load_frac: 0.0,
+            ..Default::default()
+        };
+        let o = outcomes(&p, 400, 9);
+        let dirs: Vec<bool> = o.iter().map(|(_, t)| *t).collect();
+        let tail = &dirs[100..];
+        let periodic = (1..=48).any(|per| (0..tail.len() - per).all(|k| tail[k] == tail[k + per]));
+        assert!(periodic, "zero-noise stream must settle into a cycle");
+    }
+}

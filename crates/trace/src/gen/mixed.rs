@@ -1,0 +1,107 @@
+//! Phase-interleaved workload composition.
+//!
+//! Real applications alternate between behaviours (§VIII.D motivates the
+//! adaptive prefetcher with "transitions between application phases that
+//! are prefetcher friendly and phases that are difficult"). [`PhaseMix`]
+//! interleaves several generators in fixed-length phases.
+//!
+//! At a phase boundary the PC stream is discontinuous (as it would be
+//! across a syscall or context switch in a real trace); downstream models
+//! treat such gaps as pipeline-refill events.
+
+use super::{BoxedGen, TraceGen};
+use crate::inst::Inst;
+
+/// Interleaves child generators in round-robin phases of `phase_len`
+/// instructions each.
+pub struct PhaseMix {
+    children: Vec<BoxedGen>,
+    phase_len: u64,
+    cur: usize,
+    left: u64,
+}
+
+impl std::fmt::Debug for PhaseMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhaseMix")
+            .field("children", &self.children.len())
+            .field("phase_len", &self.phase_len)
+            .field("cur", &self.cur)
+            .finish()
+    }
+}
+
+impl PhaseMix {
+    /// Compose `children` into phases of `phase_len` instructions.
+    ///
+    /// # Panics
+    /// Panics if `children` is empty or `phase_len` is zero.
+    pub fn new(children: Vec<BoxedGen>, phase_len: u64) -> PhaseMix {
+        assert!(!children.is_empty(), "need at least one child generator");
+        assert!(phase_len > 0, "phase length must be positive");
+        PhaseMix {
+            children,
+            phase_len,
+            cur: 0,
+            left: phase_len,
+        }
+    }
+}
+
+impl TraceGen for PhaseMix {
+    fn next_inst(&mut self) -> Inst {
+        if self.left == 0 {
+            self.cur = (self.cur + 1) % self.children.len();
+            self.left = self.phase_len;
+        }
+        self.left -= 1;
+        self.children[self.cur].next_inst()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::loops::{LoopNest, LoopNestParams};
+    use crate::gen::streaming::{MultiStride, MultiStrideParams};
+    use crate::gen::GenIter;
+
+    fn mk() -> PhaseMix {
+        let a = LoopNest::new(&LoopNestParams::default(), 10, 1);
+        let b = MultiStride::new(&MultiStrideParams::default(), 11, 2);
+        PhaseMix::new(vec![Box::new(a), Box::new(b)], 100)
+    }
+
+    #[test]
+    fn phases_alternate() {
+        let insts: Vec<Inst> = GenIter(mk()).take(400).collect();
+        // Loop kernel lives in code region 10, streams in region 11.
+        let region = |pc: u64| (pc - 0x0000_4000_0000) / 0x1000_0000;
+        assert_eq!(region(insts[0].pc), 10);
+        assert_eq!(region(insts[150].pc), 11);
+        assert_eq!(region(insts[250].pc), 10);
+        assert_eq!(region(insts[350].pc), 11);
+    }
+
+    #[test]
+    fn children_resume_where_they_left_off() {
+        let mixed: Vec<Inst> = GenIter(mk()).take(400).collect();
+        let solo: Vec<Inst> = GenIter(LoopNest::new(&LoopNestParams::default(), 10, 1))
+            .take(200)
+            .collect();
+        // Phase 0 (0..100) and phase 2 (200..300) concatenated must equal
+        // the solo generator's first 200 instructions.
+        let reassembled: Vec<Inst> = mixed[..100]
+            .iter()
+            .chain(&mixed[200..300])
+            .copied()
+            .collect();
+        assert_eq!(reassembled, solo);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_children_rejected() {
+        let _ = PhaseMix::new(vec![], 10);
+    }
+}

@@ -1,0 +1,209 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates on 4,026 proprietary trace slices (SPEC, web suites,
+//! mobile suites, games). Those traces are not available, so this module
+//! provides seeded, deterministic generators for each *behaviour class* the
+//! paper's evaluation leans on:
+//!
+//! * [`loops`] — tight predictable kernels (the µBTB/UOC "lockable" case,
+//!   high-IPC right side of Fig. 17);
+//! * [`pointer_chase`] — dependent-load, memory-latency-bound work (the
+//!   low-IPC left side of Fig. 16/17);
+//! * [`streaming`] — multi-stride regular access (the L1 prefetcher's home
+//!   turf, §VII);
+//! * [`web`] — indirect-branch-heavy, large-code-footprint work standing in
+//!   for JavaScript/browser suites (§IV.F, §IV.D);
+//! * [`spatial`] — region-correlated irregular accesses that only an
+//!   SMS-style prefetcher covers (§VII.C);
+//! * [`markov`] — conditional branches whose outcome depends on bounded
+//!   history, for the GHIST sweep of Fig. 1 and the hard middle of Fig. 9;
+//! * [`mixed`] — phase-interleaved combinations.
+//!
+//! All generators are infinite; slicing (warmup + detail window) is applied
+//! by [`crate::sample`].
+
+use crate::inst::{Inst, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub mod loops;
+pub mod markov;
+pub mod mixed;
+pub mod pointer_chase;
+pub mod spatial;
+pub mod streaming;
+pub mod web;
+
+/// An infinite, deterministic instruction stream.
+///
+/// Implementors must be fully determined by their construction parameters
+/// and seed: two generators built identically produce identical streams.
+pub trait TraceGen {
+    /// Produce the next instruction. Never exhausts.
+    fn next_inst(&mut self) -> Inst;
+
+    /// Adapt into an ordinary iterator (infinite).
+    fn into_iter_gen(self) -> GenIter<Self>
+    where
+        Self: Sized,
+    {
+        GenIter(self)
+    }
+}
+
+/// Iterator adapter returned by [`TraceGen::into_iter_gen`].
+#[derive(Debug, Clone)]
+pub struct GenIter<G>(pub G);
+
+impl<G: TraceGen> Iterator for GenIter<G> {
+    type Item = Inst;
+    fn next(&mut self) -> Option<Inst> {
+        Some(self.0.next_inst())
+    }
+}
+
+/// A boxed trace generator, the common currency of the suite catalog.
+pub type BoxedGen = Box<dyn TraceGen + Send>;
+
+impl TraceGen for BoxedGen {
+    fn next_inst(&mut self) -> Inst {
+        (**self).next_inst()
+    }
+}
+
+/// Deterministic RNG used by all generators.
+pub(crate) fn rng_from_seed(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+}
+
+/// Rotating register allocator.
+///
+/// Hands out destination registers round-robin over a window so that
+/// dependency chains have realistic, bounded length, and picks sources from
+/// recently written registers to create genuine dataflow.
+#[derive(Debug, Clone)]
+pub(crate) struct RegRotor {
+    next: u8,
+    lo: u8,
+    hi: u8,
+    recent: [Reg; 4],
+}
+
+impl RegRotor {
+    /// A rotor over integer registers `r{lo}..r{hi}` (exclusive).
+    pub fn int_range(lo: u8, hi: u8) -> RegRotor {
+        assert!(lo < hi && hi <= Reg::NUM_INT);
+        RegRotor {
+            next: lo,
+            lo,
+            hi,
+            recent: [Reg::int(lo); 4],
+        }
+    }
+
+    /// Allocate the next destination register.
+    pub fn alloc(&mut self) -> Reg {
+        let r = Reg(self.next);
+        self.next += 1;
+        if self.next >= self.hi {
+            self.next = self.lo;
+        }
+        self.recent.rotate_right(1);
+        self.recent[0] = r;
+        r
+    }
+
+    /// A recently written register (age 0 = most recent).
+    pub fn recent(&self, age: usize) -> Reg {
+        self.recent[age.min(self.recent.len() - 1)]
+    }
+
+    /// A random recently written register.
+    pub fn pick(&self, rng: &mut SmallRng) -> Reg {
+        self.recent[rng.gen_range(0..self.recent.len())]
+    }
+}
+
+/// Lay out code regions in a synthetic virtual address space.
+///
+/// Each generator claims a distinct 256 MiB code window so PCs never collide
+/// when generators are mixed.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CodeLayout {
+    next: u64,
+}
+
+impl CodeLayout {
+    /// Code window `region` (0-based) of the synthetic address space.
+    pub fn region(region: u64) -> CodeLayout {
+        let base = 0x0000_4000_0000 + region * 0x1000_0000;
+        CodeLayout { next: base }
+    }
+
+    /// Allocate a code block of `insts` instructions, aligned to 64 B.
+    pub fn alloc_block(&mut self, insts: u64) -> u64 {
+        let pc = self.next;
+        self.next += (insts * 4 + 63) & !63;
+        pc
+    }
+
+}
+
+/// Data-region allocator: 1 GiB windows above the code space.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DataLayout {
+    base: u64,
+}
+
+impl DataLayout {
+    /// Data window `region` (0-based).
+    pub fn region(region: u64) -> DataLayout {
+        DataLayout {
+            base: 0x0010_0000_0000 + region * 0x4000_0000,
+        }
+    }
+
+    /// Base address of this layout's window.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotor_cycles_and_tracks_recency() {
+        let mut r = RegRotor::int_range(1, 4);
+        let a = r.alloc();
+        let b = r.alloc();
+        let c = r.alloc();
+        let a2 = r.alloc();
+        assert_eq!(a, a2);
+        assert_eq!([a, b, c], [Reg::int(1), Reg::int(2), Reg::int(3)]);
+        assert_eq!(r.recent(0), a2);
+        assert_eq!(r.recent(1), c);
+    }
+
+    #[test]
+    fn code_layout_regions_disjoint() {
+        let mut a = CodeLayout::region(0);
+        let mut b = CodeLayout::region(1);
+        let pa = a.alloc_block(1000);
+        let pb = b.alloc_block(1000);
+        assert!(pb - pa >= 0x1000_0000);
+        let pa2 = a.alloc_block(10);
+        assert!(pa2 >= pa + 4000);
+        assert_eq!(pa2 % 64, 0);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = rng_from_seed(42);
+        let mut b = rng_from_seed(42);
+        let xa: u64 = a.gen();
+        let xb: u64 = b.gen();
+        assert_eq!(xa, xb);
+    }
+}

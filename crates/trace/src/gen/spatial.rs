@@ -1,0 +1,290 @@
+//! Spatially-correlated irregular workloads (SMS territory).
+//!
+//! §VII.C: "programs which traverse a linked-list or other certain types of
+//! data structures are not covered at all [by the stride engine]. To attack
+//! these cases, in M3 an additional L1 prefetch engine is added — a spatial
+//! memory stream (SMS) prefetcher. This engine tracks a primary load (the
+//! first miss to a region), and attaches associated accesses to it."
+//!
+//! This generator visits 4 KiB regions in an irregular (stride-hostile)
+//! order, but within each region issues a *recurring offset signature*
+//! tied to the primary load's PC — exactly the structure SMS learns. A
+//! fraction of transient offsets is included, which SMS's per-offset
+//! confidence must filter out.
+
+use super::{rng_from_seed, CodeLayout, DataLayout, RegRotor, TraceGen};
+use crate::inst::{BranchInfo, BranchKind, Inst, Reg};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Parameters for a [`SpatialRegions`] workload.
+#[derive(Debug, Clone)]
+pub struct SpatialParams {
+    /// Number of 4 KiB regions in the working set.
+    pub regions: usize,
+    /// Stable offsets accessed in every region visit (the signature).
+    pub signature_len: usize,
+    /// Transient offsets added per visit (noise SMS should filter).
+    pub transient_per_visit: usize,
+    /// Number of distinct site signatures (primary-load PCs).
+    pub sites: usize,
+    /// Filler instructions between loads.
+    pub work_between: usize,
+}
+
+impl Default for SpatialParams {
+    fn default() -> Self {
+        SpatialParams {
+            regions: 2048,
+            signature_len: 6,
+            transient_per_visit: 1,
+            sites: 4,
+            work_between: 2,
+        }
+    }
+}
+
+/// Spatial-region access generator. See [module docs](self).
+#[derive(Debug, Clone)]
+pub struct SpatialRegions {
+    params: SpatialParams,
+    /// Per-site stable offset signature (byte offsets within the region).
+    signatures: Vec<Vec<u64>>,
+    /// Shuffled region visit order.
+    region_order: Vec<u32>,
+    order_pos: usize,
+    data_base: u64,
+    /// Per-site primary/associated load PCs: site code blocks.
+    site_pcs: Vec<u64>,
+    cur_site: usize,
+    /// Remaining loads this visit: (pc_slot, offset).
+    visit_queue: Vec<(usize, u64)>,
+    visit_pos: usize,
+    cur_region: u32,
+    slot: usize,
+    slots_per_load: usize,
+    rotor: RegRotor,
+    rng: SmallRng,
+}
+
+impl SpatialRegions {
+    /// Build a spatial-region workload in `region_id` from `seed`.
+    ///
+    /// # Panics
+    /// Panics if any size parameter is zero.
+    pub fn new(params: &SpatialParams, region_id: u64, seed: u64) -> SpatialRegions {
+        assert!(params.regions >= 2 && params.sites >= 1 && params.signature_len >= 1);
+        let mut rng = rng_from_seed(seed);
+        let signatures: Vec<Vec<u64>> = (0..params.sites)
+            .map(|_| {
+                let mut offs: Vec<u64> = (1..64).map(|i| i * 64).collect();
+                offs.shuffle(&mut rng);
+                offs.truncate(params.signature_len);
+                offs
+            })
+            .collect();
+        let mut region_order: Vec<u32> = (0..params.regions as u32).collect();
+        region_order.shuffle(&mut rng);
+        let mut layout = CodeLayout::region(region_id);
+        // Each site gets a contiguous code block: one load slot per
+        // signature entry + transient + fillers + a closing branch.
+        let loads_per_visit = 1 + params.signature_len + params.transient_per_visit;
+        let slots_per_load = 1 + params.work_between;
+        let block = loads_per_visit * slots_per_load + 1;
+        let site_pcs: Vec<u64> = (0..params.sites)
+            .map(|_| layout.alloc_block(block as u64))
+            .collect();
+        SpatialRegions {
+            params: params.clone(),
+            signatures,
+            region_order,
+            order_pos: 0,
+            data_base: DataLayout::region(region_id).base(),
+            site_pcs,
+            cur_site: 0,
+            visit_queue: Vec::new(),
+            visit_pos: 0,
+            cur_region: 0,
+            slot: 0,
+            slots_per_load,
+            rotor: RegRotor::int_range(4, 14),
+            rng,
+        }
+    }
+
+    fn begin_visit(&mut self) {
+        self.cur_region = self.region_order[self.order_pos];
+        self.order_pos = (self.order_pos + 1) % self.region_order.len();
+        self.cur_site = self.rng.gen_range(0..self.params.sites);
+        self.visit_queue.clear();
+        // Primary load at offset 0 (slot 0), then the signature, then
+        // transients at random offsets.
+        self.visit_queue.push((0, 0));
+        let sig = self.signatures[self.cur_site].clone();
+        for (k, off) in sig.iter().enumerate() {
+            self.visit_queue.push((k + 1, *off));
+        }
+        for t in 0..self.params.transient_per_visit {
+            let off = self.rng.gen_range(1..64u64) * 64;
+            self.visit_queue
+                .push((1 + self.params.signature_len + t, off));
+        }
+        self.visit_pos = 0;
+        self.slot = 0;
+    }
+
+    fn region_base(&self, region: u32) -> u64 {
+        self.data_base + region as u64 * 4096
+    }
+}
+
+impl TraceGen for SpatialRegions {
+    fn next_inst(&mut self) -> Inst {
+        if self.visit_pos >= self.visit_queue.len() {
+            // Closing branch of the visit; then start the next one.
+            if self.visit_pos == self.visit_queue.len() && !self.visit_queue.is_empty() {
+                let site_base = self.site_pcs[self.cur_site];
+                let pc = site_base
+                    + (self.visit_queue.len() * self.slots_per_load) as u64 * 4;
+                self.begin_visit();
+                let target = self.site_pcs[self.cur_site];
+                return Inst::branch(
+                    pc,
+                    BranchInfo {
+                        kind: BranchKind::IndirectJump,
+                        taken: true,
+                        target,
+                    },
+                    [Some(Reg::int(17)), None],
+                );
+            }
+            self.begin_visit();
+        }
+        let site_base = self.site_pcs[self.cur_site];
+        let (load_idx, off) = self.visit_queue[self.visit_pos];
+        let pc = site_base + ((load_idx * self.slots_per_load + self.slot) as u64) * 4;
+        if self.slot == 0 {
+            // The load itself.
+            self.slot = if self.slots_per_load > 1 { 1 } else { 0 };
+            if self.slots_per_load == 1 {
+                self.visit_pos += 1;
+            }
+            let addr = self.region_base(self.cur_region) + off;
+            let dst = self.rotor.alloc();
+            return Inst::load(pc, dst, Some(Reg::int(18)), addr);
+        }
+        // Filler slots.
+        let done = self.slot == self.slots_per_load - 1;
+        if done {
+            self.slot = 0;
+            self.visit_pos += 1;
+        } else {
+            self.slot += 1;
+        }
+        let dst = self.rotor.alloc();
+        let s = self.rotor.pick(&mut self.rng);
+        Inst::alu(pc, dst, [Some(s), None])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenIter;
+    use crate::inst::InstKind;
+    use std::collections::HashMap;
+
+    #[test]
+    fn signature_offsets_recur_per_site() {
+        let p = SpatialParams {
+            regions: 64,
+            signature_len: 4,
+            transient_per_visit: 0,
+            sites: 1,
+            work_between: 0,
+        };
+        let insts: Vec<Inst> = GenIter(SpatialRegions::new(&p, 6, 3)).take(2_000).collect();
+        // Group loads by region; every region visit must show the same
+        // offset set.
+        let mut by_region: HashMap<u64, Vec<u64>> = HashMap::new();
+        for i in &insts {
+            if i.kind == InstKind::Load {
+                let a = i.mem.unwrap().vaddr;
+                by_region.entry(a / 4096).or_default().push(a % 4096);
+            }
+        }
+        // Each complete visit contributes 5 loads (primary + 4 signature);
+        // every complete visit of every region must show the same offsets.
+        let mut sigs: Vec<Vec<u64>> = Vec::new();
+        for v in by_region.values() {
+            for chunk in v.chunks_exact(5) {
+                let mut s = chunk.to_vec();
+                s.sort_unstable();
+                sigs.push(s);
+            }
+        }
+        assert!(!sigs.is_empty());
+        sigs.sort();
+        sigs.dedup();
+        assert_eq!(sigs.len(), 1, "all visits must share one offset signature");
+    }
+
+    #[test]
+    fn region_visit_order_is_irregular() {
+        let p = SpatialParams::default();
+        let insts: Vec<Inst> = GenIter(SpatialRegions::new(&p, 6, 3)).take(5_000).collect();
+        let primaries: Vec<u64> = insts
+            .iter()
+            .filter(|i| i.kind == InstKind::Load && i.mem.unwrap().vaddr % 4096 == 0)
+            .map(|i| i.mem.unwrap().vaddr / 4096)
+            .collect();
+        let deltas: Vec<i64> = primaries.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        let mut counts: HashMap<i64, usize> = HashMap::new();
+        for d in &deltas {
+            *counts.entry(*d).or_default() += 1;
+        }
+        let most = counts.values().max().copied().unwrap_or(0);
+        assert!(
+            most < deltas.len() / 2,
+            "no single region stride may dominate (stride-hostile)"
+        );
+    }
+
+    #[test]
+    fn pc_chain_is_consistent() {
+        let p = SpatialParams::default();
+        let insts: Vec<Inst> = GenIter(SpatialRegions::new(&p, 6, 9)).take(3_000).collect();
+        for w in insts.windows(2) {
+            assert_eq!(w[0].next_pc(), w[1].pc, "at {:x}", w[0].pc);
+        }
+    }
+
+    #[test]
+    fn transients_vary_across_visits() {
+        let p = SpatialParams {
+            regions: 16,
+            signature_len: 2,
+            transient_per_visit: 2,
+            sites: 1,
+            work_between: 0,
+        };
+        let insts: Vec<Inst> = GenIter(SpatialRegions::new(&p, 6, 3)).take(4_000).collect();
+        let mut by_region: HashMap<u64, Vec<u64>> = HashMap::new();
+        for i in &insts {
+            if i.kind == InstKind::Load {
+                let a = i.mem.unwrap().vaddr;
+                by_region.entry(a / 4096).or_default().push(a % 4096);
+            }
+        }
+        // Across two visits of the same region, at least one offset differs.
+        let varied = by_region.values().any(|v| {
+            v.len() >= 10 && {
+                let first: Vec<u64> = v[..5].to_vec();
+                let second: Vec<u64> = v[5..10].to_vec();
+                first != second
+            }
+        });
+        assert!(varied, "transient offsets must differ between visits");
+    }
+}

@@ -1,0 +1,356 @@
+//! Regular streaming / multi-stride workloads.
+//!
+//! These exercise the L1 multi-stride prefetch engine of §VII.A directly:
+//! the paper's worked example is the access pattern
+//! `A; A+2; A+4; A+9; A+11; A+13; A+18; ...` — a repeating component pattern
+//! of `+2×2, +5×1`. [`MultiStride`] generates exactly such component streams
+//! (in cache-line units or bytes), and [`CopyKernel`] generates a
+//! memcpy-style paired load/store stream.
+
+use super::{rng_from_seed, CodeLayout, DataLayout, RegRotor, TraceGen};
+use crate::inst::{BranchInfo, BranchKind, Inst, Reg};
+use rand::Rng;
+
+/// One component of a multi-stride pattern: `stride` repeated `repeat` times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrideComponent {
+    /// Stride in the pattern's address unit.
+    pub stride: i64,
+    /// How many consecutive accesses use this stride.
+    pub repeat: u32,
+}
+
+/// Parameters for a [`MultiStride`] stream.
+#[derive(Debug, Clone)]
+pub struct MultiStrideParams {
+    /// The repeating stride components, e.g. `+2×2, +5×1` from the paper.
+    pub components: Vec<StrideComponent>,
+    /// Address unit in bytes each stride is multiplied by (64 = cache lines).
+    pub unit: u64,
+    /// Working-set bytes before the stream wraps to its start.
+    pub working_set: u64,
+    /// Filler (non-memory) instructions between loads.
+    pub work_between: usize,
+    /// How many independent streams run round-robin, each in its own window.
+    pub streams: usize,
+    /// Instructions between short stream restarts; 0 = never restart. Models
+    /// the "short-lived patterns" of §VII.B that dynamic degree must not
+    /// over-prefetch.
+    pub restart_every: u64,
+}
+
+impl Default for MultiStrideParams {
+    fn default() -> Self {
+        MultiStrideParams {
+            components: vec![
+                StrideComponent { stride: 2, repeat: 2 },
+                StrideComponent { stride: 5, repeat: 1 },
+            ],
+            unit: 64,
+            working_set: 32 * 1024 * 1024,
+            work_between: 3,
+            streams: 1,
+            restart_every: 0,
+        }
+    }
+}
+
+/// Per-stream walker state.
+#[derive(Debug, Clone)]
+struct StreamState {
+    base: u64,
+    offset: i64,
+    comp: usize,
+    rep_left: u32,
+}
+
+/// Multi-component strided load stream generator.
+#[derive(Debug, Clone)]
+pub struct MultiStride {
+    params: MultiStrideParams,
+    streams: Vec<StreamState>,
+    cur: usize,
+    slot: usize,
+    slots: usize,
+    emitted: u64,
+    body_base: u64,
+    rotor: RegRotor,
+    rng: rand::rngs::SmallRng,
+}
+
+impl MultiStride {
+    /// Build a multi-stride stream workload.
+    ///
+    /// # Panics
+    /// Panics if `components` is empty or `streams == 0`.
+    pub fn new(params: &MultiStrideParams, region: u64, seed: u64) -> MultiStride {
+        assert!(!params.components.is_empty(), "need at least one component");
+        assert!(params.streams >= 1, "need at least one stream");
+        for c in &params.components {
+            assert!(c.repeat >= 1, "component repeat must be >= 1");
+        }
+        let rng = rng_from_seed(seed);
+        let data = DataLayout::region(region).base();
+        let streams = (0..params.streams)
+            .map(|s| StreamState {
+                base: data + s as u64 * params.working_set.max(64),
+                offset: 0,
+                comp: 0,
+                rep_left: params.components[0].repeat,
+            })
+            .collect();
+        let slots = 1 + params.work_between + 1;
+        let mut layout = CodeLayout::region(region);
+        let body_base = layout.alloc_block(slots as u64);
+        MultiStride {
+            params: params.clone(),
+            streams,
+            cur: 0,
+            slot: 0,
+            slots,
+            emitted: 0,
+            body_base,
+            rotor: RegRotor::int_range(8, 16),
+            rng,
+        }
+    }
+
+    fn advance(&mut self, s: usize) -> u64 {
+        let ws = self.params.working_set.max(64) as i64;
+        let st = &mut self.streams[s];
+        let addr = st.base + st.offset.rem_euclid(ws) as u64;
+        let comp = self.params.components[st.comp];
+        st.offset += comp.stride * self.params.unit as i64;
+        st.rep_left -= 1;
+        if st.rep_left == 0 {
+            st.comp = (st.comp + 1) % self.params.components.len();
+            st.rep_left = self.params.components[st.comp].repeat;
+        }
+        addr
+    }
+}
+
+impl TraceGen for MultiStride {
+    fn next_inst(&mut self) -> Inst {
+        self.emitted += 1;
+        if self.params.restart_every > 0 && self.emitted % self.params.restart_every == 0 {
+            // Jump the stream to a fresh random position: kills the old
+            // pattern, forcing re-lock (short-lived pattern behaviour).
+            let ws = self.params.working_set.max(64);
+            for st in &mut self.streams {
+                st.offset = (self.rng.gen::<u64>() % ws) as i64 & !63;
+                st.comp = 0;
+                st.rep_left = self.params.components[0].repeat;
+            }
+        }
+        let pc = self.body_base + 4 * self.slot as u64;
+        if self.slot == 0 {
+            let s = self.cur;
+            self.cur = (self.cur + 1) % self.streams.len();
+            let addr = self.advance(s);
+            self.slot = 1;
+            let dst = self.rotor.alloc();
+            return Inst::load(pc, dst, Some(Reg::int(20)), addr);
+        }
+        if self.slot == self.slots - 1 {
+            self.slot = 0;
+            return Inst::branch(
+                pc,
+                BranchInfo {
+                    kind: BranchKind::CondDirect,
+                    taken: true,
+                    target: self.body_base,
+                },
+                [Some(self.rotor.recent(0)), None],
+            );
+        }
+        self.slot += 1;
+        let dst = self.rotor.alloc();
+        let s = self.rotor.pick(&mut self.rng);
+        Inst::alu(pc, dst, [Some(s), None])
+    }
+}
+
+/// Parameters for a [`CopyKernel`] (paired load/store streams).
+#[derive(Debug, Clone)]
+pub struct CopyKernelParams {
+    /// Bytes copied before the kernel wraps.
+    pub length: u64,
+    /// Filler instructions between each load/store pair.
+    pub work_between: usize,
+}
+
+impl Default for CopyKernelParams {
+    fn default() -> Self {
+        CopyKernelParams {
+            length: 8 * 1024 * 1024,
+            work_between: 1,
+        }
+    }
+}
+
+/// memcpy-style generator: a unit-stride load stream plus a unit-stride
+/// store stream to a disjoint destination window.
+#[derive(Debug, Clone)]
+pub struct CopyKernel {
+    src: u64,
+    dst: u64,
+    length: u64,
+    pos: u64,
+    slot: usize,
+    slots: usize,
+    body_base: u64,
+    rotor: RegRotor,
+    last_load_reg: Reg,
+}
+
+impl CopyKernel {
+    /// Build a copy kernel in `region`. `_seed` is accepted for catalog
+    /// uniformity; the kernel is fully deterministic.
+    pub fn new(params: &CopyKernelParams, region: u64, _seed: u64) -> CopyKernel {
+        let data = DataLayout::region(region).base();
+        let slots = 2 + params.work_between + 1;
+        let mut layout = CodeLayout::region(region);
+        let body_base = layout.alloc_block(slots as u64);
+        CopyKernel {
+            src: data,
+            dst: data + params.length.max(64) + (1 << 20),
+            length: params.length.max(64),
+            pos: 0,
+            slot: 0,
+            slots,
+            body_base,
+            rotor: RegRotor::int_range(8, 14),
+            last_load_reg: Reg::int(8),
+        }
+    }
+}
+
+impl TraceGen for CopyKernel {
+    fn next_inst(&mut self) -> Inst {
+        let pc = self.body_base + 4 * self.slot as u64;
+        match self.slot {
+            0 => {
+                // Load from source stream.
+                let addr = self.src + self.pos;
+                self.slot = 1;
+                let dst = self.rotor.alloc();
+                self.last_load_reg = dst;
+                Inst::load(pc, dst, Some(Reg::int(20)), addr)
+            }
+            1 => {
+                // Store to destination stream.
+                let addr = self.dst + self.pos;
+                self.pos = (self.pos + 8) % self.length;
+                self.slot = 2;
+                Inst::store(pc, Some(self.last_load_reg), Some(Reg::int(21)), addr)
+            }
+            s if s == self.slots - 1 => {
+                self.slot = 0;
+                Inst::branch(
+                    pc,
+                    BranchInfo {
+                        kind: BranchKind::CondDirect,
+                        taken: true,
+                        target: self.body_base,
+                    },
+                    [Some(self.rotor.recent(0)), None],
+                )
+            }
+            _ => {
+                self.slot += 1;
+                let dst = self.rotor.alloc();
+                Inst::alu(pc, dst, [Some(self.rotor.recent(1)), None])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenIter;
+    use crate::inst::InstKind;
+
+    #[test]
+    fn paper_example_pattern() {
+        // +2×2, +5×1 in 64 B lines: deltas of the load stream must repeat
+        // 128,128,320 — exactly the paper's A,A+2,A+4,A+9,... example.
+        let p = MultiStrideParams {
+            work_between: 0,
+            working_set: 1 << 30,
+            ..Default::default()
+        };
+        let insts: Vec<Inst> = GenIter(MultiStride::new(&p, 2, 3)).take(60).collect();
+        let addrs: Vec<u64> = insts
+            .iter()
+            .filter(|i| i.kind == InstKind::Load)
+            .map(|i| i.mem.unwrap().vaddr)
+            .collect();
+        let deltas: Vec<i64> = addrs.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        assert!(deltas.len() >= 9);
+        for ch in deltas.chunks_exact(3) {
+            assert_eq!(ch, &[128, 128, 320]);
+        }
+    }
+
+    #[test]
+    fn streams_use_disjoint_windows() {
+        let p = MultiStrideParams {
+            streams: 2,
+            working_set: 1 << 20,
+            work_between: 0,
+            ..Default::default()
+        };
+        let insts: Vec<Inst> = GenIter(MultiStride::new(&p, 2, 3)).take(80).collect();
+        let addrs: Vec<u64> = insts
+            .iter()
+            .filter(|i| i.kind == InstKind::Load)
+            .map(|i| i.mem.unwrap().vaddr)
+            .collect();
+        let w0: Vec<u64> = addrs.iter().step_by(2).copied().collect();
+        let w1: Vec<u64> = addrs.iter().skip(1).step_by(2).copied().collect();
+        assert!(w0.iter().max() < w1.iter().min());
+    }
+
+    #[test]
+    fn restart_breaks_the_pattern() {
+        let p = MultiStrideParams {
+            restart_every: 50,
+            work_between: 0,
+            ..Default::default()
+        };
+        let insts: Vec<Inst> = GenIter(MultiStride::new(&p, 2, 3)).take(400).collect();
+        let addrs: Vec<u64> = insts
+            .iter()
+            .filter(|i| i.kind == InstKind::Load)
+            .map(|i| i.mem.unwrap().vaddr)
+            .collect();
+        let deltas: Vec<i64> = addrs.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        let irregular = deltas.iter().filter(|&&d| d != 128 && d != 320).count();
+        assert!(irregular >= 2, "restarts must inject pattern breaks");
+    }
+
+    #[test]
+    fn copy_kernel_pairs_load_store() {
+        let insts: Vec<Inst> =
+            GenIter(CopyKernel::new(&CopyKernelParams::default(), 3, 5)).take(100).collect();
+        let loads = insts.iter().filter(|i| i.kind == InstKind::Load).count();
+        let stores = insts.iter().filter(|i| i.kind == InstKind::Store).count();
+        assert!(loads > 0 && (loads as i64 - stores as i64).abs() <= 1);
+        // Store address mirrors load address at a constant offset.
+        let l0 = insts.iter().find(|i| i.kind == InstKind::Load).unwrap();
+        let s0 = insts.iter().find(|i| i.kind == InstKind::Store).unwrap();
+        assert!(s0.mem.unwrap().vaddr > l0.mem.unwrap().vaddr);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_components_rejected() {
+        let p = MultiStrideParams {
+            components: vec![],
+            ..Default::default()
+        };
+        let _ = MultiStride::new(&p, 0, 0);
+    }
+}

@@ -1,0 +1,504 @@
+//! Web / JavaScript-like workloads.
+//!
+//! §IV.F of the paper attributes the M6 indirect-predictor redesign to
+//! "JavaScript's increased use \[putting\] more pressure on indirect targets,
+//! allocating in some cases hundreds of unique indirect targets for a given
+//! indirect branch", and §IV.D credits L2BTB capacity for "real-use-case
+//! code" like BBench. This generator reproduces those pressures:
+//!
+//! * a large static code footprint (hundreds of functions, thousands of
+//!   branch sites) that overflows the L1 BTBs into the L2BTB;
+//! * dispatcher indirect call sites with up to hundreds of targets whose
+//!   sequence is Markov-correlated (so target-history hashing, M6's fix,
+//!   has something to learn);
+//! * call/return nesting for the RAS;
+//! * dense branch lines (tiny basic blocks) that spill to the vBTB;
+//! * a mix of conditional-branch behaviours from always-taken to noisy.
+
+use super::{rng_from_seed, CodeLayout, DataLayout, RegRotor, TraceGen};
+use crate::inst::{BranchInfo, BranchKind, Inst, Reg};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Parameters for a [`WebWorkload`].
+#[derive(Debug, Clone)]
+pub struct WebParams {
+    /// Number of functions (code-footprint knob; each is ~10–40 branches).
+    pub functions: usize,
+    /// Distinct targets of the main dispatcher's indirect call.
+    pub dispatch_targets: usize,
+    /// Probability the dispatcher follows its Markov successor (vs. random).
+    pub markov_follow: f64,
+    /// Basic blocks per function.
+    pub blocks_per_fn: usize,
+    /// Instructions per basic block (small values create dense branch lines).
+    pub block_len: usize,
+    /// Fraction of conditional branches that are noisy (hard to predict).
+    pub noisy_frac: f64,
+    /// Data working set in bytes.
+    pub working_set: u64,
+}
+
+impl Default for WebParams {
+    fn default() -> Self {
+        WebParams {
+            functions: 200,
+            dispatch_targets: 64,
+            markov_follow: 0.8,
+            blocks_per_fn: 8,
+            block_len: 4,
+            noisy_frac: 0.15,
+            working_set: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// How a synthetic conditional branch decides its outcome.
+#[derive(Debug, Clone)]
+enum CondBehavior {
+    /// Taken with fixed probability.
+    Biased(f64),
+    /// Repeating T/NT pattern of the given period (learnable with history).
+    Periodic(u32),
+    /// XOR of its own last `taps` outcomes — needs local/global history.
+    HistoryXor(u32),
+}
+
+/// Basic-block terminator in the static program.
+#[derive(Debug, Clone)]
+enum Term {
+    /// Conditional branch to `target` block (in the same function).
+    Cond { target: usize, behavior: usize },
+    /// Unconditional jump to `target` block.
+    Jump { target: usize },
+    /// Direct call to `callee` function; execution resumes at the next block.
+    Call { callee: usize },
+    /// Return to caller.
+    Ret,
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    pc: u64,
+    len: usize,
+    loads: usize,
+    term: Term,
+    term_pc: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Function {
+    blocks: Vec<Block>,
+}
+
+#[derive(Debug, Clone)]
+struct CondState {
+    behavior: CondBehavior,
+    count: u32,
+    history: u32,
+}
+
+/// A web-like workload generator. See [module docs](self) for behaviour.
+#[derive(Debug, Clone)]
+pub struct WebWorkload {
+    funcs: Vec<Function>,
+    conds: Vec<CondState>,
+    /// Dispatcher indirect-call state.
+    dispatch_pc: u64,
+    dispatch_loop_pc: u64,
+    /// True when a callee has returned and the dispatcher's loop-back jump
+    /// (at `dispatch_loop_pc`) must be emitted before the next indirect call.
+    need_loop_back: bool,
+    dispatch_targets: Vec<usize>,
+    markov_next: Vec<usize>,
+    markov_follow: f64,
+    cur_target: usize,
+    /// Interpreter state.
+    stack: Vec<(usize, usize, u64)>, // (func, resume block, return pc)
+    cur: Option<(usize, usize)>,     // (func, block)
+    slot: usize,
+    pending_term: bool,
+    data_base: u64,
+    working_set: u64,
+    rotor: RegRotor,
+    rng: SmallRng,
+}
+
+impl WebWorkload {
+    /// Build a web workload in `region` from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `functions < 2` or `dispatch_targets` is 0 or exceeds
+    /// `functions - 1`.
+    pub fn new(params: &WebParams, region: u64, seed: u64) -> WebWorkload {
+        assert!(params.functions >= 2, "need a dispatcher plus callees");
+        assert!(
+            params.dispatch_targets >= 1 && params.dispatch_targets < params.functions,
+            "dispatch_targets must be in 1..functions"
+        );
+        let mut rng = rng_from_seed(seed);
+        let mut layout = CodeLayout::region(region);
+        let mut conds: Vec<CondState> = Vec::new();
+        let mut funcs = Vec::with_capacity(params.functions);
+        // Function 0 is the dispatcher; the rest are leaves/inner functions.
+        // Calls only go from lower to higher indices, bounding recursion.
+        for f in 0..params.functions {
+            let nblocks = if f == 0 { 1 } else { params.blocks_per_fn.max(2) };
+            let len = params.block_len.max(1);
+            // Blocks within a function are laid out back-to-back so that a
+            // not-taken conditional falls through exactly onto the next
+            // block's first instruction.
+            let fbase = layout.alloc_block((nblocks * (len + 1)) as u64);
+            let mut blocks = Vec::with_capacity(nblocks);
+            for b in 0..nblocks {
+                let pc = fbase + (b * (len + 1) * 4) as u64;
+                let term_pc = pc + 4 * len as u64;
+                let term = if f == 0 {
+                    Term::Ret // placeholder; dispatcher handled specially
+                } else if b == nblocks - 1 {
+                    Term::Ret
+                } else {
+                    let roll: f64 = rng.gen();
+                    if roll < 0.55 {
+                        // Conditional branch; skips 1–3 blocks ahead.
+                        let target = (b + 1 + rng.gen_range(0..3)).min(nblocks - 1);
+                        let behavior = if rng.gen_bool(params.noisy_frac) {
+                            CondBehavior::Biased(rng.gen_range(0.35..0.65))
+                        } else {
+                            // Real browser/JS code is mostly strongly
+                            // biased; a minority shows short local
+                            // patterns.
+                            match rng.gen_range(0..10) {
+                                0..=3 => CondBehavior::Biased(if rng.gen_bool(0.5) { 0.97 } else { 0.03 }),
+                                4..=6 => CondBehavior::Biased(1.0),
+                                7 => CondBehavior::Periodic(rng.gen_range(2..5)),
+                                8 => CondBehavior::HistoryXor(rng.gen_range(2..4)),
+                                _ => CondBehavior::Biased(0.9),
+                            }
+                        };
+                        conds.push(CondState {
+                            behavior,
+                            count: 0,
+                            history: 0,
+                        });
+                        Term::Cond {
+                            target,
+                            behavior: conds.len() - 1,
+                        }
+                    } else if roll < 0.70 && f + 1 < params.functions && b + 1 < nblocks {
+                        let callee = rng.gen_range(f + 1..params.functions);
+                        Term::Call { callee }
+                    } else if roll < 0.80 {
+                        Term::Jump {
+                            target: (b + 1).min(nblocks - 1),
+                        }
+                    } else {
+                        Term::Jump { target: b + 1 }
+                    }
+                };
+                blocks.push(Block {
+                    pc,
+                    len,
+                    loads: if rng.gen_bool(0.6) { 1 } else { 0 },
+                    term,
+                    term_pc,
+                });
+            }
+            funcs.push(Function { blocks });
+        }
+        // Dispatcher indirect-call plumbing.
+        let dpc = layout.alloc_block(4);
+        let dispatch_targets: Vec<usize> = {
+            // Zipf-ish: early functions more likely, but all distinct.
+            let mut v: Vec<usize> = (1..=params.dispatch_targets).collect();
+            use rand::seq::SliceRandom;
+            v.shuffle(&mut rng);
+            v
+        };
+        let markov_next: Vec<usize> = {
+            use rand::seq::SliceRandom;
+            let mut p: Vec<usize> = (0..dispatch_targets.len()).collect();
+            p.shuffle(&mut rng);
+            p
+        };
+        WebWorkload {
+            funcs,
+            conds,
+            dispatch_pc: dpc,
+            dispatch_loop_pc: dpc + 4,
+            need_loop_back: false,
+            dispatch_targets,
+            markov_next,
+            markov_follow: params.markov_follow,
+            cur_target: 0,
+            stack: Vec::new(),
+            cur: None,
+            slot: 0,
+            pending_term: false,
+            data_base: DataLayout::region(region).base(),
+            working_set: params.working_set.max(4096),
+            rotor: RegRotor::int_range(4, 16),
+            rng,
+        }
+    }
+
+    fn eval_cond(&mut self, id: usize) -> bool {
+        let st = &mut self.conds[id];
+        st.count = st.count.wrapping_add(1);
+        let taken = match st.behavior {
+            CondBehavior::Biased(p) => self.rng.gen_bool(p.clamp(0.0, 1.0)),
+            CondBehavior::Periodic(k) => st.count % k != 0,
+            CondBehavior::HistoryXor(taps) => {
+                let mut x = false;
+                for t in 0..taps {
+                    x ^= (st.history >> t) & 1 == 1;
+                }
+                !x
+            }
+        };
+        st.history = (st.history << 1) | taken as u32;
+        taken
+    }
+
+    fn rand_data_addr(&mut self) -> u64 {
+        // Hot/cold mix: 80% of accesses in the hot 1/8 of the working set.
+        let ws = self.working_set;
+        let off = if self.rng.gen_bool(0.8) {
+            self.rng.gen_range(0..ws / 8)
+        } else {
+            self.rng.gen_range(0..ws)
+        };
+        self.data_base + (off & !7)
+    }
+
+    /// Emit the dispatcher's indirect call and set up the callee.
+    fn dispatch(&mut self) -> Inst {
+        // Markov target selection.
+        self.cur_target = if self.rng.gen_bool(self.markov_follow) {
+            self.markov_next[self.cur_target]
+        } else {
+            self.rng.gen_range(0..self.dispatch_targets.len())
+        };
+        let callee = self.dispatch_targets[self.cur_target];
+        let target_pc = self.funcs[callee].blocks[0].pc;
+        self.stack.push((usize::MAX, 0, self.dispatch_loop_pc));
+        self.cur = Some((callee, 0));
+        self.slot = 0;
+        self.pending_term = false;
+        Inst::branch(
+            self.dispatch_pc,
+            BranchInfo {
+                kind: BranchKind::IndirectCall,
+                taken: true,
+                target: target_pc,
+            },
+            [Some(Reg::int(17)), None],
+        )
+    }
+}
+
+impl TraceGen for WebWorkload {
+    fn next_inst(&mut self) -> Inst {
+        let (f, b) = match self.cur {
+            Some(x) => x,
+            None => {
+                if self.need_loop_back {
+                    self.need_loop_back = false;
+                    return Inst::branch(
+                        self.dispatch_loop_pc,
+                        BranchInfo {
+                            kind: BranchKind::UncondDirect,
+                            taken: true,
+                            target: self.dispatch_pc,
+                        },
+                        [None, None],
+                    );
+                }
+                return self.dispatch();
+            }
+        };
+        let block = &self.funcs[f].blocks[b];
+        let (pc, len, loads, term_pc) = (block.pc, block.len, block.loads, block.term_pc);
+        if self.slot < len {
+            let i = self.slot;
+            self.slot += 1;
+            let ipc = pc + 4 * i as u64;
+            if i < loads {
+                let a = self.rand_data_addr();
+                let dst = self.rotor.alloc();
+                return Inst::load(ipc, dst, Some(Reg::int(19)), a);
+            }
+            let dst = self.rotor.alloc();
+            let s = self.rotor.pick(&mut self.rng);
+            return Inst::alu(ipc, dst, [Some(s), None]);
+        }
+        // Terminator.
+        let term = self.funcs[f].blocks[b].term.clone();
+        self.slot = 0;
+        match term {
+            Term::Cond { target, behavior } => {
+                let taken = self.eval_cond(behavior);
+                let nblocks = self.funcs[f].blocks.len();
+                let next = if taken { target } else { (b + 1).min(nblocks - 1) };
+                let tgt_pc = self.funcs[f].blocks[target].pc;
+                self.cur = Some((f, next));
+                Inst::branch(
+                    term_pc,
+                    BranchInfo {
+                        kind: BranchKind::CondDirect,
+                        taken,
+                        target: tgt_pc,
+                    },
+                    [Some(self.rotor.recent(0)), None],
+                )
+            }
+            Term::Jump { target } => {
+                let nblocks = self.funcs[f].blocks.len();
+                let t = target.min(nblocks - 1);
+                self.cur = Some((f, t));
+                Inst::branch(
+                    term_pc,
+                    BranchInfo {
+                        kind: BranchKind::UncondDirect,
+                        taken: true,
+                        target: self.funcs[f].blocks[t].pc,
+                    },
+                    [None, None],
+                )
+            }
+            Term::Call { callee } => {
+                let ret_pc = term_pc + 4;
+                self.stack.push((f, b + 1, ret_pc));
+                self.cur = Some((callee, 0));
+                Inst::branch(
+                    term_pc,
+                    BranchInfo {
+                        kind: BranchKind::DirectCall,
+                        taken: true,
+                        target: self.funcs[callee].blocks[0].pc,
+                    },
+                    [None, None],
+                )
+            }
+            Term::Ret => {
+                let (rf, rb, rpc) = self.stack.pop().unwrap_or((usize::MAX, 0, self.dispatch_loop_pc));
+                if rf == usize::MAX {
+                    self.cur = None; // back to dispatcher
+                    self.need_loop_back = true;
+                } else {
+                    self.cur = Some((rf, rb.min(self.funcs[rf].blocks.len() - 1)));
+                }
+                Inst::branch(
+                    term_pc,
+                    BranchInfo {
+                        kind: BranchKind::Return,
+                        taken: true,
+                        target: rpc,
+                    },
+                    [Some(Reg::int(30)), None],
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenIter;
+    use std::collections::{HashMap, HashSet};
+
+    fn sample(params: &WebParams, n: usize, seed: u64) -> Vec<Inst> {
+        GenIter(WebWorkload::new(params, 4, seed)).take(n).collect()
+    }
+
+    #[test]
+    fn calls_and_returns_balance() {
+        let insts = sample(&WebParams::default(), 50_000, 11);
+        let mut depth: i64 = 0;
+        let mut max_depth = 0;
+        for i in &insts {
+            if let Some(b) = i.branch {
+                if b.kind.is_call() {
+                    depth += 1;
+                } else if b.kind.is_return() {
+                    depth -= 1;
+                }
+                max_depth = max_depth.max(depth);
+            }
+            assert!(depth >= -1, "returns never underflow past the dispatcher");
+        }
+        assert!(max_depth >= 2, "must exercise nested calls");
+    }
+
+    #[test]
+    fn return_targets_match_call_sites() {
+        let insts = sample(&WebParams::default(), 20_000, 3);
+        let mut stack = Vec::new();
+        for i in &insts {
+            if let Some(b) = i.branch {
+                if b.kind.is_call() {
+                    stack.push(i.pc + 4);
+                } else if b.kind.is_return() {
+                    if let Some(expect) = stack.pop() {
+                        assert_eq!(b.target, expect, "return must go to call site + 4");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatcher_has_many_targets() {
+        let p = WebParams {
+            dispatch_targets: 48,
+            ..Default::default()
+        };
+        let insts = sample(&p, 200_000, 5);
+        let mut targets: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for i in &insts {
+            if let Some(b) = i.branch {
+                if b.kind == BranchKind::IndirectCall {
+                    targets.entry(i.pc).or_default().insert(b.target);
+                }
+            }
+        }
+        let max = targets.values().map(|s| s.len()).max().unwrap_or(0);
+        assert!(max >= 24, "dispatcher must exercise many indirect targets, got {max}");
+    }
+
+    #[test]
+    fn code_footprint_is_large() {
+        let insts = sample(&WebParams::default(), 100_000, 7);
+        let mut branch_pcs: HashSet<u64> = HashSet::new();
+        for i in &insts {
+            if i.branch.is_some() {
+                branch_pcs.insert(i.pc);
+            }
+        }
+        assert!(
+            branch_pcs.len() > 300,
+            "web workload must have a large branch footprint, got {}",
+            branch_pcs.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = sample(&WebParams::default(), 5_000, 9);
+        let b = sample(&WebParams::default(), 5_000, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn next_pc_chain_is_consistent() {
+        let insts = sample(&WebParams::default(), 20_000, 13);
+        for w in insts.windows(2) {
+            assert_eq!(
+                w[0].next_pc(),
+                w[1].pc,
+                "control flow must be sequentially consistent"
+            );
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! The trace record model.
+//!
+//! The simulator is *timing-first, functional-from-trace*: every instruction
+//! in a trace carries its program counter, architectural register usage, the
+//! resolved branch outcome/target (for control transfers) and the virtual
+//! address touched (for memory operations). The timing model decides *when*
+//! things happen; it never recomputes *what* they do.
+
+/// An architectural register name.
+///
+/// The trace generators hand out integer registers `r0..r31` and
+/// floating-point/SIMD registers `v0..v31`. Register 31 of the integer file
+/// is treated as the always-zero register and never creates dependencies
+/// (mirroring AArch64 `xzr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Number of architectural integer registers.
+    pub const NUM_INT: u8 = 32;
+    /// Number of architectural FP/SIMD registers.
+    pub const NUM_FP: u8 = 32;
+    /// Total architectural register namespace size (integer + FP).
+    pub const NUM_TOTAL: u8 = Self::NUM_INT + Self::NUM_FP;
+
+    /// The integer zero register (`xzr`); reads never create a dependency.
+    pub const ZERO: Reg = Reg(31);
+
+    /// Integer register `rN`.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    pub fn int(n: u8) -> Reg {
+        assert!(n < Self::NUM_INT, "integer register out of range: {n}");
+        Reg(n)
+    }
+
+    /// FP/SIMD register `vN`.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    pub fn fp(n: u8) -> Reg {
+        assert!(n < Self::NUM_FP, "fp register out of range: {n}");
+        Reg(Self::NUM_INT + n)
+    }
+
+    /// Whether this is an integer-file register.
+    pub fn is_int(self) -> bool {
+        self.0 < Self::NUM_INT
+    }
+
+    /// Whether this is an FP-file register.
+    pub fn is_fp(self) -> bool {
+        !self.is_int()
+    }
+
+    /// Whether reads of this register create no dependency (the zero reg).
+    pub fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+
+    /// Flat index into a unified architectural register namespace.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_int() {
+            write!(f, "r{}", self.0)
+        } else {
+            write!(f, "v{}", self.0 - Self::NUM_INT)
+        }
+    }
+}
+
+/// Functional class of an instruction, mapped onto the execution-port
+/// taxonomy of Table I in the paper ("S", "C", "CD", "BR", load/store/generic
+/// and FP pipes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstKind {
+    /// Simple integer ALU op (add/shift/logical) — executes on an "S" pipe.
+    IntAlu,
+    /// Integer multiply — executes on a "C"-capable pipe.
+    IntMul,
+    /// Integer divide — executes on a "CD"-capable pipe.
+    IntDiv,
+    /// Load from memory.
+    Load,
+    /// Store to memory.
+    Store,
+    /// FP/SIMD add.
+    FpAdd,
+    /// FP/SIMD multiply.
+    FpMul,
+    /// FP/SIMD fused multiply-accumulate.
+    FpMac,
+    /// Control transfer; the branch payload in [`Inst::branch`] must be set.
+    Branch,
+    /// No-op / fence placeholder; occupies a slot but no execution port.
+    Nop,
+}
+
+impl InstKind {
+    /// Whether the instruction reads or writes memory.
+    pub fn is_mem(self) -> bool {
+        matches!(self, InstKind::Load | InstKind::Store)
+    }
+
+    /// Whether the instruction executes in the FP cluster.
+    pub fn is_fp(self) -> bool {
+        matches!(self, InstKind::FpAdd | InstKind::FpMul | InstKind::FpMac)
+    }
+}
+
+/// The control-flow class of a branch, following the paper's predictor
+/// taxonomy (conditional vs. unconditional, direct vs. indirect, call/return).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional direct branch (B.cond).
+    CondDirect,
+    /// Unconditional direct branch (B).
+    UncondDirect,
+    /// Direct call (BL); pushes a return address.
+    DirectCall,
+    /// Indirect jump through a register (BR).
+    IndirectJump,
+    /// Indirect call (BLR); pushes a return address.
+    IndirectCall,
+    /// Function return (RET); predicted by the RAS.
+    Return,
+}
+
+impl BranchKind {
+    /// Conditional branches can be not-taken; everything else always
+    /// redirects.
+    pub fn is_conditional(self) -> bool {
+        matches!(self, BranchKind::CondDirect)
+    }
+
+    /// Whether the target comes from a register (BTB cannot compute it from
+    /// the instruction bytes).
+    pub fn is_indirect(self) -> bool {
+        matches!(
+            self,
+            BranchKind::IndirectJump | BranchKind::IndirectCall | BranchKind::Return
+        )
+    }
+
+    /// Whether a return address is pushed on the RAS.
+    pub fn is_call(self) -> bool {
+        matches!(self, BranchKind::DirectCall | BranchKind::IndirectCall)
+    }
+
+    /// Whether the RAS is popped.
+    pub fn is_return(self) -> bool {
+        matches!(self, BranchKind::Return)
+    }
+}
+
+/// Resolved outcome of a branch as recorded in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// Control-flow class.
+    pub kind: BranchKind,
+    /// Architectural direction. Always `true` for non-conditional kinds.
+    pub taken: bool,
+    /// Architectural target when taken. For a not-taken conditional this is
+    /// still the would-be target (what the BTB would learn).
+    pub target: u64,
+}
+
+/// A memory reference made by a load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Virtual address of the access.
+    pub vaddr: u64,
+    /// Access size in bytes (1–64).
+    pub size: u8,
+}
+
+/// One traced instruction.
+///
+/// This is the unit every subsystem consumes: the branch predictors look at
+/// `pc`/`branch`, the memory hierarchy at `mem`, and the out-of-order core at
+/// the register fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inst {
+    /// Virtual program counter of the instruction.
+    pub pc: u64,
+    /// Functional class.
+    pub kind: InstKind,
+    /// Up to two source registers.
+    pub srcs: [Option<Reg>; 2],
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+    /// Memory reference for loads/stores.
+    pub mem: Option<MemRef>,
+    /// Branch payload; present iff `kind == InstKind::Branch`.
+    pub branch: Option<BranchInfo>,
+}
+
+impl Inst {
+    /// A simple integer ALU op `dst = f(srcs)`.
+    pub fn alu(pc: u64, dst: Reg, srcs: [Option<Reg>; 2]) -> Inst {
+        Inst {
+            pc,
+            kind: InstKind::IntAlu,
+            srcs,
+            dst: Some(dst),
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// A load `dst = [vaddr]` with an address-forming source register.
+    pub fn load(pc: u64, dst: Reg, addr_src: Option<Reg>, vaddr: u64) -> Inst {
+        Inst {
+            pc,
+            kind: InstKind::Load,
+            srcs: [addr_src, None],
+            dst: Some(dst),
+            mem: Some(MemRef { vaddr, size: 8 }),
+            branch: None,
+        }
+    }
+
+    /// A store `[vaddr] = data_src`.
+    pub fn store(pc: u64, data_src: Option<Reg>, addr_src: Option<Reg>, vaddr: u64) -> Inst {
+        Inst {
+            pc,
+            kind: InstKind::Store,
+            srcs: [data_src, addr_src],
+            dst: None,
+            mem: Some(MemRef { vaddr, size: 8 }),
+            branch: None,
+        }
+    }
+
+    /// A branch instruction with a resolved outcome.
+    pub fn branch(pc: u64, info: BranchInfo, srcs: [Option<Reg>; 2]) -> Inst {
+        Inst {
+            pc,
+            kind: InstKind::Branch,
+            srcs,
+            dst: None,
+            mem: None,
+            branch: Some(info),
+        }
+    }
+
+    /// The next sequential PC (all instructions are 4 bytes, as in AArch64).
+    pub fn fallthrough(&self) -> u64 {
+        self.pc + 4
+    }
+
+    /// The PC of the instruction that architecturally follows this one.
+    pub fn next_pc(&self) -> u64 {
+        match self.branch {
+            Some(b) if b.taken => b.target,
+            _ => self.fallthrough(),
+        }
+    }
+
+    /// Whether this is a taken branch.
+    pub fn is_taken_branch(&self) -> bool {
+        matches!(self.branch, Some(b) if b.taken)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_namespaces_are_disjoint() {
+        assert!(Reg::int(5).is_int());
+        assert!(Reg::fp(5).is_fp());
+        assert_ne!(Reg::int(5), Reg::fp(5));
+        assert_eq!(Reg::fp(0).index(), 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reg_int_out_of_range_panics() {
+        let _ = Reg::int(32);
+    }
+
+    #[test]
+    fn zero_reg_is_int31() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(Reg::int(31).is_zero());
+        assert!(!Reg::int(30).is_zero());
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg::int(3).to_string(), "r3");
+        assert_eq!(Reg::fp(7).to_string(), "v7");
+    }
+
+    #[test]
+    fn branch_kind_taxonomy() {
+        assert!(BranchKind::CondDirect.is_conditional());
+        assert!(!BranchKind::UncondDirect.is_conditional());
+        assert!(BranchKind::Return.is_indirect());
+        assert!(BranchKind::IndirectCall.is_call());
+        assert!(BranchKind::IndirectCall.is_indirect());
+        assert!(!BranchKind::DirectCall.is_return());
+        assert!(BranchKind::Return.is_return());
+    }
+
+    #[test]
+    fn next_pc_follows_taken_branches() {
+        let b = Inst::branch(
+            0x1000,
+            BranchInfo {
+                kind: BranchKind::CondDirect,
+                taken: true,
+                target: 0x2000,
+            },
+            [None, None],
+        );
+        assert_eq!(b.next_pc(), 0x2000);
+        let nt = Inst::branch(
+            0x1000,
+            BranchInfo {
+                kind: BranchKind::CondDirect,
+                taken: false,
+                target: 0x2000,
+            },
+            [None, None],
+        );
+        assert_eq!(nt.next_pc(), 0x1004);
+        assert!(!nt.is_taken_branch());
+    }
+
+    #[test]
+    fn mem_helpers_fill_fields() {
+        let ld = Inst::load(0x40, Reg::int(1), Some(Reg::int(2)), 0xdead0);
+        assert_eq!(ld.kind, InstKind::Load);
+        assert!(ld.kind.is_mem());
+        assert_eq!(ld.mem.unwrap().vaddr, 0xdead0);
+        let st = Inst::store(0x44, Some(Reg::int(1)), Some(Reg::int(2)), 0xbeef0);
+        assert_eq!(st.kind, InstKind::Store);
+        assert!(st.dst.is_none());
+    }
+
+    #[test]
+    fn fp_kinds_classified() {
+        assert!(InstKind::FpMac.is_fp());
+        assert!(!InstKind::IntMul.is_fp());
+        assert!(!InstKind::Branch.is_mem());
+    }
+}

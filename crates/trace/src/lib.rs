@@ -1,0 +1,38 @@
+//! # exynos-trace — trace model and synthetic workload population
+//!
+//! The reproduction of *Evolution of the Samsung Exynos CPU
+//! Microarchitecture* (ISCA 2020) is trace-driven, exactly like the paper's
+//! own methodology (§II). This crate provides:
+//!
+//! * the [`Inst`] record model ([`inst`]) — PC, registers, resolved branch
+//!   outcome/target, memory address;
+//! * deterministic synthetic workload generators ([`gen`]) standing in for
+//!   the paper's 4,026 proprietary trace slices;
+//! * the suite catalog ([`suite`]) that assembles those generators into a
+//!   population with the paper's qualitative shape;
+//! * SimPoint-style slice windows ([`sample`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use exynos_trace::gen::loops::{LoopNest, LoopNestParams};
+//! use exynos_trace::gen::TraceGen;
+//!
+//! let mut kernel = LoopNest::new(&LoopNestParams::default(), /*region=*/ 0, /*seed=*/ 1);
+//! let first = kernel.next_inst();
+//! let second = kernel.next_inst();
+//! assert_eq!(first.fallthrough(), second.pc);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gen;
+pub mod inst;
+pub mod sample;
+pub mod suite;
+
+pub use gen::{BoxedGen, TraceGen};
+pub use inst::{BranchInfo, BranchKind, Inst, InstKind, MemRef, Reg};
+pub use sample::SlicePlan;
+pub use suite::{standard_suite, SliceSpec, SuiteKind, WorkloadSpec};

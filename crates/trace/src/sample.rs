@@ -1,0 +1,82 @@
+//! SimPoint-style slice sampling.
+//!
+//! §II: "SimPoint and related techniques are used to reduce the simulation
+//! run time for most workloads, with a warmup of 10M instructions and a
+//! detailed simulation of the subsequent 100M instructions."
+//!
+//! The synthetic generators here are stationary by construction, so a
+//! proportionally smaller window gives the same steady-state statistics;
+//! [`SlicePlan::default`] keeps the paper's 1:10 warmup:detail ratio.
+
+/// Warmup/detail window of one simulated slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlicePlan {
+    /// Instructions run to warm microarchitectural state (no stats).
+    pub warmup: u64,
+    /// Instructions measured after warmup.
+    pub detail: u64,
+}
+
+impl SlicePlan {
+    /// A plan with explicit windows.
+    ///
+    /// # Panics
+    /// Panics if `detail` is zero.
+    pub fn new(warmup: u64, detail: u64) -> SlicePlan {
+        assert!(detail > 0, "detail window must be non-empty");
+        SlicePlan { warmup, detail }
+    }
+
+    /// Total instructions the slice consumes.
+    pub fn total(&self) -> u64 {
+        self.warmup + self.detail
+    }
+
+    /// Scale both windows by `num/den`, keeping at least one detail
+    /// instruction. Used to shrink suites for quick test runs.
+    pub fn scaled(&self, num: u64, den: u64) -> SlicePlan {
+        assert!(den > 0, "zero denominator");
+        SlicePlan {
+            warmup: self.warmup * num / den,
+            detail: (self.detail * num / den).max(1),
+        }
+    }
+}
+
+impl Default for SlicePlan {
+    /// The paper's 10M/100M windows scaled by 1/500: 20k warmup, 200k
+    /// detail — small enough for laptop-scale sweeps over hundreds of
+    /// slices, large enough to train every predictor in the design.
+    fn default() -> SlicePlan {
+        SlicePlan {
+            warmup: 20_000,
+            detail: 200_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_keeps_paper_ratio() {
+        let p = SlicePlan::default();
+        assert_eq!(p.detail / p.warmup, 10);
+    }
+
+    #[test]
+    fn scaled_never_empties_detail() {
+        let p = SlicePlan::new(100, 10);
+        let s = p.scaled(1, 1000);
+        assert_eq!(s.detail, 1);
+        assert_eq!(s.warmup, 0);
+        assert_eq!(p.total(), 110);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_detail_rejected() {
+        let _ = SlicePlan::new(10, 0);
+    }
+}

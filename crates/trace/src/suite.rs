@@ -1,0 +1,402 @@
+//! The workload-suite catalog.
+//!
+//! The paper's evaluation runs 4,026 trace slices drawn from SPEC CPU2000/
+//! 2006, web suites (Speedometer, Octane, BBench, SunSpider), mobile suites
+//! (AnTuTu, Geekbench) and games. This module builds the synthetic stand-in
+//! population: a parameter grid over the generator families of
+//! [`crate::gen`], weighted so the population has the paper's qualitative
+//! shape — a large predictable/high-IPC left tail, an "interesting middle"
+//! (SPECint/Geekbench-like), and a hard-to-predict, memory-bound right tail.
+
+use crate::gen::loops::{LoopNest, LoopNestParams};
+use crate::gen::markov::{MarkovBranches, MarkovMode, MarkovParams};
+
+fn markov_parity() -> MarkovMode {
+    MarkovMode::Parity
+}
+
+fn markov_pattern() -> MarkovMode {
+    MarkovMode::Pattern
+}
+use crate::gen::mixed::PhaseMix;
+use crate::gen::pointer_chase::{PointerChase, PointerChaseParams};
+use crate::gen::spatial::{SpatialRegions, SpatialParams};
+use crate::gen::streaming::{CopyKernel, CopyKernelParams, MultiStride, MultiStrideParams, StrideComponent};
+use crate::gen::web::{WebParams, WebWorkload};
+use crate::gen::BoxedGen;
+use crate::sample::SlicePlan;
+
+/// Which named suite a slice belongs to (the paper's workload grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteKind {
+    /// SPECint-like: branchy, mixed-predictability integer code.
+    SpecIntLike,
+    /// SPECfp-like: loop nests with FP and streaming access.
+    SpecFpLike,
+    /// Web/JS-like: indirect-heavy, huge code footprint.
+    WebLike,
+    /// Mobile/Geekbench-like: phase mixes.
+    MobileLike,
+    /// Game-like: spatial/irregular data with moderate branch pressure.
+    GameLike,
+    /// Pure streaming/memory kernels.
+    StreamLike,
+}
+
+impl SuiteKind {
+    /// All suite kinds, in catalog order.
+    pub const ALL: [SuiteKind; 6] = [
+        SuiteKind::SpecIntLike,
+        SuiteKind::SpecFpLike,
+        SuiteKind::WebLike,
+        SuiteKind::MobileLike,
+        SuiteKind::GameLike,
+        SuiteKind::StreamLike,
+    ];
+
+    /// Short label used in slice names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SuiteKind::SpecIntLike => "specint",
+            SuiteKind::SpecFpLike => "specfp",
+            SuiteKind::WebLike => "web",
+            SuiteKind::MobileLike => "mobile",
+            SuiteKind::GameLike => "game",
+            SuiteKind::StreamLike => "stream",
+        }
+    }
+}
+
+impl std::fmt::Display for SuiteKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A buildable workload description (the catalog's unit of composition).
+#[derive(Debug, Clone)]
+pub enum WorkloadSpec {
+    /// Nested loop kernel.
+    LoopNest(LoopNestParams),
+    /// Pointer chase.
+    PointerChase(PointerChaseParams),
+    /// Multi-stride stream.
+    MultiStride(MultiStrideParams),
+    /// memcpy-style copy kernel.
+    Copy(CopyKernelParams),
+    /// Web/JS-like workload.
+    Web(WebParams),
+    /// Spatial-region (SMS-friendly) workload.
+    Spatial(SpatialParams),
+    /// History-dependent conditional branches.
+    Markov(MarkovParams),
+    /// Phase mix of child specs.
+    Mix {
+        /// Child workloads, interleaved round-robin.
+        children: Vec<WorkloadSpec>,
+        /// Instructions per phase.
+        phase_len: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Instantiate the generator in address `region` with `seed`.
+    pub fn instantiate(&self, region: u64, seed: u64) -> BoxedGen {
+        match self {
+            WorkloadSpec::LoopNest(p) => Box::new(LoopNest::new(p, region, seed)),
+            WorkloadSpec::PointerChase(p) => Box::new(PointerChase::new(p, region, seed)),
+            WorkloadSpec::MultiStride(p) => Box::new(MultiStride::new(p, region, seed)),
+            WorkloadSpec::Copy(p) => Box::new(CopyKernel::new(p, region, seed)),
+            WorkloadSpec::Web(p) => Box::new(WebWorkload::new(p, region, seed)),
+            WorkloadSpec::Spatial(p) => Box::new(SpatialRegions::new(p, region, seed)),
+            WorkloadSpec::Markov(p) => Box::new(MarkovBranches::new(p, region, seed)),
+            WorkloadSpec::Mix { children, phase_len } => {
+                let gens: Vec<BoxedGen> = children
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        // Children live far above the plain-slice region
+                        // space so code/data windows never alias.
+                        c.instantiate(1_000_000 + region * 8 + i as u64, seed ^ ((i as u64) << 32))
+                    })
+                    .collect();
+                Box::new(PhaseMix::new(gens, *phase_len))
+            }
+        }
+    }
+}
+
+/// One catalog entry: a named, seeded slice of a workload.
+#[derive(Debug, Clone)]
+pub struct SliceSpec {
+    /// Human-readable identity, e.g. `web/bbench#2`.
+    pub name: String,
+    /// The suite family this slice stands in for.
+    pub suite: SuiteKind,
+    /// Generator description.
+    pub spec: WorkloadSpec,
+    /// RNG seed for instantiation.
+    pub seed: u64,
+    /// Address region (must be unique across concurrently mixed slices).
+    pub region: u64,
+    /// Warmup/detail windows.
+    pub plan: SlicePlan,
+}
+
+impl SliceSpec {
+    /// Instantiate this slice's generator.
+    pub fn instantiate(&self) -> BoxedGen {
+        self.spec.instantiate(self.region, self.seed)
+    }
+}
+
+/// Build the standard cross-generation evaluation population.
+///
+/// `scale` multiplies the per-family slice counts: `scale = 1` gives a
+/// ~60-slice smoke population; `scale = 4` a ~240-slice population for the
+/// paper's Fig. 9/16/17 sweeps. Slices are deterministic in `scale`.
+pub fn standard_suite(scale: usize) -> Vec<SliceSpec> {
+    let scale = scale.max(1);
+    let mut slices = Vec::new();
+    let plan = SlicePlan::default();
+    let mut region = 0u64;
+    let mut push = |name: String, suite: SuiteKind, spec: WorkloadSpec, seed: u64, region: &mut u64| {
+        slices.push(SliceSpec {
+            name,
+            suite,
+            spec,
+            seed,
+            region: *region,
+            plan,
+        });
+        *region += 16;
+    };
+
+    // --- SPECfp-like: loop nests with FP, varied working sets. -----------
+    for v in 0..4 * scale {
+        let ws = [16, 64, 512, 4096, 32768][v % 5] * 1024;
+        let p = LoopNestParams {
+            depth: 1 + v % 3,
+            trip_counts: match v % 3 {
+                0 => vec![128],
+                1 => vec![32, 512],
+                _ => vec![16, 64, 128],
+            },
+            // Bodies span simple loops to unrolled/vectorized kernels
+            // (the high-ILP right edge of Fig. 17 needs fetch regions
+            // longer than one fetch group).
+            body_len: 6 + (v % 4) * 8,
+            loads_per_body: 2,
+            stores_per_body: 1,
+            stride: [8, 64, 128, 24][v % 4],
+            working_set: ws,
+            fp_frac: 0.4,
+        };
+        push(
+            format!("specfp/nest{}_ws{}k", v, ws / 1024),
+            SuiteKind::SpecFpLike,
+            WorkloadSpec::LoopNest(p),
+            0x5F00 + v as u64,
+            &mut region,
+        );
+    }
+
+    // --- Stream-like: multi-stride & copy kernels. ------------------------
+    for v in 0..3 * scale {
+        let comps = match v % 4 {
+            0 => vec![StrideComponent { stride: 1, repeat: 1 }],
+            1 => vec![
+                StrideComponent { stride: 2, repeat: 2 },
+                StrideComponent { stride: 5, repeat: 1 },
+            ],
+            2 => vec![
+                StrideComponent { stride: 3, repeat: 4 },
+                StrideComponent { stride: -2, repeat: 1 },
+                StrideComponent { stride: 7, repeat: 2 },
+            ],
+            _ => vec![StrideComponent { stride: 17, repeat: 1 }],
+        };
+        let p = MultiStrideParams {
+            components: comps,
+            unit: 64,
+            working_set: [4, 32, 256][v % 3] * 1024 * 1024,
+            work_between: 2 + v % 3,
+            streams: 1 + v % 4,
+            restart_every: if v % 5 == 4 { 4_000 } else { 0 },
+        };
+        push(
+            format!("stream/ms{}", v),
+            SuiteKind::StreamLike,
+            WorkloadSpec::MultiStride(p),
+            0x3700 + v as u64,
+            &mut region,
+        );
+    }
+    for v in 0..scale {
+        push(
+            format!("stream/copy{}", v),
+            SuiteKind::StreamLike,
+            WorkloadSpec::Copy(CopyKernelParams {
+                length: [2, 16][v % 2] * 1024 * 1024,
+                work_between: 1 + v % 2,
+            }),
+            0x3800 + v as u64,
+            &mut region,
+        );
+    }
+
+    // --- SPECint-like: Markov branch mixes, some with loads. --------------
+    for v in 0..5 * scale {
+        // Required GHIST for a pattern slice is roughly
+        // sites * log2(pattern length): this grid spans ~48..256 bits so
+        // generational GHIST growth (165 -> 206) and SHP capacity both
+        // show, with the deepest combinations forming the hard tail.
+        let p = MarkovParams {
+            sites: [24, 40, 64, 96][v % 4],
+            history_depth: [4, 8, 8, 16, 4, 16][v % 6],
+            taps: [1, 3, 5][v % 3],
+            mode: if v % 7 == 6 { markov_parity() } else { markov_pattern() },
+            noise: [0.0, 0.01, 0.02, 0.05, 0.10][v % 5],
+            work_between: 3 + v % 4,
+            load_frac: 0.2,
+            working_set: [32, 256, 2048][v % 3] * 1024,
+        };
+        push(
+            format!("specint/mk{}_h{}_n{}", v, p.history_depth, (p.noise * 100.0) as u32),
+            SuiteKind::SpecIntLike,
+            WorkloadSpec::Markov(p),
+            0x51E0 + v as u64,
+            &mut region,
+        );
+    }
+
+    // --- Web-like: big footprints, many indirect targets. -----------------
+    for v in 0..4 * scale {
+        let p = WebParams {
+            functions: [300, 700, 1400, 2600][v % 4],
+            dispatch_targets: [16, 48, 100, 240][v % 4],
+            markov_follow: [0.9, 0.75, 0.6][v % 3],
+            blocks_per_fn: 6 + v % 5,
+            block_len: [2, 4, 6][v % 3],
+            noisy_frac: [0.08, 0.15, 0.25][v % 3],
+            working_set: [8, 32, 64][v % 3] * 1024 * 1024,
+        };
+        let name = ["speedometer", "octane", "bbench", "sunspider"][v % 4];
+        push(
+            format!("web/{}{}", name, v / 4),
+            SuiteKind::WebLike,
+            WorkloadSpec::Web(p),
+            0x3EB0 + v as u64,
+            &mut region,
+        );
+    }
+
+    // --- Game-like: spatial regions + pointer chase. ----------------------
+    for v in 0..3 * scale {
+        let p = SpatialParams {
+            regions: [256, 1024, 4096][v % 3],
+            signature_len: 3 + v % 5,
+            transient_per_visit: v % 3,
+            sites: 2 + v % 4,
+            work_between: 2,
+        };
+        push(
+            format!("game/sms{}", v),
+            SuiteKind::GameLike,
+            WorkloadSpec::Spatial(p),
+            0x6A00 + v as u64,
+            &mut region,
+        );
+    }
+    for v in 0..3 * scale {
+        let p = PointerChaseParams {
+            working_set: [256 * 1024, 2 * 1024 * 1024, 16 * 1024 * 1024, 64 * 1024 * 1024][v % 4],
+            chains: [1, 2, 4, 8][v % 4],
+            work_between: 2 + v % 3,
+            spatial_payload: v % 2 == 1,
+        };
+        push(
+            format!("game/chase{}_ws{}m", v, p.working_set >> 20),
+            SuiteKind::GameLike,
+            WorkloadSpec::PointerChase(p),
+            0x9C00 + v as u64,
+            &mut region,
+        );
+    }
+
+    // --- Mobile-like: phase mixes of the above. ----------------------------
+    for v in 0..3 * scale {
+        let children = vec![
+            WorkloadSpec::LoopNest(LoopNestParams::default()),
+            WorkloadSpec::Markov(MarkovParams {
+                history_depth: 16 + (v as u32 % 3) * 16,
+                noise: 0.05,
+                ..Default::default()
+            }),
+            WorkloadSpec::MultiStride(MultiStrideParams::default()),
+        ];
+        push(
+            format!("mobile/geek{}", v),
+            SuiteKind::MobileLike,
+            WorkloadSpec::Mix {
+                children,
+                phase_len: 5_000 + (v as u64 % 3) * 5_000,
+            },
+            0xA0B0 + v as u64,
+            &mut region,
+        );
+    }
+
+    slices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceGen;
+    use std::collections::HashSet;
+
+    #[test]
+    fn suite_has_expected_population() {
+        let s = standard_suite(1);
+        assert!(s.len() >= 20, "got {}", s.len());
+        let kinds: HashSet<SuiteKind> = s.iter().map(|x| x.suite).collect();
+        assert_eq!(kinds.len(), SuiteKind::ALL.len(), "all suites represented");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let s = standard_suite(2);
+        let names: HashSet<&str> = s.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names.len(), s.len());
+    }
+
+    #[test]
+    fn regions_are_unique() {
+        let s = standard_suite(2);
+        let regions: HashSet<u64> = s.iter().map(|x| x.region).collect();
+        assert_eq!(regions.len(), s.len());
+    }
+
+    #[test]
+    fn every_slice_instantiates_and_streams() {
+        for slice in standard_suite(1) {
+            let mut g = slice.instantiate();
+            for _ in 0..500 {
+                let _ = g.next_inst();
+            }
+        }
+    }
+
+    #[test]
+    fn scale_is_monotone() {
+        assert!(standard_suite(2).len() > standard_suite(1).len());
+    }
+
+    #[test]
+    fn suite_labels_roundtrip_display() {
+        for k in SuiteKind::ALL {
+            assert_eq!(k.to_string(), k.label());
+        }
+    }
+}

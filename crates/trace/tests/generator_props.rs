@@ -1,0 +1,160 @@
+//! Property tests over the workload generators: every generator must emit
+//! a PC-consistent, deterministic, well-formed instruction stream.
+
+use exynos_trace::gen::loops::{LoopNest, LoopNestParams};
+use exynos_trace::gen::markov::{MarkovBranches, MarkovMode, MarkovParams};
+use exynos_trace::gen::pointer_chase::{PointerChase, PointerChaseParams};
+use exynos_trace::gen::spatial::{SpatialParams, SpatialRegions};
+use exynos_trace::gen::streaming::{MultiStride, MultiStrideParams, StrideComponent};
+use exynos_trace::gen::web::{WebParams, WebWorkload};
+use exynos_trace::{BoxedGen, Inst, InstKind, TraceGen};
+use proptest::prelude::*;
+
+fn check_stream(mut gen: BoxedGen, n: usize) -> Result<(), TestCaseError> {
+    let mut prev: Option<Inst> = None;
+    for _ in 0..n {
+        let inst = gen.next_inst();
+        // Well-formedness.
+        prop_assert_eq!(inst.pc % 4, 0, "instructions are 4-byte aligned");
+        prop_assert_eq!(inst.branch.is_some(), inst.kind == InstKind::Branch);
+        prop_assert_eq!(inst.mem.is_some(), inst.kind.is_mem());
+        if let Some(b) = inst.branch {
+            prop_assert!(b.taken || b.kind.is_conditional(), "only conditionals fall through");
+        }
+        // PC-chain continuity.
+        if let Some(p) = prev {
+            prop_assert_eq!(p.next_pc(), inst.pc, "pc chain broke after {:#x}", p.pc);
+        }
+        prev = Some(inst);
+    }
+    Ok(())
+}
+
+fn collect(mut gen: BoxedGen, n: usize) -> Vec<Inst> {
+    (0..n).map(|_| gen.next_inst()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn loop_nest_streams_are_consistent(
+        depth in 1usize..4,
+        trips in prop::collection::vec(2u32..40, 4),
+        body in 1usize..12,
+        loads in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let p = LoopNestParams {
+            depth,
+            trip_counts: trips[..depth].to_vec(),
+            body_len: body,
+            loads_per_body: loads,
+            stores_per_body: loads.min(1),
+            ..Default::default()
+        };
+        check_stream(Box::new(LoopNest::new(&p, 5, seed)), 3_000)?;
+    }
+
+    #[test]
+    fn pointer_chase_streams_are_consistent(
+        ws_kb in 1u64..512,
+        chains in 1usize..8,
+        wb in 0usize..5,
+        payload: bool,
+        seed in 0u64..1000,
+    ) {
+        let p = PointerChaseParams {
+            working_set: ws_kb * 1024,
+            chains,
+            work_between: wb,
+            spatial_payload: payload,
+        };
+        check_stream(Box::new(PointerChase::new(&p, 6, seed)), 3_000)?;
+    }
+
+    #[test]
+    fn multistride_streams_are_consistent(
+        s1 in -8i64..8,
+        r1 in 1u32..4,
+        s2 in -8i64..8,
+        r2 in 1u32..4,
+        streams in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(s1 != 0 || s2 != 0);
+        let p = MultiStrideParams {
+            components: vec![
+                StrideComponent { stride: s1, repeat: r1 },
+                StrideComponent { stride: s2, repeat: r2 },
+            ],
+            streams,
+            working_set: 1 << 22,
+            ..Default::default()
+        };
+        check_stream(Box::new(MultiStride::new(&p, 7, seed)), 3_000)?;
+    }
+
+    #[test]
+    fn web_streams_are_consistent(
+        functions in 3usize..120,
+        blocks in 2usize..8,
+        block_len in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let p = WebParams {
+            functions,
+            dispatch_targets: (functions - 1).min(16),
+            blocks_per_fn: blocks,
+            block_len,
+            ..Default::default()
+        };
+        check_stream(Box::new(WebWorkload::new(&p, 8, seed)), 4_000)?;
+    }
+
+    #[test]
+    fn spatial_streams_are_consistent(
+        regions in 2usize..256,
+        sig in 1usize..8,
+        transient in 0usize..3,
+        sites in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let p = SpatialParams {
+            regions,
+            signature_len: sig,
+            transient_per_visit: transient,
+            sites,
+            work_between: 1,
+        };
+        check_stream(Box::new(SpatialRegions::new(&p, 9, seed)), 3_000)?;
+    }
+
+    #[test]
+    fn markov_streams_are_consistent(
+        sites in 1usize..64,
+        depth in 1u32..64,
+        parity: bool,
+        noise in 0.0f64..0.4,
+        seed in 0u64..1000,
+    ) {
+        let p = MarkovParams {
+            sites,
+            history_depth: depth,
+            mode: if parity { MarkovMode::Parity } else { MarkovMode::Pattern },
+            noise,
+            ..Default::default()
+        };
+        check_stream(Box::new(MarkovBranches::new(&p, 10, seed)), 3_000)?;
+    }
+
+    #[test]
+    fn generators_are_deterministic(seed in 0u64..1000) {
+        let a = collect(Box::new(WebWorkload::new(&WebParams::default(), 11, seed)), 1_000);
+        let b = collect(Box::new(WebWorkload::new(&WebParams::default(), 11, seed)), 1_000);
+        prop_assert_eq!(a, b);
+        let a = collect(Box::new(PointerChase::new(&PointerChaseParams::default(), 12, seed)), 1_000);
+        let b = collect(Box::new(PointerChase::new(&PointerChaseParams::default(), 12, seed)), 1_000);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests on the micro-op cache: capacity bounds and mode-machine
+//! sanity under arbitrary block streams.
+
+use exynos_branch::ubtb::{MicroBtb, UbtbConfig};
+use exynos_uoc::{Uoc, UocConfig, UocMode};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Occupancy never exceeds capacity, and FetchMode only ever supplies
+    /// blocks that are genuinely resident.
+    #[test]
+    fn uoc_capacity_and_supply(
+        blocks in prop::collection::vec((0u64..64, 1u32..16), 300),
+        cap in 32u32..256,
+    ) {
+        let mut uoc = Uoc::new(UocConfig {
+            capacity_uops: cap,
+            ..UocConfig::default()
+        });
+        let mut ubtb = MicroBtb::new(UbtbConfig::m5());
+        // Register the branches so built bits exist, and lock the µBTB.
+        for _ in 0..64 {
+            for b in 0..8u64 {
+                let pc = 0x9000 + b * 0x100;
+                let _ = ubtb.predict(pc);
+                ubtb.update(pc, true, 0x9000, false, true);
+            }
+        }
+        for (b, uops) in blocks {
+            let b = b % 8;
+            let start = 0x8F80 + b * 0x100;
+            let branch_pc = 0x9000 + b * 0x100;
+            let supplied = uoc.on_block(start, branch_pc, uops, &mut ubtb);
+            prop_assert!(uoc.occupancy() <= cap, "occupancy {} > cap {cap}", uoc.occupancy());
+            if supplied {
+                prop_assert_eq!(uoc.mode(), UocMode::Fetch);
+            }
+        }
+        // Mode counters are consistent with the totals.
+        let s = uoc.stats();
+        prop_assert_eq!(
+            s.filter_blocks + s.build_blocks + s.fetch_blocks,
+            300
+        );
+        prop_assert!(s.promotions >= s.demotions.saturating_sub(1));
+    }
+
+    /// Without a locked µBTB the UOC never leaves FilterMode and never
+    /// supplies anything (the profitability filter).
+    #[test]
+    fn uoc_never_builds_without_lock(blocks in prop::collection::vec((0u64..4096, 1u32..12), 200)) {
+        let mut uoc = Uoc::new(UocConfig::default());
+        let mut ubtb = MicroBtb::new(UbtbConfig::m5());
+        for (b, uops) in blocks {
+            let supplied = uoc.on_block(b * 64, b * 64 + 32, uops, &mut ubtb);
+            prop_assert!(!supplied);
+            prop_assert_eq!(uoc.mode(), UocMode::Filter);
+        }
+        prop_assert_eq!(uoc.stats().builds, 0);
+        prop_assert_eq!(uoc.stats().uops_supplied, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # exynos — a reproduction of the Samsung Exynos M1–M6 microarchitecture
+//!
+//! This crate is the facade over a workspace that reproduces, as a
+//! trace-driven simulator library, the systems described in *Evolution of
+//! the Samsung Exynos CPU Microarchitecture* (ISCA 2020, Industry Track):
+//!
+//! * [`trace`] — the instruction/trace model and the synthetic workload
+//!   population standing in for the paper's 4,026 proprietary slices;
+//! * [`branch`] — the SHP/µBTB/mBTB/vBTB/L2BTB/VPC/MRB prediction stack
+//!   (§IV) with per-generation configurations;
+//! * [`secure`] — CONTEXT_HASH target encryption and the Spectre-v2
+//!   attack harness (§V);
+//! * [`uoc`] — the M5 micro-operation cache (§VI);
+//! * [`mem`] — caches (sectored L2 tags, reuse metadata), TLBs and miss
+//!   buffers (§III, §VIII);
+//! * [`prefetch`] — multi-stride, SMS, Buddy and standalone prefetch
+//!   engines with dynamic degree and one/two-pass delivery (§VII–§VIII);
+//! * [`dram`] — DRAM banks, domain crossings, the data fast path,
+//!   speculative reads and early page activate (§IX);
+//! * [`core`] — the composed out-of-order core model and slice runner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use exynos::core::config::CoreConfig;
+//! use exynos::core::sim::Simulator;
+//! use exynos::trace::gen::loops::{LoopNest, LoopNestParams};
+//! use exynos::trace::SlicePlan;
+//!
+//! let mut sim = Simulator::new(CoreConfig::m5());
+//! let mut workload = LoopNest::new(&LoopNestParams::default(), 0, 1);
+//! let result = sim.run_slice(&mut workload, SlicePlan::new(2_000, 10_000));
+//! println!("IPC {:.2}, MPKI {:.2}", result.ipc, result.mpki);
+//! # assert!(result.ipc > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use exynos_branch as branch;
+pub use exynos_core as core;
+pub use exynos_dram as dram;
+pub use exynos_mem as mem;
+pub use exynos_prefetch as prefetch;
+pub use exynos_secure as secure;
+pub use exynos_trace as trace;
+pub use exynos_uoc as uoc;
+
+pub use exynos_core::{CoreConfig, Generation, SliceResult, Simulator};
+pub use exynos_trace::{standard_suite, SlicePlan};
