@@ -1,0 +1,239 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this workspace
+//! uses.
+//!
+//! The build environment cannot reach a crates registry, so the workspace
+//! vendors a minimal benchmark harness with the same surface as the three
+//! bench targets: [`Criterion::benchmark_group`]/[`Criterion::bench_function`],
+//! [`BenchmarkGroup::sample_size`]/[`BenchmarkGroup::throughput`]/
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId::from_parameter`], [`Throughput::Elements`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a single timed batch per benchmark (no statistics, no
+//! reports) — enough to exercise every benchmarked code path and print a
+//! rough per-iteration time, which is all a CI smoke run of `cargo bench`
+//! needs.
+
+use std::time::Instant;
+
+/// How work per iteration is expressed for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named after one parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// A benchmark named `function_name/parameter`.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed batch of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 16,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<S, F>(&mut self, name: S, f: F) -> &mut Self
+    where
+        S: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), 16, None, f);
+        self
+    }
+
+    /// Parse CLI arguments (accepted and ignored: the stub has no options).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Mark the end of all benchmarks (no-op: the stub keeps no report
+    /// state).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the iteration batch size for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_one(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Mark the end of the group (no-op: the stub keeps no report state).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iters: sample_size as u64,
+        elapsed_ns: 0,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed_ns / bencher.iters.max(1) as u128;
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0 => {
+            let rate = n as f64 * 1e9 / per_iter as f64;
+            println!("bench {name}: {per_iter} ns/iter ({rate:.0} elem/s)");
+        }
+        _ => println!("bench {name}: {per_iter} ns/iter"),
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_each_benchmark_once_per_sample() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(7);
+            g.throughput(Throughput::Elements(3));
+            g.bench_function("counting", |b| b.iter(|| count += 1));
+            g.finish();
+        }
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion::default();
+        let mut seen = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(1);
+            g.bench_with_input(BenchmarkId::from_parameter("x"), &41u64, |b, &v| {
+                b.iter(|| seen = v + 1)
+            });
+            g.finish();
+        }
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter("m3").to_string(), "m3");
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+    }
+}

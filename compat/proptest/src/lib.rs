@@ -1,0 +1,536 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this workspace
+//! uses.
+//!
+//! The build environment cannot reach a crates registry, so the workspace
+//! vendors a deterministic mini property-testing harness with the same
+//! surface the test suites consume:
+//!
+//! - the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! - `arg in strategy` bindings over integer/float ranges, 2- and 3-tuples,
+//!   `any::<T>()` and `prop::collection::vec(strategy, len)`,
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Unlike real proptest there is no shrinking and no persistence: each case
+//! is generated from a fixed per-case seed, so failures reproduce exactly
+//! across runs, which is what the repo's deterministic-simulation tests rely
+//! on.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    /// Deterministic per-case generator handed to strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator whose stream is a pure function of `seed`.
+        pub fn from_seed(seed: u64) -> Self {
+            let mut rng = TestRng { state: seed };
+            let _ = rng.next_u64();
+            rng
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A draw from `[0, 1)` with 53 bits of precision.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_strategy_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty inclusive range strategy");
+                    let span = hi.wrapping_sub(lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+                }
+            }
+        )*};
+    }
+    impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.next_f64()
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_strategy_tuple! {
+        (A / 0)
+        (A / 0, B / 1)
+        (A / 0, B / 1, C / 2)
+        (A / 0, B / 1, C / 2, D / 3)
+    }
+
+    /// Types with a canonical "anything goes" strategy ([`any`]).
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            if rng.next_u64() & 1 == 1 {
+                Some(T::arbitrary(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Strategy wrapper produced by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`: `any::<T>()`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// Strategy produced by [`crate::collection::vec`]: `len` draws from an
+    /// element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// A vector of exactly `len` values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod test_runner {
+    //! The per-`proptest!` execution engine.
+
+    /// Runner configuration (`ProptestConfig::with_cases(n)`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the inputs; the case is skipped.
+        Reject,
+        /// A `prop_assert*!` failed with this message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case with a formatted message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives one property over its configured number of cases.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        cases: u32,
+        /// Base seed mixed with the case index; fixed so failures reproduce.
+        base_seed: u64,
+    }
+
+    impl TestRunner {
+        /// A runner for `config`, deterministic per property `name`.
+        pub fn new(config: Config, name: &str) -> Self {
+            // FNV-1a over the property name keeps distinct properties on
+            // distinct streams without any global state.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner {
+                cases: config.cases,
+                base_seed: h,
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// The generator for case `idx`.
+        pub fn rng_for(&self, idx: u32) -> crate::strategy::TestRng {
+            crate::strategy::TestRng::from_seed(
+                self.base_seed ^ (idx as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+            )
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `use proptest::prelude::*;` consumer expects.
+
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`prop::collection::vec`).
+
+    pub use crate::collection;
+}
+
+/// Define property tests.
+///
+/// Accepts an optional `#![proptest_config(...)]` header followed by
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: expand each property fn in a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($args:tt)* ) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_norm! {
+            cfg = ($cfg);
+            meta = ($(#[$meta])*);
+            name = $name;
+            body = $body;
+            out = ();
+            args = ($($args)*);
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: normalise a mixed argument list (`arg in strategy` and
+/// `arg: Type` forms) into uniform `(arg, strategy)` bindings.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_norm {
+    (
+        cfg = $cfg:tt;
+        meta = $meta:tt;
+        name = $name:ident;
+        body = $body:block;
+        out = $out:tt;
+        args = ( $(,)? );
+    ) => {
+        $crate::__proptest_emit! {
+            cfg = $cfg;
+            meta = $meta;
+            name = $name;
+            body = $body;
+            bindings = $out;
+        }
+    };
+    (
+        cfg = $cfg:tt;
+        meta = $meta:tt;
+        name = $name:ident;
+        body = $body:block;
+        out = ( $($out:tt)* );
+        args = ( $arg:ident in $strat:expr $(, $($tail:tt)*)? );
+    ) => {
+        $crate::__proptest_norm! {
+            cfg = $cfg;
+            meta = $meta;
+            name = $name;
+            body = $body;
+            out = ( $($out)* ($arg, $strat) );
+            args = ( $($($tail)*)? );
+        }
+    };
+    (
+        cfg = $cfg:tt;
+        meta = $meta:tt;
+        name = $name:ident;
+        body = $body:block;
+        out = ( $($out:tt)* );
+        args = ( $arg:ident : $ty:ty $(, $($tail:tt)*)? );
+    ) => {
+        $crate::__proptest_norm! {
+            cfg = $cfg;
+            meta = $meta;
+            name = $name;
+            body = $body;
+            out = ( $($out)* ($arg, $crate::strategy::any::<$ty>()) );
+            args = ( $($($tail)*)? );
+        }
+    };
+}
+
+/// Internal: emit the final zero-argument test fn for one property.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_emit {
+    (
+        cfg = ($cfg:expr);
+        meta = ($($meta:tt)*);
+        name = $name:ident;
+        body = $body:block;
+        bindings = ( $(($arg:ident, $strat:expr))* );
+    ) => {
+        $($meta)*
+        fn $name() {
+            let runner =
+                $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut prop_rng = runner.rng_for(case);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut prop_rng,
+                    );
+                )*
+                let outcome: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (move || {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {case} of {} failed: {msg}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        }
+    };
+}
+
+/// Assert inside a property body; failure fails the case with context
+/// instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} == {:?}: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Assert two expressions differ inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Filter a case: when the condition is false the case is skipped, not
+/// failed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Reject,
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Range strategies respect their bounds, tuples compose, and vec
+        /// strategies produce the requested length.
+        #[test]
+        fn strategies_respect_shapes(
+            x in 5u64..50,
+            pair in (0u32..4, -8i64..8),
+            flags in prop::collection::vec(any::<bool>(), 13),
+            opt in any::<Option<u16>>(),
+        ) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!(pair.0 < 4);
+            prop_assert!((-8..8).contains(&pair.1));
+            prop_assert_eq!(flags.len(), 13);
+            if let Some(v) = opt {
+                let _ = v;
+            }
+        }
+
+        /// `prop_assume!` rejects without failing.
+        #[test]
+        fn assume_rejects_quietly(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let runner = crate::test_runner::TestRunner::new(
+            crate::test_runner::Config::with_cases(4),
+            "cases_are_deterministic",
+        );
+        let a: Vec<u64> = (0..4).map(|i| runner.rng_for(i).next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|i| runner.rng_for(i).next_u64()).collect();
+        assert_eq!(a, b);
+    }
+}

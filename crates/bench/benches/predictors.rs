@@ -40,7 +40,7 @@ fn bench_frontend(c: &mut Criterion) {
             b.iter(|| {
                 let mut fe = FrontEnd::new(cfg.clone());
                 for i in &insts {
-                    std::hint::black_box(fe.on_inst(i));
+                    std::hint::black_box(fe.on_inst(i).expect("clean trace"));
                 }
                 fe.stats().mpki()
             })

@@ -20,7 +20,9 @@ fn bench_simulator(c: &mut Criterion) {
                 b.iter(|| {
                     let mut sim = Simulator::new(cfg.clone());
                     let mut gen = slice.instantiate();
-                    sim.run_slice(&mut *gen, SlicePlan::new(1_000, 10_000)).ipc
+                    sim.run_slice(&mut *gen, SlicePlan::new(1_000, 10_000))
+                        .expect("clean bench slice")
+                        .ipc
                 })
             },
         );

@@ -333,7 +333,7 @@ fn uoc() {
     use exynos_trace::SlicePlan;
     let mut sim = Simulator::new(CoreConfig::m5());
     let mut gen = LoopNest::new(&LoopNestParams::default(), 95, 5);
-    let r = sim.run_slice(&mut gen, SlicePlan::new(10_000, 100_000));
+    let r = exp::must(sim.run_slice(&mut gen, SlicePlan::new(10_000, 100_000)));
     println!("UOC stats: {:?}", sim.uoc_stats());
     println!(
         "µops supplied by UOC: {} of {} instructions ({:.1}%)",
@@ -434,7 +434,7 @@ fn fig17(pop: &[exp::SliceRecord]) {
         .filter(|r| r.gen == "M1")
         .map(|r| (r.name.as_str(), r.ipc))
         .collect();
-    m1_slices.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    m1_slices.sort_by(|a, b| a.1.total_cmp(&b.1));
     let n = m1_slices.len();
     let tercile = |range: std::ops::Range<usize>| -> (f64, f64) {
         let names: Vec<&str> = m1_slices[range].iter().map(|(n, _)| *n).collect();

@@ -16,6 +16,15 @@ use exynos_trace::gen::markov::{MarkovBranches, MarkovParams};
 use exynos_trace::gen::streaming::{MultiStride, MultiStrideParams, StrideComponent};
 use exynos_trace::{standard_suite, SlicePlan, TraceGen};
 
+/// Unwrap a simulation result: benchmark traces are clean and run with no
+/// fault injector, so a `SimError` here is a harness bug worth aborting on.
+pub fn must<T>(r: Result<T, exynos_core::SimError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("benchmark simulation failed: {e}"),
+    }
+}
+
 /// A compact per-slice, per-generation result record.
 #[derive(Debug, Clone)]
 pub struct SliceRecord {
@@ -40,7 +49,7 @@ pub fn run_population(scale: usize, warmup: u64, detail: u64) -> Vec<SliceRecord
         for slice in &suite {
             let mut sim = Simulator::new(cfg.clone());
             let mut gen = slice.instantiate();
-            let r = sim.run_slice(&mut *gen, SlicePlan::new(warmup, detail));
+            let r = must(sim.run_slice(&mut *gen, SlicePlan::new(warmup, detail)));
             out.push(SliceRecord {
                 name: slice.name.clone(),
                 gen: cfg.gen.name(),
@@ -63,7 +72,7 @@ pub fn gen_mean(records: &[SliceRecord], gen: &str, metric: impl Fn(&SliceRecord
 /// the paper's Figs. 9/16/17 "across workload slices" plots).
 pub fn gen_curve(records: &[SliceRecord], gen: &str, metric: impl Fn(&SliceRecord) -> f64) -> Vec<f64> {
     let mut vals: Vec<f64> = records.iter().filter(|r| r.gen == gen).map(metric).collect();
-    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    vals.sort_by(|a, b| a.total_cmp(b));
     vals
 }
 
@@ -327,7 +336,7 @@ pub fn fig14_twopass() -> (exynos_prefetch::twopass::TwoPassStats, exynos_prefet
             94,
             5,
         );
-        let _ = sim.run_slice(&mut gen, SlicePlan::new(5_000, 60_000));
+        must(sim.run_slice(&mut gen, SlicePlan::new(5_000, 60_000)));
         sim.memsys().twopass().stats()
     };
     // Resident: wraps within 256 KiB (fits the 2 MB M1 L2 after one lap).
@@ -651,7 +660,7 @@ pub fn ablations() -> Vec<Ablation> {
                 98,
                 4,
             );
-            sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000)).avg_load_latency
+            must(sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000))).avg_load_latency
         };
         out.push(Ablation { name: "speculative DRAM read", metric: "avg load lat", with_feature: lat(true), without_feature: lat(false) });
     }
@@ -671,7 +680,7 @@ pub fn ablations() -> Vec<Ablation> {
                 99,
                 4,
             );
-            sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000)).avg_load_latency
+            must(sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000))).avg_load_latency
         };
         out.push(Ablation { name: "DRAM data fast path", metric: "avg load lat", with_feature: lat(true), without_feature: lat(false) });
     }
@@ -691,7 +700,7 @@ pub fn ablations() -> Vec<Ablation> {
                 100,
                 4,
             );
-            sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000)).avg_load_latency
+            must(sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000))).avg_load_latency
         };
         out.push(Ablation { name: "early page activate", metric: "avg load lat", with_feature: lat(true), without_feature: lat(false) });
     }
@@ -714,7 +723,7 @@ pub fn ablations() -> Vec<Ablation> {
                 101,
                 4,
             );
-            sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000)).ipc
+            must(sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000))).ipc
         };
         out.push(Ablation { name: "Buddy prefetcher", metric: "IPC (higher=better)", with_feature: ipc(true), without_feature: ipc(false) });
     }
@@ -744,7 +753,7 @@ pub fn ablations() -> Vec<Ablation> {
                 102,
                 4,
             );
-            sim.run_slice(&mut gen, SlicePlan::new(10_000, 60_000)).ipc
+            must(sim.run_slice(&mut gen, SlicePlan::new(10_000, 60_000))).ipc
         };
         out.push(Ablation { name: "standalone L2/L3 prefetcher", metric: "IPC (higher=better)", with_feature: ipc(true), without_feature: ipc(false) });
     }

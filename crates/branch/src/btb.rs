@@ -12,6 +12,7 @@
 //! with the context's CONTEXT_HASH (§V) by the front end before insertion;
 //! the BTB itself is oblivious to the cipher and just stores bits.
 
+use crate::error::PredictorError;
 use exynos_trace::BranchKind;
 
 /// One discovered branch's BTB payload.
@@ -191,11 +192,11 @@ impl EntryStore {
                 return None;
             }
         }
-        // Evict LRU.
-        let (victim_way, _) = (0..self.ways)
-            .map(|w| (w, self.entries[base + w].as_ref().unwrap().1))
-            .min_by_key(|&(_, lru)| lru)
-            .unwrap();
+        // Evict LRU (every way is occupied here; an impossible empty way
+        // sorts first and is simply reused).
+        let victim_way = (0..self.ways)
+            .min_by_key(|&w| self.entries[base + w].as_ref().map(|&(_, lru)| lru).unwrap_or(0))
+            .unwrap_or(0);
         let victim = self.entries[base + victim_way].take().map(|(e, _)| e);
         self.entries[base + victim_way] = Some((entry, stamp));
         victim
@@ -281,11 +282,27 @@ impl BtbHierarchy {
     /// Look up the branch at `pc`. On an L1 miss the L2BTB is probed and,
     /// on a hit there, the entry (plus up to `l2_fill_bandwidth - 1`
     /// neighbours from the same line) is filled into the L1.
-    pub fn lookup(&mut self, pc: u64) -> Option<(BtbEntry, BtbHit)> {
+    ///
+    /// Scanning the line also validates it: an entry stored under a line
+    /// whose address window does not contain its PC is detectable
+    /// corruption (the parity-check analog) and returns a typed
+    /// [`PredictorError`] instead of a bogus prediction.
+    pub fn lookup(&mut self, pc: u64) -> Result<Option<(BtbEntry, BtbHit)>, PredictorError> {
         self.stamp += 1;
         let line_addr = pc >> 7;
         if let Some(li) = self.find_line(line_addr) {
             self.lines[li].lru = self.stamp;
+            if let Some(bad) = self.lines[li]
+                .slots
+                .iter()
+                .flatten()
+                .find(|e| e.pc >> 7 != line_addr)
+            {
+                return Err(PredictorError::BtbTagMismatch {
+                    slot_pc: bad.pc,
+                    line_addr,
+                });
+            }
             if self.lines[li].slots.iter().flatten().count() == 0 {
                 self.stats.empty_line_lookups += 1;
             }
@@ -297,12 +314,12 @@ impl BtbHierarchy {
                 .copied()
             {
                 self.stats.main_hits += 1;
-                return Some((e, BtbHit::Main));
+                return Ok(Some((e, BtbHit::Main)));
             }
         }
         if let Some(e) = self.vbtb.lookup(pc, self.stamp) {
             self.stats.virtual_hits += 1;
-            return Some((e, BtbHit::Virtual));
+            return Ok(Some((e, BtbHit::Virtual)));
         }
         if let Some(e) = self.l2btb.lookup(pc, self.stamp) {
             self.stats.l2_hits += 1;
@@ -320,10 +337,10 @@ impl BtbHierarchy {
                     pulled += 1;
                 }
             }
-            return Some((e, BtbHit::Level2));
+            return Ok(Some((e, BtbHit::Level2)));
         }
         self.stats.misses += 1;
-        None
+        Ok(None)
     }
 
     fn l2_line_siblings(&mut self, pc: u64) -> Vec<BtbEntry> {
@@ -362,7 +379,7 @@ impl BtbHierarchy {
                             self.lines[i].lru.max(1)
                         }
                     })
-                    .unwrap();
+                    .unwrap_or(base);
                 let old = std::mem::replace(&mut self.lines[victim], Line::empty());
                 if old.line_addr != u64::MAX {
                     for e in old.slots.into_iter().flatten() {
@@ -450,6 +467,47 @@ impl BtbHierarchy {
         self.l2btb.update_in_place(entry);
     }
 
+    /// Fault-injection hook: flip bits in the stored target of one
+    /// resident mBTB entry (chosen deterministically from `salt`). Target
+    /// corruption is *not* detectable by the tag check — it models a soft
+    /// error the predictor can only recover from by mispredicting and
+    /// retraining. Returns whether an entry was corrupted.
+    pub fn corrupt_target(&mut self, salt: u64) -> bool {
+        let n = self.lines.len();
+        for k in 0..n {
+            let line = &mut self.lines[(salt as usize + k) % n];
+            if line.line_addr == u64::MAX {
+                continue;
+            }
+            if let Some(e) = line.slots.iter_mut().flatten().next() {
+                e.target ^= 0x40 ^ (salt & 0xFFF0);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fault-injection hook: corrupt the PC tag of one resident mBTB
+    /// entry so it no longer belongs to its line's 128 B window. Unlike
+    /// [`BtbHierarchy::corrupt_target`], this *is* detectable — the next
+    /// [`BtbHierarchy::lookup`] of the line reports a
+    /// [`PredictorError::BtbTagMismatch`]. Returns whether an entry was
+    /// corrupted.
+    pub fn corrupt_tag(&mut self, salt: u64) -> bool {
+        let n = self.lines.len();
+        for k in 0..n {
+            let line = &mut self.lines[(salt as usize + k) % n];
+            if line.line_addr == u64::MAX {
+                continue;
+            }
+            if let Some(e) = line.slots.iter_mut().flatten().next() {
+                e.pc ^= 1 << (7 + (salt % 8));
+                return true;
+            }
+        }
+        false
+    }
+
     /// Current number of valid entries in (mBTB, vBTB, L2BTB).
     pub fn occupancy(&self) -> (usize, usize, usize) {
         let main = self
@@ -486,7 +544,7 @@ mod tests {
     fn install_then_hit_main() {
         let mut b = BtbHierarchy::new(cfg_small());
         b.install(entry(0x4000));
-        let (e, hit) = b.lookup(0x4000).unwrap();
+        let (e, hit) = b.lookup(0x4000).unwrap().unwrap();
         assert_eq!(hit, BtbHit::Main);
         assert_eq!(e.target, 0x4100);
         assert_eq!(b.stats().main_hits, 1);
@@ -495,7 +553,7 @@ mod tests {
     #[test]
     fn miss_returns_none() {
         let mut b = BtbHierarchy::new(cfg_small());
-        assert!(b.lookup(0x9000).is_none());
+        assert!(b.lookup(0x9000).unwrap().is_none());
         assert_eq!(b.stats().misses, 1);
     }
 
@@ -508,7 +566,7 @@ mod tests {
         }
         let mut hits = Vec::new();
         for i in 0..9u64 {
-            let (_, h) = b.lookup(0x4000 + i * 4).unwrap();
+            let (_, h) = b.lookup(0x4000 + i * 4).unwrap().unwrap();
             hits.push(h);
         }
         assert_eq!(hits.iter().filter(|&&h| h == BtbHit::Main).count(), 8);
@@ -524,10 +582,10 @@ mod tests {
         }
         assert!(b.stats().l2_writebacks > 0);
         // Early lines were evicted; a lookup must be served by L2 fill.
-        let (_, h) = b.lookup(0x4000).unwrap();
+        let (_, h) = b.lookup(0x4000).unwrap().unwrap();
         assert_eq!(h, BtbHit::Level2);
         // And is now resident in L1.
-        let (_, h2) = b.lookup(0x4000).unwrap();
+        let (_, h2) = b.lookup(0x4000).unwrap().unwrap();
         assert_eq!(h2, BtbHit::Main);
     }
 
@@ -542,10 +600,10 @@ mod tests {
         for i in 1..64u64 {
             b.install(entry(0x4000 + i * 128));
         }
-        let (_, h) = b.lookup(0x4000).unwrap();
+        let (_, h) = b.lookup(0x4000).unwrap().unwrap();
         assert_eq!(h, BtbHit::Level2);
         // The sibling came along with the fill.
-        let (_, h2) = b.lookup(0x4008).unwrap();
+        let (_, h2) = b.lookup(0x4008).unwrap().unwrap();
         assert_eq!(h2, BtbHit::Main, "sibling should have been filled too");
     }
 
@@ -573,7 +631,7 @@ mod tests {
         b.install(e);
         e.bias = 42;
         b.update_entry(e);
-        let (got, hit) = b.lookup(0x4000).unwrap();
+        let (got, hit) = b.lookup(0x4000).unwrap().unwrap();
         assert_eq!(hit, BtbHit::Main);
         assert_eq!(got.bias, 42);
     }

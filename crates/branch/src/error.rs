@@ -1,0 +1,49 @@
+//! Typed predictor-state corruption errors.
+//!
+//! Hardware predictors protect their arrays with parity/ECC and treat a
+//! detected error as a recoverable event (drop the entry, retrain) rather
+//! than a machine check. This module is the model's analog: structural
+//! invariant violations that a lookup can *detect* surface as a
+//! [`PredictorError`] instead of a panic, and the core's watchdog decides
+//! whether to recover (flush and retrain) or to abort the slice with a
+//! typed error.
+
+use std::fmt;
+
+/// A detectable corruption of predictor state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorError {
+    /// An mBTB line held an entry whose PC does not belong to the line's
+    /// 128 B address window — the model's parity-error analog.
+    BtbTagMismatch {
+        /// PC stored in the offending slot.
+        slot_pc: u64,
+        /// 128 B-aligned line address (`pc >> 7`) the slot lives under.
+        line_addr: u64,
+    },
+    /// The RAS depth exceeded its capacity (pointer arithmetic corrupted).
+    RasDepthInvariant {
+        /// Observed depth.
+        depth: usize,
+        /// Configured capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for PredictorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictorError::BtbTagMismatch { slot_pc, line_addr } => write!(
+                f,
+                "mBTB tag mismatch: slot pc {slot_pc:#x} stored under line {line_addr:#x} \
+                 (expected line {:#x})",
+                slot_pc >> 7
+            ),
+            PredictorError::RasDepthInvariant { depth, capacity } => {
+                write!(f, "RAS depth {depth} exceeds capacity {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredictorError {}

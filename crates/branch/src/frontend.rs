@@ -21,6 +21,7 @@
 use crate::btb::{BtbEntry, BtbHierarchy, BtbHit};
 use crate::config::FrontendConfig;
 use crate::confidence::ConfidenceTable;
+use crate::error::PredictorError;
 use crate::history::{GlobalHistory, PathHistory};
 use crate::indirect::IndirectPredictor;
 use crate::mrb::{Mrb, MrbStats};
@@ -245,6 +246,14 @@ impl FrontEnd {
     /// the cost of having to retrain"): flush every predictor structure.
     pub fn set_context_flushing(&mut self, ctx: ContextId) {
         self.set_context(ctx);
+        self.flush_predictors();
+    }
+
+    /// Flush every predictor structure without changing the context key.
+    /// Clears any corruption (detected or silent) at the cost of a full
+    /// retrain — the first rung of the core watchdog's degradation ladder,
+    /// and the recovery action after a detected [`PredictorError`].
+    pub fn flush_predictors(&mut self) {
         self.shp = Shp::new(self.cfg.shp.clone());
         self.ubtb = MicroBtb::new(self.cfg.ubtb.clone());
         self.btb = BtbHierarchy::new(self.cfg.btb.clone());
@@ -256,6 +265,44 @@ impl FrontEnd {
         self.last_taken_branch = None;
         self.pending_zero_bubble = None;
         self.expected_pc = None;
+    }
+
+    /// Rotate the context cipher key in place (CEASER-style re-keying,
+    /// §V). Every sealed indirect/RAS target trained under the old key now
+    /// decodes to garbage, so poisoned (or corrupted) encrypted state is
+    /// neutralized without a structural flush. The final rung of the
+    /// watchdog's degradation ladder.
+    pub fn rekey(&mut self, salt: u64) {
+        self.key = self.key.rotate(salt);
+        self.ras.set_key(self.key);
+    }
+
+    // ---- fault-injection hooks (driven by exynos-core's FaultInjector) --
+
+    /// Flip bits in one resident mBTB entry's stored target (silent,
+    /// recoverable-by-retraining corruption). Returns whether an entry was
+    /// hit.
+    pub fn corrupt_btb_target(&mut self, salt: u64) -> bool {
+        self.btb.corrupt_target(salt)
+    }
+
+    /// Corrupt one resident mBTB entry's PC tag out of its line window
+    /// (detectable corruption: the next lookup of the line reports a
+    /// [`PredictorError::BtbTagMismatch`]). Returns whether an entry was
+    /// hit.
+    pub fn corrupt_btb_tag(&mut self, salt: u64) -> bool {
+        self.btb.corrupt_tag(salt)
+    }
+
+    /// Invert one SHP weight (soft error in the weight array).
+    pub fn flip_shp_weight(&mut self, salt: u64) {
+        self.shp.flip_weight(salt);
+    }
+
+    /// Forget all but the newest `keep` RAS entries (models a speculative
+    /// repair gone wrong).
+    pub fn truncate_ras(&mut self, keep: usize) {
+        self.ras.truncate(keep);
     }
 
     fn seal(&self, kind: BranchKind, target: u64) -> u64 {
@@ -334,7 +381,11 @@ impl FrontEnd {
     }
 
     /// Process one instruction of the architectural stream.
-    pub fn on_inst(&mut self, inst: &Inst) -> FetchFeedback {
+    ///
+    /// Detected predictor-state corruption surfaces as a typed
+    /// [`PredictorError`]; the caller decides between recovery
+    /// ([`FrontEnd::flush_predictors`]) and abort.
+    pub fn on_inst(&mut self, inst: &Inst) -> Result<FetchFeedback, PredictorError> {
         self.stats.instructions += 1;
         // Trace-gap detection.
         let gap = match self.expected_pc {
@@ -347,18 +398,30 @@ impl FrontEnd {
             self.stats.trace_gaps += 1;
             self.pending_zero_bubble = None;
             self.last_taken_branch = None;
-            return FetchFeedback {
+            return Ok(FetchFeedback {
                 bubbles: 0,
                 redirect: Some(Redirect::TraceGap),
-            };
+            });
         }
         match inst.branch {
             Some(b) => self.on_branch(inst.pc, b.kind, b.taken, b.target),
-            None => FetchFeedback::NONE,
+            None => Ok(FetchFeedback::NONE),
         }
     }
 
-    fn on_branch(&mut self, pc: u64, kind: BranchKind, taken: bool, target: u64) -> FetchFeedback {
+    fn on_branch(
+        &mut self,
+        pc: u64,
+        kind: BranchKind,
+        taken: bool,
+        target: u64,
+    ) -> Result<FetchFeedback, PredictorError> {
+        if self.ras.depth() > self.ras.capacity() {
+            return Err(PredictorError::RasDepthInvariant {
+                depth: self.ras.depth(),
+                capacity: self.ras.capacity(),
+            });
+        }
         self.stats.branches += 1;
         if kind.is_conditional() {
             self.stats.cond_branches += 1;
@@ -408,7 +471,7 @@ impl FrontEnd {
 
         if !used_ubtb {
             // Main predictor path.
-            btb_entry = self.btb.lookup(pc);
+            btb_entry = self.btb.lookup(pc)?;
             match btb_entry {
                 Some((entry, hit)) => {
                     // Direction.
@@ -624,6 +687,6 @@ impl FrontEnd {
         }
 
         self.stats.bubbles += bubbles as u64;
-        FetchFeedback { bubbles, redirect }
+        Ok(FetchFeedback { bubbles, redirect })
     }
 }

@@ -155,11 +155,11 @@ impl IndirectPredictor {
         pc ^ ((i as u64 + 1).wrapping_mul(0x1F3_5151) << 2)
     }
 
-    fn table_index(&self, pc: u64) -> usize {
-        let h = self.cfg.hash_table.as_ref().expect("hash table present");
+    fn table_index(&self, pc: u64) -> Option<usize> {
+        let h = self.cfg.hash_table.as_ref()?;
         let hist = self.target_hist & ((1u32 << h.target_history_bits) - 1);
         let x = (pc >> 2) as u32 ^ hist.wrapping_mul(0x9E37_79B9);
-        (x ^ (x >> 13)) as usize & (h.entries - 1)
+        Some((x ^ (x >> 13)) as usize & (h.entries - 1))
     }
 
     fn table_tag(&self, pc: u64) -> u32 {
@@ -210,11 +210,12 @@ impl IndirectPredictor {
         let many_targets = chain_len >= self.cfg.max_vpc && self.cfg.hash_table.is_some();
         let hash_hit: Option<(u64, u32)> = match &self.cfg.hash_table {
             Some(h) if !self.table.is_empty() => {
-                let idx = self.table_index(pc);
                 let tag = self.table_tag(pc);
-                self.table[idx]
-                    .filter(|(t, _)| *t == tag)
-                    .map(|(_, tgt)| (tgt, h.latency))
+                self.table_index(pc).and_then(|idx| {
+                    self.table[idx]
+                        .filter(|(t, _)| *t == tag)
+                        .map(|(_, tgt)| (tgt, h.latency))
+                })
             }
             _ => None,
         };
@@ -300,7 +301,7 @@ impl IndirectPredictor {
                         .enumerate()
                         .min_by_key(|(_, c)| c.lru)
                         .map(|(i, _)| i)
-                        .unwrap();
+                        .unwrap_or(0);
                     self.chains.remove(victim);
                 }
                 self.chains.push(Chain {
@@ -308,7 +309,10 @@ impl IndirectPredictor {
                     targets: Vec::new(),
                     lru: stamp,
                 });
-                self.chains.last_mut().unwrap()
+                // Just pushed, so the vec is non-empty; fall back to index
+                // 0 rather than abort if that ever changes.
+                let last = self.chains.len() - 1;
+                &mut self.chains[last]
             }
         };
         chain.lru = stamp;
@@ -343,8 +347,7 @@ impl IndirectPredictor {
             phist.push(vp);
         }
         // --- Hash table training. -----------------------------------------
-        if self.cfg.hash_table.is_some() {
-            let idx = self.table_index(pc);
+        if let Some(idx) = self.table_index(pc) {
             let tag = self.table_tag(pc);
             self.table[idx] = Some((tag, target));
         }

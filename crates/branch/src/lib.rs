@@ -28,7 +28,7 @@
 //! let mut gen = LoopNest::new(&LoopNestParams::default(), 0, 1);
 //! for _ in 0..10_000 {
 //!     let inst = gen.next_inst();
-//!     let _feedback = fe.on_inst(&inst);
+//!     let _feedback = fe.on_inst(&inst).expect("predictor state uncorrupted");
 //! }
 //! assert!(fe.stats().mpki() < 5.0);
 //! ```
@@ -38,6 +38,7 @@
 pub mod btb;
 pub mod config;
 pub mod confidence;
+pub mod error;
 pub mod frontend;
 pub mod history;
 pub mod indirect;
@@ -48,5 +49,6 @@ pub mod storage;
 pub mod ubtb;
 
 pub use config::FrontendConfig;
+pub use error::PredictorError;
 pub use frontend::{FetchFeedback, FrontEnd, FrontendStats, Redirect};
 pub use storage::{storage_budget, StorageBudget};

@@ -152,7 +152,7 @@ impl Mrb {
             .enumerate()
             .min_by_key(|(_, e)| e.lru)
             .map(|(i, _)| i)
-            .unwrap();
+            .unwrap_or(0);
         self.entries[victim] = entry;
     }
 }

@@ -76,6 +76,14 @@ impl Ras {
             .map(|e| decrypt_target(self.key, e))
     }
 
+    /// Fault-injection hook: forget all but the newest `keep` entries.
+    /// Models a speculative-repair bug truncating the stack; the forgotten
+    /// frames underflow later and mispredict, which the front end absorbs
+    /// as ordinary return mispredicts.
+    pub fn truncate(&mut self, keep: usize) {
+        self.depth = self.depth.min(keep);
+    }
+
     /// Current number of live entries.
     pub fn depth(&self) -> usize {
         self.depth

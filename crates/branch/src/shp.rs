@@ -153,6 +153,22 @@ impl Shp {
         self.theta
     }
 
+    /// Fault-injection hook: invert one weight, chosen deterministically
+    /// from `salt` (a zero weight flips to full magnitude). A soft error
+    /// in the weight array — never detectable, only trainable-away.
+    pub fn flip_weight(&mut self, salt: u64) {
+        if self.weights.is_empty() {
+            return;
+        }
+        let i = salt as usize % self.weights.len();
+        let w = self.weights[i] as i32;
+        self.weights[i] = if w == 0 {
+            WEIGHT_MAX as i8
+        } else {
+            (-w).clamp(WEIGHT_MIN, WEIGHT_MAX) as i8
+        };
+    }
+
     fn pc_hash(&self, pc: u64, table: usize) -> u32 {
         // Cheap PC mix, diversified per table.
         let x = (pc >> 2) as u32;

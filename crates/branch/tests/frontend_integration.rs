@@ -128,7 +128,7 @@ fn trace_gap_reports_redirect() {
     // Jump to a wildly different PC without a branch.
     let mut far = gen.next_inst();
     far.pc += 0x100_0000;
-    let fb = fe.on_inst(&far);
+    let fb = fe.on_inst(&far).unwrap();
     assert_eq!(fb.redirect, Some(Redirect::TraceGap));
 }
 

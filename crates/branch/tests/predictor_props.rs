@@ -106,7 +106,7 @@ proptest! {
         for pc in &pcs {
             let pc = pc * 4;
             b.install(BtbEntry::discover(pc, pc ^ 0xF00, BranchKind::CondDirect, true));
-            let got = b.lookup(pc);
+            let got = b.lookup(pc).unwrap();
             prop_assert!(got.is_some(), "freshly installed branch must be found");
             prop_assert_eq!(got.unwrap().0.target, pc ^ 0xF00);
         }

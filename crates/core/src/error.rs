@@ -1,0 +1,209 @@
+//! Typed simulator errors.
+//!
+//! Every failure the stack can detect is reported as a [`SimError`]
+//! instead of a panic, so a corrupted trace record or an injected
+//! micro-architectural fault degrades a run gracefully (or ends it with a
+//! diagnosable error) rather than aborting the process. Lower layers
+//! surface their own typed errors — [`exynos_branch::PredictorError`],
+//! [`exynos_uoc::UocError`] — and convert into [`SimError`] at the core
+//! boundary via `From`.
+
+use exynos_branch::PredictorError;
+use exynos_trace::InstKind;
+use exynos_uoc::{UocError, UocMode};
+use std::fmt;
+
+/// Occupancy snapshot captured when the forward-progress watchdog gives
+/// up, so a wedged run reports *where* the machine was stuck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancySnapshot {
+    /// ROB entries in flight.
+    pub rob: usize,
+    /// Configured ROB capacity.
+    pub rob_capacity: usize,
+    /// Integer PRF in-flight writers.
+    pub int_inflight: usize,
+    /// FP PRF in-flight writers.
+    pub fp_inflight: usize,
+    /// Miss-address buffers in use at the stall point.
+    pub mshr_occupancy: usize,
+    /// Configured miss-address buffer count.
+    pub mshr_capacity: usize,
+    /// UOC operating mode (`None` on generations without a UOC).
+    pub uoc_mode: Option<UocMode>,
+    /// µops resident in the UOC.
+    pub uoc_occupancy: u32,
+    /// Front-end fetch cycle at the stall point.
+    pub fetch_cycle: u64,
+    /// Cycle of the last successful retirement.
+    pub last_retire: u64,
+}
+
+impl fmt::Display for OccupancySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rob {}/{}, int {} fp {} in flight, mshr {}/{}, uoc {}({} uops), \
+             fetch@{} last-retire@{}",
+            self.rob,
+            self.rob_capacity,
+            self.int_inflight,
+            self.fp_inflight,
+            self.mshr_occupancy,
+            self.mshr_capacity,
+            match self.uoc_mode {
+                Some(m) => format!("{m:?}"),
+                None => "absent".into(),
+            },
+            self.uoc_occupancy,
+            self.fetch_cycle,
+            self.last_retire,
+        )
+    }
+}
+
+/// Everything that can go wrong inside the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A trace record was structurally invalid (e.g. a load or store with
+    /// no memory operand). Only raised in strict-decode mode; the default
+    /// policy counts and skips the record.
+    MalformedInst {
+        /// PC of the offending record.
+        pc: u64,
+        /// Its functional class.
+        kind: InstKind,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// A structural resource broke its occupancy invariant.
+    ResourceInvariant {
+        /// Which resource ("mab", "rob", ...).
+        resource: &'static str,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A predictor array was found in a state it could not legally reach
+    /// (tag mismatch, depth overflow, lost block state).
+    PredictorCorruption {
+        /// Which unit detected it ("branch", "uoc").
+        unit: &'static str,
+        /// PC associated with the detection, when one exists.
+        pc: u64,
+        /// Underlying error rendered as text.
+        detail: String,
+    },
+    /// The retire stage made no progress for longer than the watchdog
+    /// threshold and the graceful-degradation ladder was exhausted.
+    ForwardProgressStall {
+        /// Retirement cycle at which the stall was detected.
+        cycle: u64,
+        /// Length of the retirement gap in cycles.
+        stalled_cycles: u64,
+        /// Recovery attempts spent before giving up.
+        recoveries: u32,
+        /// Machine occupancy at the stall point.
+        snapshot: OccupancySnapshot,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MalformedInst { pc, kind, reason } => {
+                write!(f, "malformed {kind:?} record at {pc:#x}: {reason}")
+            }
+            SimError::ResourceInvariant { resource, detail } => {
+                write!(f, "{resource} invariant violated: {detail}")
+            }
+            SimError::PredictorCorruption { unit, pc, detail } => {
+                write!(f, "{unit} predictor state corrupt near {pc:#x}: {detail}")
+            }
+            SimError::ForwardProgressStall { cycle, stalled_cycles, recoveries, snapshot } => {
+                write!(
+                    f,
+                    "no retirement for {stalled_cycles} cycles at cycle {cycle} \
+                     after {recoveries} recoveries ({snapshot})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<PredictorError> for SimError {
+    fn from(e: PredictorError) -> SimError {
+        let pc = match e {
+            PredictorError::BtbTagMismatch { slot_pc, .. } => slot_pc,
+            PredictorError::RasDepthInvariant { .. } => 0,
+        };
+        SimError::PredictorCorruption { unit: "branch", pc, detail: e.to_string() }
+    }
+}
+
+impl From<UocError> for SimError {
+    fn from(e: UocError) -> SimError {
+        let UocError::BlockStateLost { pc } = e;
+        SimError::PredictorCorruption { unit: "uoc", pc, detail: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_every_variant() {
+        let snap = OccupancySnapshot {
+            rob: 224,
+            rob_capacity: 228,
+            int_inflight: 60,
+            fp_inflight: 12,
+            mshr_occupancy: 8,
+            mshr_capacity: 8,
+            uoc_mode: Some(UocMode::Fetch),
+            uoc_occupancy: 96,
+            fetch_cycle: 1000,
+            last_retire: 900,
+        };
+        let errs = [
+            SimError::MalformedInst { pc: 0x40, kind: InstKind::Load, reason: "no operand" },
+            SimError::ResourceInvariant { resource: "mab", detail: "9 > 8".into() },
+            SimError::PredictorCorruption { unit: "branch", pc: 0x80, detail: "tag".into() },
+            SimError::ForwardProgressStall {
+                cycle: 1,
+                stalled_cycles: 2,
+                recoveries: 3,
+                snapshot: snap,
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn predictor_error_converts_with_pc() {
+        let e = PredictorError::BtbTagMismatch { slot_pc: 0x4000, line_addr: 1 };
+        match SimError::from(e) {
+            SimError::PredictorCorruption { unit, pc, .. } => {
+                assert_eq!(unit, "branch");
+                assert_eq!(pc, 0x4000);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uoc_error_converts() {
+        let e = UocError::BlockStateLost { pc: 0x9000 };
+        match SimError::from(e) {
+            SimError::PredictorCorruption { unit, pc, .. } => {
+                assert_eq!(unit, "uoc");
+                assert_eq!(pc, 0x9000);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

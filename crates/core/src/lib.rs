@@ -6,7 +6,10 @@
 //! * [`config`] — Table I per-generation configurations (M1–M6);
 //! * [`memsys`] — L1/L2/exclusive-L3/DRAM with all prefetchers (§VII–IX);
 //! * [`ports`] — execution-port scheduling;
-//! * [`sim`] — the out-of-order timing model and slice runner.
+//! * [`sim`] — the out-of-order timing model and slice runner;
+//! * [`error`] — the typed failure model ([`SimError`], occupancy
+//!   snapshots) shared by every layer;
+//! * [`fault`] — the deterministic fault-injection harness.
 //!
 //! ## Example
 //!
@@ -18,17 +21,23 @@
 //!
 //! let mut sim = Simulator::new(CoreConfig::m5());
 //! let mut gen = LoopNest::new(&LoopNestParams::default(), 0, 1);
-//! let result = sim.run_slice(&mut gen, SlicePlan::new(2_000, 10_000));
+//! let result = sim
+//!     .run_slice(&mut gen, SlicePlan::new(2_000, 10_000))
+//!     .expect("clean trace, no injected faults");
 //! assert!(result.ipc > 0.5);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
+pub mod fault;
 pub mod memsys;
 pub mod ports;
 pub mod sim;
 
 pub use config::{CoreConfig, Generation};
+pub use error::{OccupancySnapshot, SimError};
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use memsys::{MemStats, MemSystem};
 pub use sim::{run_slice_on, SimStats, Simulator, SliceResult};

@@ -7,6 +7,7 @@
 //! prefetch bandwidth effects folded in through shared state.
 
 use crate::config::CoreConfig;
+use crate::error::SimError;
 use exynos_dram::{MemoryController, SnoopFilter, SpecDecision, SpecReadController};
 use exynos_mem::{AccessKind, Cache, InsertPriority, LineMeta, MissBuffers, TlbHierarchy};
 use exynos_prefetch::{
@@ -295,16 +296,19 @@ impl MemSystem {
             }
         }
         // L3 (exclusive) tags, checked after the L2.
-        let l3_hit = self.l3.as_mut().map(|l3| l3.access(addr, kind)).unwrap_or(false);
-        if l3_hit {
-            // Exclusive swap: line moves L3 → L2, reuse credited
-            // ("subsequent re-allocation from L3").
-            let l3 = self.l3.as_mut().unwrap();
+        let l3_swap = self.l3.as_mut().and_then(|l3| {
+            if !l3.access(addr, kind) {
+                return None;
+            }
             let (mut meta, dirty) = l3.invalidate(addr).unwrap_or((LineMeta::default(), false));
             if !meta.second_pass {
                 meta.reuse = meta.reuse.saturating_add(1).min(3);
             }
-            let l3_lat = l3.config().latency as u64;
+            Some((meta, dirty, l3.config().latency as u64))
+        });
+        if let Some((meta, dirty, l3_lat)) = l3_swap {
+            // Exclusive swap: line moves L3 → L2, reuse credited
+            // ("subsequent re-allocation from L3").
             let victims = self.l2.fill(addr, kind, meta, InsertPriority::Elevated);
             if dirty {
                 self.l2.mark_dirty(addr);
@@ -333,8 +337,10 @@ impl MemSystem {
         }
         self.spec.resolve(pc, spec, false);
         // Fill the L2 (the L3 stays out of the way: exclusive).
-        let mut meta = LineMeta::default();
-        meta.second_pass = kind == AccessKind::PrefetchFirstPass;
+        let meta = LineMeta {
+            second_pass: kind == AccessKind::PrefetchFirstPass,
+            ..LineMeta::default()
+        };
         let victims = self.l2.fill(addr, kind, meta, InsertPriority::Elevated);
         self.castout_l2_victims(victims);
         self.snoop.insert(line);
@@ -348,10 +354,11 @@ impl MemSystem {
             return;
         }
         // L3 hit satisfies the prefetch without DRAM traffic.
-        let in_l3 = self.l3.as_ref().map(|l3| l3.probe(addr)).unwrap_or(false);
-        if in_l3 {
-            let l3 = self.l3.as_mut().unwrap();
-            let (meta, dirty) = l3.invalidate(addr).unwrap_or((LineMeta::default(), false));
+        let l3_line = match self.l3.as_mut() {
+            Some(l3) if l3.probe(addr) => l3.invalidate(addr),
+            _ => None,
+        };
+        if let Some((meta, dirty)) = l3_line {
             let victims = self.l2.fill(addr, kind, meta, InsertPriority::Ordinary);
             if dirty {
                 self.l2.mark_dirty(addr);
@@ -362,8 +369,10 @@ impl MemSystem {
         // Low-priority DRAM read: deprioritized behind demand traffic, so
         // prefetch bursts never inflate demand latency.
         let _ = self.dram.read_background(addr, now);
-        let mut meta = LineMeta::default();
-        meta.second_pass = kind == AccessKind::PrefetchFirstPass;
+        let meta = LineMeta {
+            second_pass: kind == AccessKind::PrefetchFirstPass,
+            ..LineMeta::default()
+        };
         let victims = self.l2.fill(addr, kind, meta, InsertPriority::Ordinary);
         self.castout_l2_victims(victims);
         self.snoop.insert(addr / 64);
@@ -457,9 +466,45 @@ impl MemSystem {
     // Demand interface
     // ------------------------------------------------------------------
 
+    /// Occupancy must never exceed capacity: `try_allocate` refuses when
+    /// full, so a violation means the buffer bookkeeping itself broke.
+    fn check_mab_invariant(&self, now: u64) -> Result<(), SimError> {
+        let occ = self.mabs.occupancy(now);
+        let cap = self.mabs.capacity();
+        if occ > cap {
+            return Err(SimError::ResourceInvariant {
+                resource: "mab",
+                detail: format!("{occ} miss buffers in flight but only {cap} exist"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Miss-address buffers in use at `now` (watchdog snapshots).
+    pub fn mab_occupancy(&self, now: u64) -> usize {
+        self.mabs.occupancy(now)
+    }
+
+    /// Configured miss-address buffer count.
+    pub fn mab_capacity(&self) -> usize {
+        self.mabs.capacity()
+    }
+
+    /// Fault-injection hook: the prefetch confirmation paths lose their
+    /// in-flight state — pending two-pass fills are discarded and the
+    /// standalone prefetcher's stream training resets. Returns the number
+    /// of pending L1 fills that were dropped.
+    pub fn drop_prefetch_state(&mut self) -> usize {
+        let dropped = self.twopass.drop_pending();
+        if let Some(sp) = &mut self.standalone {
+            sp.drop_confirmations();
+        }
+        dropped
+    }
+
     /// A demand load issued at `now`; returns the cycle its data is
     /// available. `cascade` selects the load-to-load fast path (M4+).
-    pub fn load(&mut self, pc: u64, vaddr: u64, now: u64, cascade: bool) -> u64 {
+    pub fn load(&mut self, pc: u64, vaddr: u64, now: u64, cascade: bool) -> Result<u64, SimError> {
         self.stats.loads += 1;
         self.drain_prefetches(now);
         let tlb_lat = self.tlb.translate_data(vaddr) as u64;
@@ -482,9 +527,10 @@ impl MemSystem {
             }
             let done = base + hit_lat;
             self.stats.total_load_latency += done - now;
-            return done;
+            return Ok(done);
         }
         // L1 miss: allocate a MAB (stall if none free).
+        self.check_mab_invariant(now)?;
         let mut start = base;
         if !self.mabs.try_allocate(start, start + 1) {
             let free_at = self.mabs.earliest_free(start);
@@ -513,12 +559,12 @@ impl MemSystem {
         self.issue_l1_prefetches(requests, start);
         let done = data_at_l2 + hit_lat;
         self.stats.total_load_latency += done - now;
-        done
+        Ok(done)
     }
 
     /// A demand store issued at `now`; returns the cycle it completes into
     /// the store buffer (cache state updated in the background).
-    pub fn store(&mut self, pc: u64, vaddr: u64, now: u64) -> u64 {
+    pub fn store(&mut self, pc: u64, vaddr: u64, now: u64) -> Result<u64, SimError> {
         self.stats.stores += 1;
         let _ = self.tlb.translate_data(vaddr);
         if self.l1d.access(vaddr, AccessKind::Demand) {
@@ -536,21 +582,22 @@ impl MemSystem {
                 }
             }
         }
-        now + 1
+        Ok(now + 1)
     }
 
     /// An instruction fetch of the line at `pc` at `now`; returns added
     /// fetch latency in cycles (0 on an L1I hit).
-    pub fn ifetch(&mut self, pc: u64, now: u64) -> u64 {
+    pub fn ifetch(&mut self, pc: u64, now: u64) -> Result<u64, SimError> {
         let tlb_lat = self.tlb.translate_inst(pc) as u64;
         if self.l1i.access(pc, AccessKind::Demand) {
-            return tlb_lat;
+            return Ok(tlb_lat);
         }
+        self.check_mab_invariant(now)?;
         self.stats.icache_misses += 1;
         let done = self.fetch_to_l2(pc, pc, now + tlb_lat, AccessKind::Demand);
         let victims = self.l1i.fill(pc, AccessKind::Demand, LineMeta::default(), InsertPriority::Elevated);
         drop(victims); // clean instruction lines need no writeback
-        done.saturating_sub(now)
+        Ok(done.saturating_sub(now))
     }
 }
 
@@ -566,9 +613,9 @@ mod tests {
     #[test]
     fn l1_hit_costs_hit_latency() {
         let mut m = ms(CoreConfig::m3());
-        let t1 = m.load(0x4000, 0x10_0000, 0, false);
+        let t1 = m.load(0x4000, 0x10_0000, 0, false).unwrap();
         assert!(t1 > 50, "cold miss goes deep");
-        let t2 = m.load(0x4000, 0x10_0008, 1000, false);
+        let t2 = m.load(0x4000, 0x10_0008, 1000, false).unwrap();
         assert_eq!(t2 - 1000, 4, "same line now hits L1");
         assert_eq!(m.stats().l1_hits, 1);
     }
@@ -576,15 +623,15 @@ mod tests {
     #[test]
     fn cascade_latency_is_three() {
         let mut m = ms(CoreConfig::m4());
-        let _ = m.load(0x4000, 0x10_0000, 0, false);
-        let t = m.load(0x4000, 0x10_0000, 1000, true);
+        let _ = m.load(0x4000, 0x10_0000, 0, false).unwrap();
+        let t = m.load(0x4000, 0x10_0000, 1000, true).unwrap();
         assert_eq!(t - 1000, 3);
     }
 
     #[test]
     fn l2_hit_cheaper_than_dram() {
         let mut m = ms(CoreConfig::m3());
-        let cold = m.load(0x4000, 0x20_0000, 0, false) - 0;
+        let cold = m.load(0x4000, 0x20_0000, 0, false).unwrap() - 0;
         // Evict from L1 by filling the set, keeping L2 resident: simplest
         // is a second distinct line mapping elsewhere, then re-access the
         // first after L1 eviction. Directly probe the path instead: a
@@ -592,7 +639,7 @@ mod tests {
         // exposed, so approximate by comparing a fresh DRAM load to an
         // L3-resident reload pattern at the system level.
         assert!(cold > m.l2_stats().demand_misses as u64); // sanity
-        let far = m.load(0x4000, 0x30_0000, 10_000, false) - 10_000;
+        let far = m.load(0x4000, 0x30_0000, 10_000, false).unwrap() - 10_000;
         assert!(far > 60, "cold DRAM load is expensive, got {far}");
     }
 
@@ -606,12 +653,12 @@ mod tests {
         for i in 0..lines as u64 {
             // Touch twice so reuse metadata marks them L3-worthy.
             let a = 0x100_0000 + i * 64;
-            let _ = m.load(0x4000, a, i * 10, false);
-            let _ = m.load(0x4000, a, i * 10 + 5, false);
+            let _ = m.load(0x4000, a, i * 10, false).unwrap();
+            let _ = m.load(0x4000, a, i * 10 + 5, false).unwrap();
         }
         let before = m.stats().l3_hits;
         // Revisit a mid-range line (old enough to have left L1/L2).
-        let _ = m.load(0x4000, 0x100_0000, 10_000_000, false);
+        let _ = m.load(0x4000, 0x100_0000, 10_000_000, false).unwrap();
         assert!(
             m.stats().l3_hits > before,
             "revisit must be served by the exclusive L3: {:?}",
@@ -625,7 +672,7 @@ mod tests {
         let mut misses_late = 0;
         let mut total_late = 0;
         for i in 0..400u64 {
-            let t = m.load(0x4000, 0x400_0000 + i * 64, i * 200, false);
+            let t = m.load(0x4000, 0x400_0000 + i * 64, i * 200, false).unwrap();
             let lat = t - i * 200;
             if i >= 350 {
                 total_late += 1;
@@ -647,7 +694,7 @@ mod tests {
             let mut m = ms(cfg);
             for i in 0..50u64 {
                 // Pointer-chase-ish: unique 128 B-granule pairs.
-                let _ = m.load(0x4000, 0x800_0000 + i * 8192, i * 300, false);
+                let _ = m.load(0x4000, 0x800_0000 + i * 8192, i * 300, false).unwrap();
             }
             m.stats().buddy_fills
         };
@@ -660,7 +707,7 @@ mod tests {
         let mut m = ms(CoreConfig::m1()); // 8 MABs
         // Fire many independent misses at the same cycle.
         for i in 0..30u64 {
-            let _ = m.load(0x4000, 0x900_0000 + i * 4096 * 7, 0, false);
+            let _ = m.load(0x4000, 0x900_0000 + i * 4096 * 7, 0, false).unwrap();
         }
         assert!(m.stats().mab_stalls > 0, "{:?}", m.stats());
     }
@@ -668,19 +715,19 @@ mod tests {
     #[test]
     fn ifetch_miss_then_hit() {
         let mut m = ms(CoreConfig::m3());
-        let lat = m.ifetch(0x40_0000, 0);
+        let lat = m.ifetch(0x40_0000, 0).unwrap();
         assert!(lat > 0);
-        let lat2 = m.ifetch(0x40_0010, 100);
+        let lat2 = m.ifetch(0x40_0010, 100).unwrap();
         assert_eq!(lat2, 0, "same icache line hits");
     }
 
     #[test]
     fn stores_complete_fast_but_update_state() {
         let mut m = ms(CoreConfig::m3());
-        let t = m.store(0x4000, 0xA0_0000, 0);
+        let t = m.store(0x4000, 0xA0_0000, 0).unwrap();
         assert_eq!(t, 1);
         // The stored line is now L1-resident: a load hits.
-        let t2 = m.load(0x4000, 0xA0_0000, 100, false);
+        let t2 = m.load(0x4000, 0xA0_0000, 100, false).unwrap();
         assert_eq!(t2 - 100, 4);
     }
 
@@ -692,8 +739,8 @@ mod tests {
         // predictor, then speculates.
         for i in 0..200u64 {
             let a = 0xB00_0000 + i * 64 * 97;
-            let _ = m5.load(0x4444, a, i * 400, false);
-            let _ = m4.load(0x4444, a, i * 400, false);
+            let _ = m5.load(0x4444, a, i * 400, false).unwrap();
+            let _ = m4.load(0x4444, a, i * 400, false).unwrap();
         }
         assert!(m5.stats().spec_read_wins > 0);
         assert_eq!(m4.stats().spec_read_wins, 0);

@@ -19,9 +19,11 @@
 //! provides the redirect cost.
 
 use crate::config::CoreConfig;
+use crate::error::{OccupancySnapshot, SimError};
+use crate::fault::{FaultFiring, FaultInjector, FaultPlan, FaultStats};
 use crate::memsys::{MemStats, MemSystem};
 use crate::ports::{PortSchedule, Resource};
-use exynos_branch::{FrontEnd, FrontendStats, Redirect};
+use exynos_branch::{FetchFeedback, FrontEnd, FrontendStats, Redirect};
 use exynos_trace::{BranchKind, Inst, InstKind, Reg, SlicePlan, TraceGen};
 use exynos_uoc::{Uoc, UocMode};
 use std::collections::VecDeque;
@@ -37,7 +39,47 @@ pub struct SimStats {
     pub loads: u64,
     /// Instructions supplied by the UOC (fetch/decode power proxy).
     pub uoc_supplied: u64,
+    /// Malformed trace records skipped (lenient decode).
+    pub malformed_insts: u64,
+    /// Detected predictor-state corruptions recovered by a flush.
+    pub predictor_corruptions: u64,
+    /// UOC block-state losses recovered by demotion to FilterMode.
+    pub uoc_recoveries: u64,
+    /// Retirement gaps beyond the watchdog threshold.
+    pub watchdog_events: u64,
+    /// Graceful-degradation rungs executed by the watchdog.
+    pub watchdog_recoveries: u64,
 }
+
+/// How many consecutive detected-corruption steps the front end may spend
+/// flushing before the error escalates: a genuine soft error clears on
+/// the first rebuild, so repeats mean the corruption source is live.
+const CORRUPTION_ESCALATION_LIMIT: u32 = 8;
+
+/// Forward-progress watchdog state (§ robustness): retirement gaps beyond
+/// `threshold` trigger the degradation ladder, and `max_recoveries`
+/// exhausted rungs surface [`SimError::ForwardProgressStall`].
+#[derive(Debug, Clone, Copy)]
+struct Watchdog {
+    /// Retirement-gap trigger in cycles. Far above any legitimate
+    /// single-instruction latency (a full MAB of DRAM misses is < 10k).
+    threshold: u64,
+    /// Degradation rungs to try before erroring out.
+    max_recoveries: u32,
+    /// Rungs spent so far (decays with sustained progress).
+    recoveries: u32,
+    /// Consecutive steps with healthy retirement gaps.
+    progress_streak: u32,
+}
+
+impl Default for Watchdog {
+    fn default() -> Watchdog {
+        Watchdog { threshold: 50_000, max_recoveries: 3, recoveries: 0, progress_streak: 0 }
+    }
+}
+
+/// Progress steps needed to forgive one spent recovery rung.
+const WATCHDOG_DECAY_STREAK: u32 = 1024;
 
 /// Results of one measured slice.
 #[derive(Debug, Clone)]
@@ -80,6 +122,11 @@ pub struct Simulator {
     decode_depth: u64,
     fe_restart: u64,
     stats: SimStats,
+    // ---- robustness ----
+    injector: Option<FaultInjector>,
+    watchdog: Watchdog,
+    strict_decode: bool,
+    consecutive_corruptions: u32,
 }
 
 impl Simulator {
@@ -104,8 +151,39 @@ impl Simulator {
             decode_depth,
             fe_restart: 4,
             stats: SimStats::default(),
+            injector: None,
+            watchdog: Watchdog::default(),
+            strict_decode: false,
+            consecutive_corruptions: 0,
             cfg,
         }
+    }
+
+    /// Attach a deterministic fault injector executing `plan`. Replaces
+    /// any previously attached injector.
+    pub fn attach_fault_injector(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(plan));
+    }
+
+    /// Injection counters (`None` when no injector is attached).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.injector.as_ref().map(|i| i.stats())
+    }
+
+    /// Reconfigure the forward-progress watchdog: a retirement gap beyond
+    /// `threshold` cycles triggers the degradation ladder, and after
+    /// `max_recoveries` exhausted rungs the run ends with
+    /// [`SimError::ForwardProgressStall`].
+    pub fn set_watchdog(&mut self, threshold: u64, max_recoveries: u32) {
+        self.watchdog.threshold = threshold.max(1);
+        self.watchdog.max_recoveries = max_recoveries;
+    }
+
+    /// In strict mode a malformed trace record ends the run with
+    /// [`SimError::MalformedInst`]; the default lenient policy counts it
+    /// in [`SimStats::malformed_insts`] and skips the operation.
+    pub fn set_strict_decode(&mut self, strict: bool) {
+        self.strict_decode = strict;
     }
 
     /// The configuration in use.
@@ -166,22 +244,134 @@ impl Simulator {
             InstKind::FpAdd => self.cfg.lat.fadd as u64,
             InstKind::FpMul => self.cfg.lat.fmul as u64,
             InstKind::FpMac => self.cfg.lat.fmac as u64,
-            InstKind::Load | InstKind::Store => unreachable!("memory ops use the memsys"),
+            InstKind::Load | InstKind::Store => {
+                debug_assert!(false, "memory ops use the memsys");
+                1
+            }
         }
     }
 
+    /// Machine occupancy for stall diagnostics.
+    fn occupancy_snapshot(&self) -> OccupancySnapshot {
+        OccupancySnapshot {
+            rob: self.rob.len(),
+            rob_capacity: self.cfg.rob,
+            int_inflight: self.int_inflight.len(),
+            fp_inflight: self.fp_inflight.len(),
+            mshr_occupancy: self.memsys.mab_occupancy(self.last_retire),
+            mshr_capacity: self.memsys.mab_capacity(),
+            uoc_mode: self.uoc.as_ref().map(|u| u.mode()),
+            uoc_occupancy: self.uoc.as_ref().map(|u| u.occupancy()).unwrap_or(0),
+            fetch_cycle: self.fetch_cycle,
+            last_retire: self.last_retire,
+        }
+    }
+
+    /// Apply the state-corruption components of one injector firing.
+    fn apply_state_faults(&mut self, fired: &FaultFiring) {
+        if let Some(salt) = fired.corrupt_btb_target {
+            let _ = self.frontend.corrupt_btb_target(salt);
+        }
+        if let Some(salt) = fired.corrupt_btb_tag {
+            let _ = self.frontend.corrupt_btb_tag(salt);
+        }
+        if let Some(salt) = fired.flip_shp_weight {
+            self.frontend.flip_shp_weight(salt);
+        }
+        if let Some(keep) = fired.truncate_ras {
+            self.frontend.truncate_ras(keep);
+        }
+        if fired.drop_prefetch {
+            let _ = self.memsys.drop_prefetch_state();
+        }
+    }
+
+    /// Mutate a trace record per the injector firing: a warped PC makes a
+    /// discontinuity gap; a stripped operand makes a malformed memory op.
+    fn mutate_inst(inst: &mut Inst, fired: &FaultFiring) {
+        if fired.gap_inst {
+            inst.pc ^= 0x4000_0000;
+        }
+        if fired.malform_inst {
+            inst.mem = None;
+            if !matches!(inst.kind, InstKind::Load | InstKind::Store) {
+                inst.kind = InstKind::Load;
+                inst.branch = None;
+            }
+        }
+    }
+
+    /// A memory op with no address operand: in strict mode this ends the
+    /// run; by default it is counted and retired as a 1-cycle no-op.
+    fn skip_malformed(&mut self, inst: &Inst, issue: u64) -> Result<u64, SimError> {
+        if self.strict_decode {
+            return Err(SimError::MalformedInst {
+                pc: inst.pc,
+                kind: inst.kind,
+                reason: "memory op carries no address operand",
+            });
+        }
+        self.stats.malformed_insts += 1;
+        Ok(issue + 1)
+    }
+
     /// Process one instruction; returns its retirement cycle.
-    pub fn step(&mut self, inst: &Inst) -> u64 {
+    ///
+    /// An `Err` means the machine could not continue — a strict-decode
+    /// violation, corruption that survives flushing, or a retire stage
+    /// that stayed wedged through the whole degradation ladder.
+    /// Recoverable conditions (detected predictor corruption, UOC state
+    /// loss, transient stalls) degrade gracefully and return `Ok`.
+    pub fn step(&mut self, inst: &Inst) -> Result<u64, SimError> {
         let width = self.cfg.width;
+        // ---------------- Fault injection ----------------
+        let mut inst = *inst;
+        let fired = match self.injector.as_mut() {
+            Some(inj) => inj.tick(),
+            None => FaultFiring::default(),
+        };
+        self.apply_state_faults(&fired);
+        Self::mutate_inst(&mut inst, &fired);
+        let inst = &inst;
         // ---------------- Front end ----------------
-        let fb = self.frontend.on_inst(inst);
+        let fb = match self.frontend.on_inst(inst) {
+            Ok(fb) => {
+                self.consecutive_corruptions = 0;
+                fb
+            }
+            Err(e) => {
+                // Detected predictor-state corruption (the parity-error
+                // analog): flush the front end and restart fetch. A
+                // genuine soft error clears on the first rebuild, so
+                // back-to-back detections mean the source is live and the
+                // error escalates.
+                self.stats.predictor_corruptions += 1;
+                self.consecutive_corruptions += 1;
+                if self.consecutive_corruptions > CORRUPTION_ESCALATION_LIMIT {
+                    return Err(e.into());
+                }
+                self.frontend.flush_predictors();
+                self.fetch_cycle += self.cfg.lat.mispredict as u64;
+                self.fetch_slots = 0;
+                self.cur_fetch_line = u64::MAX;
+                FetchFeedback::NONE
+            }
+        };
         // UOC mode machine (M5+): feed block structure; FetchMode gates the
         // instruction cache and decoders.
         let mut uoc_supply = false;
         if let Some(uoc) = &mut self.uoc {
             let broken = fb.redirect.is_some();
             let taken = inst.is_taken_branch();
-            let _ = uoc.on_inst(inst.pc, inst.branch.is_some(), taken, broken, self.frontend.ubtb_mut());
+            if uoc
+                .on_inst(inst.pc, inst.branch.is_some(), taken, broken, self.frontend.ubtb_mut())
+                .is_err()
+            {
+                // Lost block state: surrender the µop supply and rebuild
+                // from FilterMode rather than serving a stale block.
+                uoc.demote_to_filter();
+                self.stats.uoc_recoveries += 1;
+            }
             uoc_supply = uoc.mode() == UocMode::Fetch;
             if uoc_supply {
                 self.stats.uoc_supplied += 1;
@@ -202,7 +392,7 @@ impl Simulator {
         if line != self.cur_fetch_line {
             self.cur_fetch_line = line;
             if !uoc_supply {
-                let lat = self.memsys.ifetch(inst.pc, self.fetch_cycle);
+                let lat = self.memsys.ifetch(inst.pc, self.fetch_cycle)?;
                 if lat > 0 {
                     self.fetch_cycle += lat;
                     self.fetch_slots = 0;
@@ -226,8 +416,10 @@ impl Simulator {
         // ---------------- Dispatch (ROB / PRF limits) ----------------
         let mut dispatch = fetch_time + self.decode_depth;
         if self.rob.len() >= self.cfg.rob {
-            let oldest = self.rob.pop_front().unwrap();
-            dispatch = dispatch.max(oldest);
+            debug_assert!(!self.rob.is_empty(), "a full ROB cannot be empty");
+            if let Some(oldest) = self.rob.pop_front() {
+                dispatch = dispatch.max(oldest);
+            }
         }
         if let Some(dst) = inst.dst {
             let (q, cap) = if dst.is_int() {
@@ -236,8 +428,10 @@ impl Simulator {
                 (&mut self.fp_inflight, self.cfg.fp_prf.saturating_sub(32))
             };
             if q.len() >= cap.max(8) {
-                let freed = q.pop_front().unwrap();
-                dispatch = dispatch.max(freed);
+                debug_assert!(!q.is_empty(), "a full PRF queue cannot be empty");
+                if let Some(freed) = q.pop_front() {
+                    dispatch = dispatch.max(freed);
+                }
             }
         }
 
@@ -253,23 +447,28 @@ impl Simulator {
 
         // ---------------- Execute ----------------
         let complete = match inst.kind {
-            InstKind::Load => {
-                self.stats.loads += 1;
-                let vaddr = inst.mem.expect("load carries an address").vaddr;
-                let cascade = self.cfg.mem.load_cascade
-                    && inst
-                        .srcs
-                        .iter()
-                        .flatten()
-                        .any(|s| !s.is_zero() && self.reg_by_load[s.index()]);
-                self.memsys.load(inst.pc, vaddr, issue, cascade)
-            }
-            InstKind::Store => {
-                let vaddr = inst.mem.expect("store carries an address").vaddr;
-                self.memsys.store(inst.pc, vaddr, issue)
-            }
+            InstKind::Load => match inst.mem {
+                Some(m) => {
+                    self.stats.loads += 1;
+                    let cascade = self.cfg.mem.load_cascade
+                        && inst
+                            .srcs
+                            .iter()
+                            .flatten()
+                            .any(|s| !s.is_zero() && self.reg_by_load[s.index()]);
+                    self.memsys.load(inst.pc, m.vaddr, issue, cascade)?
+                }
+                None => self.skip_malformed(inst, issue)?,
+            },
+            InstKind::Store => match inst.mem {
+                Some(m) => self.memsys.store(inst.pc, m.vaddr, issue)?,
+                None => self.skip_malformed(inst, issue)?,
+            },
             _ => issue + self.exec_latency(inst.kind),
         };
+        // Injected completion stall (wedges retirement; the watchdog's
+        // job is to notice).
+        let complete = complete + fired.stall_cycles;
 
         // ---------------- Redirect resolution ----------------
         match fb.redirect {
@@ -298,6 +497,51 @@ impl Simulator {
         } else {
             self.retire_in_cycle = 0;
         }
+        // ---------------- Forward-progress watchdog ----------------
+        // In this instruction-stepped model "N cycles without retirement"
+        // is a gap between consecutive retire timestamps.
+        let gap = rt - self.last_retire;
+        if gap > self.watchdog.threshold {
+            self.stats.watchdog_events += 1;
+            self.watchdog.progress_streak = 0;
+            if self.watchdog.recoveries >= self.watchdog.max_recoveries {
+                return Err(SimError::ForwardProgressStall {
+                    cycle: rt,
+                    stalled_cycles: gap,
+                    recoveries: self.watchdog.recoveries,
+                    snapshot: self.occupancy_snapshot(),
+                });
+            }
+            // Graceful degradation, one rung per event: flush the front
+            // end; then also surrender the UOC; then also re-key the
+            // context cipher in case an encrypted structure went bad.
+            match self.watchdog.recoveries {
+                0 => self.frontend.flush_predictors(),
+                1 => {
+                    if let Some(uoc) = &mut self.uoc {
+                        uoc.demote_to_filter();
+                    }
+                    self.frontend.flush_predictors();
+                }
+                _ => {
+                    self.frontend.rekey(0x5EED_F00D ^ rt);
+                    if let Some(uoc) = &mut self.uoc {
+                        uoc.demote_to_filter();
+                    }
+                    self.frontend.flush_predictors();
+                }
+            }
+            self.watchdog.recoveries += 1;
+            self.stats.watchdog_recoveries += 1;
+        } else {
+            // Sustained progress forgives spent rungs, so isolated stalls
+            // hours apart don't accumulate into a spurious abort.
+            self.watchdog.progress_streak += 1;
+            if self.watchdog.progress_streak >= WATCHDOG_DECAY_STREAK {
+                self.watchdog.progress_streak = 0;
+                self.watchdog.recoveries = self.watchdog.recoveries.saturating_sub(1);
+            }
+        }
         self.retire_in_cycle += 1;
         self.last_retire = rt;
         self.rob.push_back(rt);
@@ -310,15 +554,19 @@ impl Simulator {
         }
         self.stats.instructions += 1;
         self.stats.last_retire = rt;
-        rt
+        Ok(rt)
     }
 
     /// Run a warmup + detail slice of `gen`, returning measured results
     /// for the detail window.
-    pub fn run_slice(&mut self, gen: &mut dyn TraceGen, plan: SlicePlan) -> SliceResult {
+    pub fn run_slice(
+        &mut self,
+        gen: &mut dyn TraceGen,
+        plan: SlicePlan,
+    ) -> Result<SliceResult, SimError> {
         for _ in 0..plan.warmup {
             let inst = gen.next_inst();
-            self.step(&inst);
+            self.step(&inst)?;
         }
         let start_insts = self.stats.instructions;
         let start_cycle = self.stats.last_retire;
@@ -326,7 +574,7 @@ impl Simulator {
         let mem0 = self.memsys.stats();
         for _ in 0..plan.detail {
             let inst = gen.next_inst();
-            self.step(&inst);
+            self.step(&inst)?;
         }
         let instructions = self.stats.instructions - start_insts;
         let cycles = (self.stats.last_retire - start_cycle).max(1);
@@ -336,7 +584,7 @@ impl Simulator {
             / instructions.max(1) as f64;
         let lat_num = mem1.total_load_latency - mem0.total_load_latency;
         let lat_den = (mem1.loads - mem0.loads).max(1);
-        SliceResult {
+        Ok(SliceResult {
             instructions,
             cycles,
             ipc: instructions as f64 / cycles as f64,
@@ -344,7 +592,7 @@ impl Simulator {
             avg_load_latency: lat_num as f64 / lat_den as f64,
             frontend: fe1,
             mem: mem1,
-        }
+        })
     }
 }
 
@@ -352,7 +600,7 @@ impl Simulator {
 pub fn run_slice_on(
     cfg: CoreConfig,
     slice: &exynos_trace::SliceSpec,
-) -> SliceResult {
+) -> Result<SliceResult, SimError> {
     let mut sim = Simulator::new(cfg);
     let mut gen = slice.instantiate();
     let plan = slice.plan;

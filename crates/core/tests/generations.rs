@@ -3,7 +3,7 @@
 
 use exynos_core::config::CoreConfig;
 use exynos_core::sim::Simulator;
-use exynos_trace::{standard_suite, SlicePlan, SuiteKind};
+use exynos_trace::{standard_suite, SlicePlan};
 
 /// Simulate a subset of the catalog on one generation; returns
 /// (geo-ish mean IPC, mean load latency).
@@ -14,7 +14,7 @@ fn run_suite(cfg: &CoreConfig, max_slices: usize) -> (f64, f64) {
     for slice in suite.iter().take(max_slices) {
         let mut sim = Simulator::new(cfg.clone());
         let mut g = slice.instantiate();
-        let r = sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000));
+        let r = sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000)).unwrap();
         ipcs.push(r.ipc);
         lats.push(r.avg_load_latency);
     }
@@ -72,7 +72,7 @@ fn high_ipc_workloads_unlocked_by_width() {
     let run = |cfg: CoreConfig| {
         let mut sim = Simulator::new(cfg);
         let mut g = nest.instantiate();
-        sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000)).ipc
+        sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000)).unwrap().ipc
     };
     let m1 = run(CoreConfig::m1());
     let m3 = run(CoreConfig::m3());
@@ -94,7 +94,7 @@ fn low_ipc_workloads_improved_by_memory_path() {
     let run = |cfg: CoreConfig| {
         let mut sim = Simulator::new(cfg);
         let mut g = chase.instantiate();
-        let r = sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000));
+        let r = sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000)).unwrap();
         (r.ipc, r.avg_load_latency)
     };
     let (i1, l1) = run(CoreConfig::m1());
@@ -109,7 +109,7 @@ fn uoc_supplies_uops_on_m5_loop_kernels() {
     let nest = suite.iter().find(|s| s.name.starts_with("specfp/")).unwrap();
     let mut sim = Simulator::new(CoreConfig::m5());
     let mut g = nest.instantiate();
-    let _ = sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000));
+    sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000)).unwrap();
     assert!(
         sim.stats().uoc_supplied > 0,
         "UOC must supply µops on a lockable kernel: {:?}",
@@ -118,7 +118,7 @@ fn uoc_supplies_uops_on_m5_loop_kernels() {
     // M4 has no UOC.
     let mut sim4 = Simulator::new(CoreConfig::m4());
     let mut g4 = nest.instantiate();
-    let _ = sim4.run_slice(&mut *g4, SlicePlan::new(4_000, 25_000));
+    sim4.run_slice(&mut *g4, SlicePlan::new(4_000, 25_000)).unwrap();
     assert_eq!(sim4.stats().uoc_supplied, 0);
 }
 
@@ -129,7 +129,7 @@ fn deterministic_replay() {
     let run = || {
         let mut sim = Simulator::new(CoreConfig::m5());
         let mut g = s.instantiate();
-        let r = sim.run_slice(&mut *g, SlicePlan::new(2_000, 10_000));
+        let r = sim.run_slice(&mut *g, SlicePlan::new(2_000, 10_000)).unwrap();
         (r.cycles, r.mpki.to_bits(), r.avg_load_latency.to_bits())
     };
     assert_eq!(run(), run(), "simulation must be fully deterministic");

@@ -28,7 +28,7 @@ proptest! {
                     touched.push(m.vaddr);
                 }
             }
-            let rt = sim.step(&inst);
+            let rt = sim.step(&inst).unwrap();
             prop_assert!(rt >= last_rt, "retirement must be monotone");
             last_rt = rt;
         }
@@ -52,7 +52,7 @@ proptest! {
         let run = || {
             let mut sim = Simulator::new(cfg.clone());
             let mut gen = slice.instantiate();
-            let r = sim.run_slice(&mut *gen, SlicePlan::new(500, 2_500));
+            let r = sim.run_slice(&mut *gen, SlicePlan::new(500, 2_500)).unwrap();
             (r.cycles, r.mpki.to_bits())
         };
         prop_assert_eq!(run(), run());

@@ -92,7 +92,7 @@ impl SnoopFilter {
         }
         let victim = (base..base + self.ways)
             .min_by_key(|&i| if self.entries[i].0 == u64::MAX { 0 } else { self.entries[i].1.max(1) })
-            .unwrap();
+            .unwrap_or(base);
         self.entries[victim] = (line, self.stamp);
     }
 

@@ -108,7 +108,7 @@ impl Tlb {
         }
         let victim = (base..base + self.cfg.ways)
             .min_by_key(|&i| if self.entries[i].0 == u64::MAX { 0 } else { self.entries[i].2.max(1) })
-            .unwrap();
+            .unwrap_or(base);
         self.entries[victim] = (gvpn, 1 << sector, self.stamp);
     }
 }

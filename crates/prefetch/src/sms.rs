@@ -182,7 +182,7 @@ impl SmsEngine {
                 .enumerate()
                 .min_by_key(|(_, a)| a.lru)
                 .map(|(i, _)| i)
-                .unwrap();
+                .unwrap_or(0);
             let closed = self.active.swap_remove(victim);
             self.close_generation(closed);
         }
@@ -211,7 +211,7 @@ impl SmsEngine {
                         .enumerate()
                         .min_by_key(|(_, s)| s.lru)
                         .map(|(i, _)| i)
-                        .unwrap();
+                        .unwrap_or(0);
                     self.signatures.swap_remove(victim);
                 }
                 self.signatures.push(Signature {
@@ -219,7 +219,8 @@ impl SmsEngine {
                     conf: [0; LINES_PER_REGION],
                     lru: stamp,
                 });
-                self.signatures.last_mut().unwrap()
+                let last = self.signatures.len() - 1;
+                &mut self.signatures[last]
             }
         };
         sig.lru = stamp;

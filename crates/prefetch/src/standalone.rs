@@ -227,9 +227,21 @@ impl StandalonePrefetcher {
             .enumerate()
             .min_by_key(|(_, st)| st.lru)
             .map(|(i, _)| i)
-            .unwrap();
+            .unwrap_or(0);
         self.streams[victim] = s;
         victim
+    }
+
+    /// Fault-injection hook: confirmation messages from the cache metadata
+    /// back to the trainer are lost. Every stream's training count is
+    /// zeroed (they must re-confirm their stride before issuing again),
+    /// the phantom filter is emptied, and the accuracy score resets.
+    pub fn drop_confirmations(&mut self) {
+        for s in &mut self.streams {
+            s.confirmations = 0;
+        }
+        self.filter.clear();
+        self.score = 0;
     }
 
     /// Feedback from cache metadata: a prefetched line was demanded

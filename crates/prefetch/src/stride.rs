@@ -241,7 +241,9 @@ impl MultiStrideEngine {
         // frontier to the demand point ("the prefetch issue logic will
         // skip ahead of the demand stream, avoiding redundant late
         // prefetches").
-        let (pat, phase) = s.pattern.clone().unwrap();
+        let Some((pat, phase)) = s.pattern.clone() else {
+            return Vec::new();
+        };
         let dir: i64 = pat.iter().sum();
         let overtaken = if dir >= 0 { line >= s.frontier } else { line <= s.frontier };
         if overtaken {
@@ -334,7 +336,7 @@ impl MultiStrideEngine {
             .enumerate()
             .min_by_key(|(_, s)| s.lru)
             .map(|(i, _)| i)
-            .unwrap();
+            .unwrap_or(0);
         self.streams[victim] = Stream::new(line, self.stamp);
         victim
     }

@@ -144,25 +144,33 @@ impl TwoPassController {
         let mut out = Vec::new();
         let mut rotated = 0;
         while out.len() < buffers && rotated < self.pending.len() {
-            match self.pending.front() {
-                Some(p) if p.ready_at <= now => {
-                    let p = self.pending.pop_front().unwrap();
-                    match self.mode {
-                        PassMode::TwoPass => self.stats.second_passes += 1,
-                        PassMode::OnePass => self.stats.one_passes += 1,
-                    }
-                    out.push(p.line);
+            let Some(p) = self.pending.pop_front() else {
+                break;
+            };
+            if p.ready_at <= now {
+                match self.mode {
+                    PassMode::TwoPass => self.stats.second_passes += 1,
+                    PassMode::OnePass => self.stats.one_passes += 1,
                 }
-                Some(_) => {
-                    // Head not ready: rotate to look deeper.
-                    let p = self.pending.pop_front().unwrap();
-                    self.pending.push_back(p);
-                    rotated += 1;
-                }
-                None => break,
+                out.push(p.line);
+            } else {
+                // Head not ready: rotate to look deeper.
+                self.pending.push_back(p);
+                rotated += 1;
             }
         }
         out
+    }
+
+    /// Fault-injection hook: the chaining path loses every pending fill
+    /// confirmation (steps 5–7 of Fig. 14 never arrive). The queued fills
+    /// are discarded and counted into [`TwoPassStats::dropped`]. Returns
+    /// how many fills were lost.
+    pub fn drop_pending(&mut self) -> usize {
+        let n = self.pending.len();
+        self.pending.clear();
+        self.stats.dropped += n as u64;
+        n
     }
 }
 

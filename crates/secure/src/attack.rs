@@ -120,7 +120,14 @@ pub fn replay_trial(
     // Lifetime 1: victim architecturally trains the gadget mapping (e.g.
     // attacker observed the victim call through this pointer).
     table.train(old_key, branch_pc, gadget);
-    let leaked = table.leak_raw(branch_pc).expect("entry was just trained");
+    let Some(leaked) = table.leak_raw(branch_pc) else {
+        // The entry was just trained, so a miss means the table geometry
+        // is degenerate; report a failed hijack rather than abort.
+        return AttackOutcome {
+            speculative_target: None,
+            hijacked: false,
+        };
+    };
     // Lifetime 2: attacker replays the leaked bits; victim now runs with a
     // fresh context.
     table.replay_raw(branch_pc, leaked);

@@ -124,6 +124,21 @@ impl EntropySources {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ContextHash(pub(crate) u64);
 
+impl ContextHash {
+    /// Derive a fresh key from this one and a salt — the CEASER-style
+    /// re-keying of §V ("the operating system can intentionally
+    /// periodically alter the CONTEXT_HASH"), also used by the watchdog's
+    /// degradation ladder to invalidate every sealed predictor target in
+    /// one step. The same diffusion network as the context-switch path
+    /// keeps the result software-unpredictable.
+    pub fn rotate(self, salt: u64) -> ContextHash {
+        ContextHash(diffuse(
+            self.0 ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            3,
+        ))
+    }
+}
+
 /// One round of the deterministic, reversible non-linear diffusion
 /// transformation (a xorshift-multiply permutation of the 64-bit space).
 fn diffuse_round(mut x: u64) -> u64 {

@@ -26,6 +26,32 @@
 #![warn(missing_docs)]
 
 use exynos_branch::ubtb::MicroBtb;
+use std::fmt;
+
+/// Internal inconsistency of the UOC detected during operation. Typed
+/// (instead of a panic) so the core's watchdog can demote the UOC to
+/// FilterMode and continue, or surface the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UocError {
+    /// The instruction-level driver lost the current block's start PC
+    /// while a block was being accumulated.
+    BlockStateLost {
+        /// PC of the closing branch that found no block start.
+        pc: u64,
+    },
+}
+
+impl fmt::Display for UocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UocError::BlockStateLost { pc } => {
+                write!(f, "UOC block accumulator lost its start PC at {pc:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UocError {}
 
 /// Operating mode of the µop supply path (Fig. 13).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -170,6 +196,20 @@ impl Uoc {
         self.build_timer = 0;
     }
 
+    /// Watchdog degradation hook: force the mode machine back to
+    /// FilterMode and drop the in-flight block accumulator. Resident
+    /// blocks stay cached (they re-arm via the ordinary Build path), but
+    /// µop supply stops until the filter re-qualifies the kernel.
+    pub fn demote_to_filter(&mut self) {
+        if self.mode != UocMode::Filter {
+            self.stats.demotions += 1;
+        }
+        self.mode = UocMode::Filter;
+        self.reset_counters();
+        self.cur_block_start = None;
+        self.cur_block_uops = 0;
+    }
+
     fn find(&self, start: u64) -> Option<usize> {
         self.blocks.iter().position(|b| b.start == start)
     }
@@ -191,7 +231,7 @@ impl Uoc {
                 .enumerate()
                 .min_by_key(|(_, b)| b.lru)
                 .map(|(i, _)| i)
-                .unwrap();
+                .unwrap_or(0);
             let b = self.blocks.swap_remove(victim);
             self.used_uops -= b.uops;
             self.stats.evictions += 1;
@@ -253,15 +293,18 @@ impl Uoc {
             UocMode::Fetch => {
                 self.stats.fetch_blocks += 1;
                 let built = ubtb.built_bit(branch_pc) == Some(true);
-                let resident = self.find(start).is_some();
-                if built && resident {
-                    self.fetch_edge += 1;
-                    let i = self.find(start).unwrap();
-                    self.blocks[i].lru = self.stamp;
-                    self.stats.uops_supplied += uops as u64;
-                } else {
-                    self.build_edge += 1;
-                }
+                let resident = match self.find(start) {
+                    Some(i) if built => {
+                        self.fetch_edge += 1;
+                        self.blocks[i].lru = self.stamp;
+                        self.stats.uops_supplied += uops as u64;
+                        true
+                    }
+                    found => {
+                        self.build_edge += 1;
+                        found.is_some()
+                    }
+                };
                 // µBTB inaccuracy or too many UOC misses end FetchMode.
                 let edges = self.fetch_edge + self.build_edge;
                 let missy = edges >= self.cfg.min_edges
@@ -280,7 +323,8 @@ impl Uoc {
     /// Instruction-level driver: accumulates the current basic block and
     /// calls [`Uoc::on_block`] when a taken branch (or a redirect,
     /// signalled via `block_broken`) closes it. Returns whether the
-    /// *closing* block was supplied by the UOC.
+    /// *closing* block was supplied by the UOC, or a typed [`UocError`]
+    /// if the accumulator state is inconsistent.
     pub fn on_inst(
         &mut self,
         pc: u64,
@@ -288,7 +332,7 @@ impl Uoc {
         taken: bool,
         block_broken: bool,
         ubtb: &mut MicroBtb,
-    ) -> bool {
+    ) -> Result<bool, UocError> {
         if block_broken {
             self.cur_block_start = None;
             self.cur_block_uops = 0;
@@ -298,10 +342,12 @@ impl Uoc {
         }
         self.cur_block_uops += 1;
         if is_branch && taken {
-            let start = self.cur_block_start.take().unwrap();
+            let Some(start) = self.cur_block_start.take() else {
+                return Err(UocError::BlockStateLost { pc });
+            };
             let uops = self.cur_block_uops;
             self.cur_block_uops = 0;
-            return self.on_block(start, pc, uops, ubtb);
+            return Ok(self.on_block(start, pc, uops, ubtb));
         }
         // Very long fall-through regions close blocks at fetch width too,
         // but those are uninteresting to the UOC filter; cap block size.
@@ -309,7 +355,7 @@ impl Uoc {
             self.cur_block_start = None;
             self.cur_block_uops = 0;
         }
-        false
+        Ok(false)
     }
 }
 
@@ -447,7 +493,7 @@ mod tests {
         let mut ubtb = locked_ubtb();
         // 3 µops then the taken branch at 0x4100.
         for pc in [0x40F4u64, 0x40F8, 0x40FC] {
-            assert!(!uoc.on_inst(pc, false, false, false, &mut ubtb));
+            assert!(!uoc.on_inst(pc, false, false, false, &mut ubtb).unwrap());
         }
         let _ = uoc.on_inst(0x4100, true, true, false, &mut ubtb);
         // One block processed in Filter mode (observing the lock).

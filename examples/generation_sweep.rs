@@ -26,7 +26,7 @@ fn main() {
         for slice in &slices {
             let mut sim = Simulator::new(cfg.clone());
             let mut gen = slice.instantiate();
-            let r = sim.run_slice(&mut *gen, SlicePlan::new(4_000, 25_000));
+            let r = sim.run_slice(&mut *gen, SlicePlan::new(4_000, 25_000)).expect("clean example slice");
             ipc += r.ipc;
             mpki += r.mpki;
             lat += r.avg_load_latency;

@@ -19,7 +19,7 @@ fn main() {
     println!("=== Multi-stride engine on the paper's +2x2,+5x1 stream (M3) ===\n");
     let mut sim = Simulator::new(CoreConfig::m3());
     let mut gen = MultiStride::new(&MultiStrideParams::default(), 0, 1);
-    let r = sim.run_slice(&mut gen, SlicePlan::new(5_000, 50_000));
+    let r = sim.run_slice(&mut gen, SlicePlan::new(5_000, 50_000)).expect("clean example slice");
     let st = sim.memsys().l1_prefetcher().stride_stats();
     println!("pattern locks    : {}", st.locks);
     println!("prefetches issued: {}", st.issued);
@@ -33,7 +33,7 @@ fn main() {
     println!("\n=== SMS engine on irregular region signatures (M3) ===\n");
     let mut sim = Simulator::new(CoreConfig::m3());
     let mut gen = SpatialRegions::new(&SpatialParams::default(), 1, 2);
-    let r = sim.run_slice(&mut gen, SlicePlan::new(10_000, 50_000));
+    let r = sim.run_slice(&mut gen, SlicePlan::new(10_000, 50_000)).expect("clean example slice");
     let sms = sim.memsys().l1_prefetcher().sms_stats();
     println!("region generations: {}", sms.generations);
     println!("L1 prefetches     : {}", sms.l1_prefetches);
@@ -48,7 +48,7 @@ fn main() {
         let name = cfg.gen;
         let mut sim = Simulator::new(cfg);
         let mut gen = SpatialRegions::new(&SpatialParams::default(), 1, 2);
-        let r = sim.run_slice(&mut gen, SlicePlan::new(10_000, 50_000));
+        let r = sim.run_slice(&mut gen, SlicePlan::new(10_000, 50_000)).expect("clean example slice");
         println!(
             "{name}: IPC {:.2}, avg load latency {:.1} cycles",
             r.ipc, r.avg_load_latency
@@ -80,7 +80,7 @@ fn main() {
         3,
         4,
     );
-    let r = sim.run_slice(&mut gen, SlicePlan::new(5_000, 50_000));
+    let r = sim.run_slice(&mut gen, SlicePlan::new(5_000, 50_000)).expect("clean example slice");
     println!("spec reads: {:?}", sim.memsys().spec_stats());
     println!("dram      : {:?}", sim.memsys().dram_stats());
     println!("avg load latency {:.1} cycles", r.avg_load_latency);

@@ -19,7 +19,7 @@ fn main() {
     // onto and the UOC then supplies without the instruction cache.
     let mut workload = LoopNest::new(&LoopNestParams::default(), /*region=*/ 0, /*seed=*/ 1);
 
-    let result = sim.run_slice(&mut workload, SlicePlan::new(10_000, 100_000));
+    let result = sim.run_slice(&mut workload, SlicePlan::new(10_000, 100_000)).expect("clean example slice");
 
     println!("=== Exynos M5, loop-nest kernel ===");
     println!("instructions     : {}", result.instructions);

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Everything here must pass before a PR lands.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+
+# Panic-site gate: library and binary code must propagate typed errors
+# (SimError / PredictorError / UocError) instead of unwrapping. Tests,
+# examples and benches are exempt (no --all-targets) — unwrap there is a
+# legitimate assertion that the simulated trace is clean.
+cargo clippy --workspace -- -D clippy::unwrap_used -D clippy::expect_used

@@ -29,7 +29,9 @@
 //!
 //! let mut sim = Simulator::new(CoreConfig::m5());
 //! let mut workload = LoopNest::new(&LoopNestParams::default(), 0, 1);
-//! let result = sim.run_slice(&mut workload, SlicePlan::new(2_000, 10_000));
+//! let result = sim
+//!     .run_slice(&mut workload, SlicePlan::new(2_000, 10_000))
+//!     .expect("clean trace, no injected faults");
 //! println!("IPC {:.2}, MPKI {:.2}", result.ipc, result.mpki);
 //! # assert!(result.ipc > 0.5);
 //! ```
@@ -45,5 +47,7 @@ pub use exynos_secure as secure;
 pub use exynos_trace as trace;
 pub use exynos_uoc as uoc;
 
-pub use exynos_core::{CoreConfig, Generation, SliceResult, Simulator};
+pub use exynos_core::{
+    CoreConfig, FaultPlan, Generation, OccupancySnapshot, SimError, SliceResult, Simulator,
+};
 pub use exynos_trace::{standard_suite, SlicePlan};

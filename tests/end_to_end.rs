@@ -14,7 +14,7 @@ fn whole_suite_smoke_on_m1_and_m6() {
         for slice in standard_suite(1) {
             let mut sim = Simulator::new(cfg.clone());
             let mut gen = slice.instantiate();
-            let r = sim.run_slice(&mut *gen, SlicePlan::new(1_000, 6_000));
+            let r = sim.run_slice(&mut *gen, SlicePlan::new(1_000, 6_000)).unwrap();
             assert!(r.ipc > 0.0 && r.ipc <= cfg.width as f64 + 1e-9,
                 "{} on {}: ipc {}", slice.name, cfg.gen, r.ipc);
             assert!(r.mpki >= 0.0 && r.mpki < 300.0, "{}: mpki {}", slice.name, r.mpki);
@@ -33,7 +33,7 @@ fn all_suite_kinds_have_distinct_behaviour_profiles() {
         let slice = suite.iter().find(|s| s.suite == kind).unwrap();
         let mut sim = Simulator::new(CoreConfig::m3());
         let mut gen = slice.instantiate();
-        sim.run_slice(&mut *gen, SlicePlan::new(2_000, 12_000)).ipc
+        sim.run_slice(&mut *gen, SlicePlan::new(2_000, 12_000)).unwrap().ipc
     };
     let fp = run(SuiteKind::SpecFpLike);
     let game = run(SuiteKind::GameLike);
@@ -49,12 +49,12 @@ fn context_switch_scrambles_predictor_state_end_to_end() {
     let mk = || WebWorkload::new(&WebParams::default(), 60, 3);
     let mut sim = Simulator::new(CoreConfig::m4()); // M4 productized CSV2
     let mut gen = mk();
-    let _ = sim.run_slice(&mut gen, SlicePlan::new(0, 60_000));
+    sim.run_slice(&mut gen, SlicePlan::new(0, 60_000)).unwrap();
     let before = sim.frontend().stats().return_mispredicts
         + sim.frontend().stats().indirect_mispredicts;
     // Context switch: same code, new ASID.
     sim.frontend_mut().set_context(ContextId::user(99, 0));
-    let _ = sim.run_slice(&mut gen, SlicePlan::new(0, 20_000));
+    sim.run_slice(&mut gen, SlicePlan::new(0, 20_000)).unwrap();
     let after = sim.frontend().stats().return_mispredicts
         + sim.frontend().stats().indirect_mispredicts;
     assert!(
@@ -76,7 +76,7 @@ fn mpki_and_ipc_improve_together_on_branchy_code() {
     let run = |cfg: CoreConfig| {
         let mut sim = Simulator::new(cfg);
         let mut gen = slice.instantiate();
-        let r = sim.run_slice(&mut *gen, SlicePlan::new(4_000, 25_000));
+        let r = sim.run_slice(&mut *gen, SlicePlan::new(4_000, 25_000)).unwrap();
         (r.mpki, r.ipc)
     };
     let (mpki1, ipc1) = run(CoreConfig::m1());

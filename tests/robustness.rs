@@ -1,8 +1,11 @@
 //! Robustness / failure-injection tests: phase discontinuities, context
-//! switches, and predictor-hostile inputs through the full stack.
+//! switches, predictor-hostile inputs, seeded micro-architectural fault
+//! injection, and the forward-progress watchdog through the full stack.
 
 use exynos::core::config::CoreConfig;
+use exynos::core::fault::FaultPlan;
 use exynos::core::sim::Simulator;
+use exynos::core::SimError;
 use exynos::secure::context::ContextId;
 use exynos::trace::gen::markov::{MarkovBranches, MarkovMode, MarkovParams};
 use exynos::trace::gen::mixed::PhaseMix;
@@ -21,7 +24,7 @@ fn phase_mix_gaps_are_survived_and_counted() {
     ];
     let mut mix = PhaseMix::new(children, 500);
     let mut sim = Simulator::new(CoreConfig::m5());
-    let r = sim.run_slice(&mut mix, SlicePlan::new(2_000, 30_000));
+    let r = sim.run_slice(&mut mix, SlicePlan::new(2_000, 30_000)).unwrap();
     let gaps = sim.frontend().stats().trace_gaps;
     assert!(gaps >= 30, "phase switches must register as trace gaps: {gaps}");
     assert!(r.ipc > 0.0 && r.ipc <= 6.0);
@@ -38,7 +41,7 @@ fn rapid_context_switches_never_wedge_the_pipeline() {
         sim.frontend_mut().set_context(ContextId::user(round, 0));
         for _ in 0..3_000 {
             let inst = gen.next_inst();
-            let rt = sim.step(&inst);
+            let rt = sim.step(&inst).unwrap();
             assert!(rt >= last);
             last = rt;
         }
@@ -64,7 +67,7 @@ fn flushing_switches_cost_more_than_rekeying() {
             }
             for _ in 0..5_000 {
                 let inst = gen.next_inst();
-                let _ = sim.step(&inst);
+                sim.step(&inst).unwrap();
             }
         }
         sim.frontend().stats().total_mispredicts()
@@ -97,7 +100,7 @@ fn parity_branches_stay_hard_on_every_generation() {
             205,
             9,
         );
-        let r = sim.run_slice(&mut gen, SlicePlan::new(5_000, 25_000));
+        let r = sim.run_slice(&mut gen, SlicePlan::new(5_000, 25_000)).unwrap();
         assert!(
             r.mpki > 30.0,
             "{name}: parity branches must stay hard, got {:.1}",
@@ -122,7 +125,7 @@ fn degenerate_workloads_do_not_break_the_model() {
     );
     let mut last = 0;
     for _ in 0..10_000 {
-        let rt = sim.step(&spin);
+        let rt = sim.step(&spin).unwrap();
         assert!(rt >= last);
         last = rt;
     }
@@ -130,4 +133,142 @@ fn degenerate_workloads_do_not_break_the_model() {
     // M6's 2 BR units but bounded by in-order retire of a 1-inst loop.
     let ipc = sim.stats().instructions as f64 / sim.stats().last_retire as f64;
     assert!(ipc <= 2.0 + 1e-9, "spin IPC {ipc}");
+}
+
+#[test]
+fn seeded_chaos_injection_survives_every_generation() {
+    // Every fault class firing on prime periods, across all six cores:
+    // the run must finish (Ok or typed SimError — never a panic/abort),
+    // and an Ok run must report sane IPC despite the corruption.
+    for (i, cfg) in CoreConfig::all_generations().into_iter().enumerate() {
+        let name = cfg.gen;
+        let mut sim = Simulator::new(cfg);
+        sim.attach_fault_injector(FaultPlan::chaos(0xC0FFEE + i as u64));
+        let mut gen = MarkovBranches::new(&MarkovParams::default(), 210, 11 + i as u64);
+        match sim.run_slice(&mut gen, SlicePlan::new(2_000, 40_000)) {
+            Ok(r) => {
+                assert!(r.ipc > 0.0 && r.ipc <= 6.0, "{name}: chaos IPC {}", r.ipc);
+            }
+            Err(e) => {
+                // A typed error is an acceptable outcome under sustained
+                // corruption; an untyped panic is not (it would have
+                // aborted this test before reaching here).
+                eprintln!("{name}: chaos run ended with typed error: {e}");
+            }
+        }
+        let fs = sim.fault_stats().expect("injector attached");
+        assert!(fs.total() > 0, "{name}: injector must actually fire");
+        assert!(fs.malformed > 0 && fs.gaps > 0 && fs.btb_targets > 0);
+    }
+}
+
+#[test]
+fn chaos_injection_is_deterministic() {
+    // Same seed → bit-identical outcome, including the injected faults.
+    let run = || {
+        let mut sim = Simulator::new(CoreConfig::m5());
+        sim.attach_fault_injector(FaultPlan::chaos(42));
+        let mut gen = MarkovBranches::new(&MarkovParams::default(), 211, 13);
+        let r = sim.run_slice(&mut gen, SlicePlan::new(1_000, 20_000));
+        let s = sim.stats();
+        (
+            r.map(|r| (r.cycles, r.mpki.to_bits())).map_err(|e| e.to_string()),
+            s.malformed_insts,
+            s.predictor_corruptions,
+            sim.fault_stats().map(|f| f.total()),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn malformed_records_are_counted_and_skipped() {
+    let mut plan = FaultPlan::none();
+    plan.malform_inst_every = 100;
+    let mut sim = Simulator::new(CoreConfig::m3());
+    sim.attach_fault_injector(plan);
+    let mut gen = MultiStride::new(&MultiStrideParams::default(), 212, 17);
+    let r = sim
+        .run_slice(&mut gen, SlicePlan::new(0, 10_000))
+        .expect("lenient decode skips malformed records");
+    assert_eq!(sim.stats().malformed_insts, 100, "one skip per firing");
+    assert!(r.ipc > 0.0);
+}
+
+#[test]
+fn strict_decode_surfaces_malformed_records_as_typed_errors() {
+    let mut plan = FaultPlan::none();
+    plan.malform_inst_every = 500;
+    let mut sim = Simulator::new(CoreConfig::m3());
+    sim.attach_fault_injector(plan);
+    sim.set_strict_decode(true);
+    let mut gen = MultiStride::new(&MultiStrideParams::default(), 212, 17);
+    match sim.run_slice(&mut gen, SlicePlan::new(0, 10_000)) {
+        Err(SimError::MalformedInst { kind, .. }) => {
+            assert!(matches!(
+                kind,
+                exynos::trace::InstKind::Load | exynos::trace::InstKind::Store
+            ));
+        }
+        other => panic!("strict decode must error on the first malformed record: {other:?}"),
+    }
+}
+
+#[test]
+fn watchdog_detects_wedged_retirement_with_occupancy_snapshot() {
+    // Wedge the retire stage: every 50th instruction completes 80k cycles
+    // late (beyond the 50k default threshold). The degradation ladder
+    // runs its three rungs, then the fourth stall surfaces the typed
+    // error carrying an occupancy snapshot.
+    let mut plan = FaultPlan::none();
+    plan.stall_every = 50;
+    plan.stall_cycles = 80_000;
+    let mut sim = Simulator::new(CoreConfig::m5());
+    sim.attach_fault_injector(plan);
+    let mut gen = MarkovBranches::new(&MarkovParams::default(), 213, 19);
+    let err = sim
+        .run_slice(&mut gen, SlicePlan::new(0, 10_000))
+        .expect_err("a persistently wedged ROB must trip the watchdog");
+    match err {
+        SimError::ForwardProgressStall { stalled_cycles, recoveries, snapshot, .. } => {
+            assert!(stalled_cycles > 50_000, "gap {stalled_cycles}");
+            assert_eq!(recoveries, 3, "full ladder spent before erroring");
+            assert_eq!(snapshot.rob_capacity, 228, "M5 ROB capacity in snapshot");
+            assert!(snapshot.last_retire > 0, "snapshot captures retire progress");
+            assert!(snapshot.mshr_capacity > 0);
+        }
+        other => panic!("wrong error: {other}"),
+    }
+    assert_eq!(sim.stats().watchdog_events, 4, "3 recovered + 1 fatal");
+    assert_eq!(sim.stats().watchdog_recoveries, 3);
+}
+
+#[test]
+fn watchdog_recoveries_decay_with_sustained_progress() {
+    // Stalls spaced far apart (> the 1024-step decay streak) must each be
+    // recovered: the ladder never exhausts, the run completes Ok.
+    let mut plan = FaultPlan::none();
+    plan.stall_every = 2_000;
+    plan.stall_cycles = 80_000;
+    let mut sim = Simulator::new(CoreConfig::m5());
+    sim.attach_fault_injector(plan);
+    let mut gen = MarkovBranches::new(&MarkovParams::default(), 214, 23);
+    sim.run_slice(&mut gen, SlicePlan::new(0, 20_000))
+        .expect("isolated stalls must never abort the run");
+    assert_eq!(sim.stats().watchdog_events, 10, "one event per firing");
+    assert_eq!(sim.stats().watchdog_recoveries, 10, "every event recovered");
+}
+
+#[test]
+fn watchdog_threshold_is_configurable() {
+    // A tiny threshold and zero recovery budget: the first legitimate
+    // long-latency event already errors out — proving the knob works.
+    let mut sim = Simulator::new(CoreConfig::m1());
+    sim.set_watchdog(10, 0);
+    let mut gen = PointerChase::new(&PointerChaseParams::default(), 215, 29);
+    let err = sim.run_slice(&mut gen, SlicePlan::new(0, 50_000));
+    assert!(
+        matches!(err, Err(SimError::ForwardProgressStall { .. })),
+        "a 10-cycle threshold must trip on any DRAM miss: {err:?}"
+    );
 }
