@@ -3,43 +3,113 @@
 //!
 //! ```text
 //! cargo run --release -p exynos-bench --bin harness -- all
-//! cargo run --release -p exynos-bench --bin harness -- fig9 --scale 4
+//! cargo run --release -p exynos-bench --bin harness -- fig9 --scale 4 --threads 8
 //! cargo run --release -p exynos-bench --bin harness -- fig17 --csv fig17.csv
+//! cargo run --release -p exynos-bench --bin harness -- bench --quick
 //! ```
 //!
 //! Subcommands: table1 table2 table3 table4 fig1 fig4 fig5 fig7 fig8 fig9
-//! fig10 fig14 fig15 fig16 fig17 uoc btb_ablation branchstats ablations all
+//! fig10 fig14 fig15 fig16 fig17 uoc btb_ablation branchstats ablations
+//! security_policies bench all
 
 use exynos_bench::experiments as exp;
+use exynos_bench::sweep;
 use exynos_branch::config::FrontendConfig;
 use exynos_branch::indirect::IndirectConfig;
 use exynos_core::config::CoreConfig;
-use exynos_secure::attack::cross_training_rate;
+
+/// Every recognized subcommand; anything else is a usage error.
+const SUBCOMMANDS: &[&str] = &[
+    "all", "table1", "table2", "table3", "table4", "fig1", "fig4", "fig5", "fig7", "fig8", "fig9",
+    "fig10", "fig14", "fig15", "fig16", "fig17", "uoc", "btb_ablation", "branchstats", "ablations",
+    "security_policies", "bench",
+];
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("harness: {msg}");
+    eprintln!("usage: harness [SUBCOMMAND] [--scale N] [--csv PATH] [--threads N] [--quick]");
+    eprintln!("subcommands: {}", SUBCOMMANDS.join(" "));
+    std::process::exit(2);
+}
+
+/// Parsed command line: the subcommand plus its options, every value
+/// validated up front (a malformed value is a hard usage error, never a
+/// silent fallback).
+struct Options {
+    cmd: String,
+    scale: usize,
+    csv_path: Option<String>,
+    threads: Option<usize>,
+    quick: bool,
+}
+
+fn parse_args(args: &[String]) -> Options {
+    let mut opts = Options {
+        cmd: "all".to_string(),
+        scale: 1,
+        csv_path: None,
+        threads: None,
+        quick: false,
+    };
+    let mut saw_cmd = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => opts.scale = n,
+                Some(_) => usage_error("--scale expects a positive integer"),
+                None => usage_error("--scale is missing its value"),
+            },
+            "--csv" => match it.next() {
+                Some(v) if !v.starts_with("--") => opts.csv_path = Some(v.clone()),
+                _ => usage_error("--csv is missing its path"),
+            },
+            "--threads" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => opts.threads = Some(n),
+                Some(_) => usage_error("--threads expects a positive integer"),
+                None => usage_error("--threads is missing its value"),
+            },
+            "--quick" => opts.quick = true,
+            "--help" | "-h" => {
+                println!("usage: harness [SUBCOMMAND] [--scale N] [--csv PATH] [--threads N] [--quick]");
+                println!("subcommands: {}", SUBCOMMANDS.join(" "));
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => {
+                usage_error(&format!("unknown option '{flag}'"));
+            }
+            cmd if !saw_cmd => {
+                if !SUBCOMMANDS.contains(&cmd) {
+                    usage_error(&format!("unknown subcommand '{cmd}'"));
+                }
+                opts.cmd = cmd.to_string();
+                saw_cmd = true;
+            }
+            extra => usage_error(&format!("unexpected argument '{extra}'")),
+        }
+    }
+    opts
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("all");
-    let scale = args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(1);
-    let csv_path = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let opts = parse_args(&args);
+    let Options { cmd, scale, csv_path, threads, quick } = opts;
+    if cmd == "bench" {
+        bench(quick, threads);
+        return;
+    }
     let run_all = cmd == "all";
     let want = |name: &str| run_all || cmd == name;
+    let sweep_threads = threads.unwrap_or_else(sweep::default_threads);
 
     // Population-based figures share one (expensive) sweep.
     let population = if want("fig9") || want("fig16") || want("fig17") || want("table4") {
         println!(
-            "# running population sweep (scale {scale}; {} slices x 6 generations)...",
+            "# running population sweep (scale {scale}; {} slices x 6 generations; {sweep_threads} threads)...",
             exynos_trace::standard_suite(scale).len()
         );
-        let pop = exp::run_population(scale, 5_000, 30_000);
+        let pop = exp::run_population_with_threads(scale, 5_000, 30_000, sweep_threads);
         if let Some(path) = &csv_path {
             let mut out = String::from("slice,generation,ipc,mpki,load_latency\n");
             for r in &pop {
@@ -85,7 +155,7 @@ fn main() {
         }
     }
     if want("fig10") {
-        fig10();
+        fig10(sweep_threads);
     }
     if want("uoc") {
         uoc();
@@ -114,7 +184,7 @@ fn main() {
         branchstats();
     }
     if want("ablations") {
-        ablations();
+        ablations(sweep_threads);
     }
     if want("security_policies") {
         security_policies();
@@ -131,13 +201,13 @@ fn security_policies() {
     println!(" indirect/return targets — 'minimal performance, timing, and area impact')");
 }
 
-fn ablations() {
+fn ablations(threads: usize) {
     hr("Ablations — the design choices of DESIGN.md, toggled one at a time");
     println!(
         "{:<30} {:<26} {:>10} {:>10} {:>8}",
         "feature", "metric", "with", "without", "delta"
     );
-    for a in exp::ablations() {
+    for a in exp::ablations_with_threads(threads) {
         let delta = if a.without_feature.abs() > 1e-9 {
             100.0 * (a.with_feature / a.without_feature - 1.0)
         } else {
@@ -315,10 +385,9 @@ fn fig9(pop: &[exp::SliceRecord]) {
     );
 }
 
-fn fig10() {
+fn fig10(threads: usize) {
     hr("Figs. 10-11 — CONTEXT_HASH target encryption (Spectre v2)");
-    for enc in [false, true] {
-        let (h, n) = cross_training_rate(enc, 256);
+    for (enc, h, n) in exp::attack_rate_sweep(256, threads) {
         println!(
             "encryption {}: cross-training hijacks {h}/{n}",
             if enc { "ON " } else { "OFF" }
@@ -476,4 +545,71 @@ fn branchstats() {
     println!("lead taken      : {lead:.1}%   [paper: 60%]");
     println!("second taken    : {second:.1}%   [paper: 24%]");
     println!("both not-taken  : {both:.1}%   [paper: 16%]");
+}
+
+/// `harness -- bench [--quick] [--threads N]`: time the fixed-seed
+/// reference sweep serially and in parallel, verify bit-identity, and
+/// write the perf trajectory to `BENCH_sweep.json` in the current
+/// directory (the repo root under `cargo run`).
+fn bench(quick: bool, threads: Option<usize>) {
+    use std::time::Instant;
+    hr("Sweep benchmark — fixed-seed reference population, serial vs parallel");
+    let host_parallelism = sweep::default_threads();
+    // The acceptance configuration is >= 4 worker threads; on hosts with
+    // fewer cores the workers just share cores (oversubscription is
+    // harmless for correctness, speedup is then bounded by the host).
+    let bench_threads = threads.unwrap_or_else(|| host_parallelism.max(4));
+    let scale = 1;
+    let (warmup, detail) = if quick { (1_000, 4_000) } else { (5_000, 30_000) };
+    let slices = exynos_trace::standard_suite(scale).len();
+    let jobs = slices * CoreConfig::all_generations().len();
+    let steps = (warmup + detail) * jobs as u64;
+    println!(
+        "reference sweep: {slices} slices x 6 generations = {jobs} jobs, {} steps/job{}",
+        warmup + detail,
+        if quick { " (quick)" } else { "" }
+    );
+    println!("host parallelism: {host_parallelism}; parallel run uses {bench_threads} threads");
+
+    let t0 = Instant::now();
+    let serial = exp::run_population_with_threads(scale, warmup, detail, 1);
+    let serial_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let parallel = exp::run_population_with_threads(scale, warmup, detail, bench_threads);
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    let bit_identical = serial.len() == parallel.len()
+        && serial.iter().zip(&parallel).all(|(a, b)| {
+            a.name == b.name
+                && a.gen == b.gen
+                && a.ipc.to_bits() == b.ipc.to_bits()
+                && a.mpki.to_bits() == b.mpki.to_bits()
+                && a.load_latency.to_bits() == b.load_latency.to_bits()
+        });
+    let speedup = serial_s / parallel_s.max(1e-9);
+    let rate = |secs: f64| steps as f64 / secs.max(1e-9);
+    println!("serial   : {serial_s:>8.3} s   {:>12.0} steps/s", rate(serial_s));
+    println!(
+        "parallel : {parallel_s:>8.3} s   {:>12.0} steps/s   ({speedup:.2}x, {bench_threads} threads)",
+        rate(parallel_s)
+    );
+    println!("bit-identical results: {bit_identical}");
+    if !bit_identical {
+        eprintln!("harness: parallel sweep diverged from the serial baseline");
+        std::process::exit(1);
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"quick\": {quick},\n  \"scale\": {scale},\n  \"slices\": {slices},\n  \"generations\": 6,\n  \"jobs\": {jobs},\n  \"steps_per_job\": {},\n  \"total_steps\": {steps},\n  \"threads\": {bench_threads},\n  \"available_parallelism\": {host_parallelism},\n  \"serial\": {{ \"wall_s\": {serial_s:.6}, \"steps_per_sec\": {:.0} }},\n  \"parallel\": {{ \"wall_s\": {parallel_s:.6}, \"steps_per_sec\": {:.0} }},\n  \"speedup\": {speedup:.4},\n  \"bit_identical\": {bit_identical}\n}}\n",
+        warmup + detail,
+        rate(serial_s),
+        rate(parallel_s),
+    );
+    match std::fs::write("BENCH_sweep.json", &json) {
+        Ok(()) => println!("wrote BENCH_sweep.json"),
+        Err(e) => {
+            eprintln!("harness: failed to write BENCH_sweep.json: {e}");
+            std::process::exit(1);
+        }
+    }
 }

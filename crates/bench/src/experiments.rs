@@ -41,25 +41,43 @@ pub struct SliceRecord {
 }
 
 /// Run the full suite (at `scale`) across all six generations with the
-/// given windows. This is the engine behind Figs. 9, 16 and 17.
+/// given windows, on [`crate::sweep::default_threads`] worker threads.
+/// This is the engine behind Figs. 9, 16 and 17.
 pub fn run_population(scale: usize, warmup: u64, detail: u64) -> Vec<SliceRecord> {
+    run_population_with_threads(scale, warmup, detail, crate::sweep::default_threads())
+}
+
+/// [`run_population`] with an explicit worker-thread count.
+///
+/// Every (generation, slice) pair is an independent job — its own
+/// `Simulator` built from an owned config and a freshly seeded generator
+/// — so the jobs run on the work-stealing executor and are re-assembled
+/// in catalog order (generation-major, slice-minor), exactly the order
+/// the old serial nested loop produced. Output is bit-identical for any
+/// `threads`.
+pub fn run_population_with_threads(
+    scale: usize,
+    warmup: u64,
+    detail: u64,
+    threads: usize,
+) -> Vec<SliceRecord> {
     let suite = standard_suite(scale);
-    let mut out = Vec::new();
-    for cfg in CoreConfig::all_generations() {
-        for slice in &suite {
-            let mut sim = Simulator::new(cfg.clone());
-            let mut gen = slice.instantiate();
-            let r = must(sim.run_slice(&mut *gen, SlicePlan::new(warmup, detail)));
-            out.push(SliceRecord {
-                name: slice.name.clone(),
-                gen: cfg.gen.name(),
-                ipc: r.ipc,
-                mpki: r.mpki,
-                load_latency: r.avg_load_latency,
-            });
+    let gens = CoreConfig::all_generations();
+    let per_gen = suite.len();
+    crate::sweep::run_indexed(gens.len() * per_gen, threads, |i| {
+        let cfg = &gens[i / per_gen];
+        let slice = &suite[i % per_gen];
+        let mut sim = Simulator::new(cfg.clone());
+        let mut gen = slice.instantiate();
+        let r = must(sim.run_slice(&mut *gen, SlicePlan::new(warmup, detail)));
+        SliceRecord {
+            name: slice.name.clone(),
+            gen: cfg.gen.name(),
+            ipc: r.ipc,
+            mpki: r.mpki,
+            load_latency: r.avg_load_latency,
         }
-    }
-    out
+    })
 }
 
 /// Mean of a per-generation metric over records.
@@ -536,9 +554,19 @@ fn frontend_mpki(cfg: &FrontendConfig, mk: &MarkovParams, insts: u64) -> f64 {
     fe.stats().mpki()
 }
 
-/// Run the front-end and memory-side ablation battery.
+/// Run the front-end and memory-side ablation battery on
+/// [`crate::sweep::default_threads`] worker threads.
 pub fn ablations() -> Vec<Ablation> {
-    let mut out = Vec::new();
+    ablations_with_threads(crate::sweep::default_threads())
+}
+
+/// [`ablations`] with an explicit worker-thread count. Each ablation is
+/// an independent job (it builds its own front-ends / simulators), so
+/// the battery runs on the work-stealing executor; results come back in
+/// the fixed catalog order below regardless of `threads`.
+pub fn ablations_with_threads(threads: usize) -> Vec<Ablation> {
+    type AblationJob = Box<dyn Fn() -> Ablation + Send + Sync>;
+    let mut battery: Vec<AblationJob> = Vec::new();
     let mk = MarkovParams {
         sites: 64,
         history_depth: 8,
@@ -549,17 +577,17 @@ pub fn ablations() -> Vec<Ablation> {
     };
 
     // Bias-weight doubling (§IV.A): scale 2 vs 1.
-    {
+    battery.push(Box::new(move || {
         let with = frontend_mpki(&FrontendConfig::m1(), &mk, 400_000);
         let mut cfg = FrontendConfig::m1();
         cfg.shp.bias_scale = 1;
         let without = frontend_mpki(&cfg, &mk, 400_000);
-        out.push(Ablation { name: "SHP bias doubling", metric: "MPKI", with_feature: with, without_feature: without });
-    }
+        Ablation { name: "SHP bias doubling", metric: "MPKI", with_feature: with, without_feature: without }
+    }));
 
     // Always-taken filtering (§IV.A anti-aliasing). Mix AT-heavy code with
     // hard branches in a small SHP so aliasing bites.
-    {
+    battery.push(Box::new(|| {
         let mk_alias = MarkovParams {
             sites: 96,
             history_depth: 8,
@@ -574,20 +602,20 @@ pub fn ablations() -> Vec<Ablation> {
         let mut nofilter = small.clone();
         nofilter.at_filter = false;
         let without = frontend_mpki(&nofilter, &mk_alias, 400_000);
-        out.push(Ablation { name: "always-taken SHP filter", metric: "MPKI", with_feature: with, without_feature: without });
-    }
+        Ablation { name: "always-taken SHP filter", metric: "MPKI", with_feature: with, without_feature: without }
+    }));
 
     // ZAT/ZOT (§IV.E): bubbles per taken branch.
-    {
+    battery.push(Box::new(|| {
         let with = fig5_bubbles_per_taken(FrontendConfig::m5());
         let mut cfg = FrontendConfig::m5();
         cfg.zero_bubble_atot = false;
         let without = fig5_bubbles_per_taken(cfg);
-        out.push(Ablation { name: "ZAT/ZOT replication", metric: "bubbles/taken", with_feature: with, without_feature: without });
-    }
+        Ablation { name: "ZAT/ZOT replication", metric: "bubbles/taken", with_feature: with, without_feature: without }
+    }));
 
     // MRB (§IV.E): front-end bubbles on mispredict-prone code.
-    {
+    battery.push(Box::new(|| {
         let bubbles = |mrb: bool| {
             let mut cfg = FrontendConfig::m5();
             if !mrb {
@@ -612,11 +640,11 @@ pub fn ablations() -> Vec<Ablation> {
             }
             fe.stats().bubbles as f64 / fe.stats().taken_branches.max(1) as f64
         };
-        out.push(Ablation { name: "Mispredict Recovery Buffer", metric: "bubbles/taken", with_feature: bubbles(true), without_feature: bubbles(false) });
-    }
+        Ablation { name: "Mispredict Recovery Buffer", metric: "bubbles/taken", with_feature: bubbles(true), without_feature: bubbles(false) }
+    }));
 
     // Integrated vs queue confirmation (§VII.D): stride confirmations.
-    {
+    battery.push(Box::new(|| {
         use exynos_prefetch::{ConfirmScheme, MultiStrideEngine, StrideConfig};
         let confirms = |scheme: ConfirmScheme| {
             let mut e = MultiStrideEngine::new(StrideConfig {
@@ -633,19 +661,19 @@ pub fn ablations() -> Vec<Ablation> {
             }
             e.stats().confirms as f64
         };
-        out.push(Ablation {
+        Ablation {
             name: "integrated confirmation",
             metric: "confirms (higher=better)",
             with_feature: confirms(ConfirmScheme::Integrated { lookahead: 4 }),
             without_feature: confirms(ConfirmScheme::Queue { depth: 16 }),
-        });
-    }
+        }
+    }));
 
     // Speculative DRAM read (§IX): avg load latency on a pointer chase.
     // Measured with early page activate off — the two features overlap
     // (both hide the leading edge of a DRAM access), so each is ablated
     // in isolation.
-    {
+    battery.push(Box::new(|| {
         let lat = |spec: bool| {
             let mut cfg = CoreConfig::m5();
             cfg.spec_read = spec;
@@ -662,11 +690,11 @@ pub fn ablations() -> Vec<Ablation> {
             );
             must(sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000))).avg_load_latency
         };
-        out.push(Ablation { name: "speculative DRAM read", metric: "avg load lat", with_feature: lat(true), without_feature: lat(false) });
-    }
+        Ablation { name: "speculative DRAM read", metric: "avg load lat", with_feature: lat(true), without_feature: lat(false) }
+    }));
 
     // Data fast path (§IX, M4): avg load latency on a DRAM-bound chase.
-    {
+    battery.push(Box::new(|| {
         let lat = |fast: bool| {
             let mut cfg = CoreConfig::m4();
             cfg.dram.fast_path = fast;
@@ -682,11 +710,11 @@ pub fn ablations() -> Vec<Ablation> {
             );
             must(sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000))).avg_load_latency
         };
-        out.push(Ablation { name: "DRAM data fast path", metric: "avg load lat", with_feature: lat(true), without_feature: lat(false) });
-    }
+        Ablation { name: "DRAM data fast path", metric: "avg load lat", with_feature: lat(true), without_feature: lat(false) }
+    }));
 
     // Early page activate (§IX, M5).
-    {
+    battery.push(Box::new(|| {
         let lat = |early: bool| {
             let mut cfg = CoreConfig::m5();
             cfg.dram.early_activate = early;
@@ -702,11 +730,11 @@ pub fn ablations() -> Vec<Ablation> {
             );
             must(sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000))).avg_load_latency
         };
-        out.push(Ablation { name: "early page activate", metric: "avg load lat", with_feature: lat(true), without_feature: lat(false) });
-    }
+        Ablation { name: "early page activate", metric: "avg load lat", with_feature: lat(true), without_feature: lat(false) }
+    }));
 
     // Buddy prefetcher (§VIII.B, M4): IPC on a 128 B-correlated workload.
-    {
+    battery.push(Box::new(|| {
         let ipc = |buddy: bool| {
             let mut cfg = CoreConfig::m4();
             cfg.buddy = buddy;
@@ -725,14 +753,14 @@ pub fn ablations() -> Vec<Ablation> {
             );
             must(sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000))).ipc
         };
-        out.push(Ablation { name: "Buddy prefetcher", metric: "IPC (higher=better)", with_feature: ipc(true), without_feature: ipc(false) });
-    }
+        Ablation { name: "Buddy prefetcher", metric: "IPC (higher=better)", with_feature: ipc(true), without_feature: ipc(false) }
+    }));
 
     // Standalone prefetcher (§VIII.C, M5): it observes "a global view of
     // both the instruction and data accesses at the lower cache level" —
     // unlike the L1 engines, it covers the *instruction* stream. Measure
     // IPC on a straight-line code loop far larger than the L1I.
-    {
+    battery.push(Box::new(|| {
         let ipc = |standalone: bool| {
             let mut cfg = CoreConfig::m5();
             if !standalone {
@@ -755,10 +783,28 @@ pub fn ablations() -> Vec<Ablation> {
             );
             must(sim.run_slice(&mut gen, SlicePlan::new(10_000, 60_000))).ipc
         };
-        out.push(Ablation { name: "standalone L2/L3 prefetcher", metric: "IPC (higher=better)", with_feature: ipc(true), without_feature: ipc(false) });
-    }
+        Ablation { name: "standalone L2/L3 prefetcher", metric: "IPC (higher=better)", with_feature: ipc(true), without_feature: ipc(false) }
+    }));
 
-    out
+    crate::sweep::run_indexed(battery.len(), threads, |i| battery[i]())
+}
+
+// ---------------------------------------------------------------------
+// Fig. 10 — cross-context attack success rate
+// ---------------------------------------------------------------------
+
+/// The Fig. 10 attack-rate sweep: cross-context BTB training success with
+/// and without CONTEXT_HASH target encryption, `trials` trials each.
+/// Returns `(encrypted, hits, trials)` per setting in catalog order
+/// (plain first); the two settings run as independent jobs on the
+/// work-stealing executor.
+pub fn attack_rate_sweep(trials: u32, threads: usize) -> Vec<(bool, u32, u32)> {
+    let settings = [false, true];
+    crate::sweep::run_indexed(settings.len(), threads, |i| {
+        let encrypt = settings[i];
+        let (hits, total) = exynos_secure::attack::cross_training_rate(encrypt, trials);
+        (encrypt, hits, total)
+    })
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,151 @@
+//! Work-stealing parallel sweep executor.
+//!
+//! Every population sweep in this crate — `run_population`, the ablation
+//! battery, the attack-rate sweep — is a cross product of fully
+//! independent jobs (one `Simulator` per (generation, slice) pair). This
+//! module runs such a job set on scoped OS threads with a shared atomic
+//! job index: each worker repeatedly claims the next unclaimed index
+//! (`fetch_add`), so fast jobs never wait behind slow ones and no
+//! per-job thread spawn cost is paid.
+//!
+//! Determinism: results are tagged with their job index and re-assembled
+//! in index order after the join, so the output vector is **bit-identical**
+//! to a serial `(0..jobs).map(job)` loop regardless of thread count or
+//! scheduling. Jobs must therefore be independent (no shared mutable
+//! state) — which they are by construction: each builds its own
+//! simulator from an owned config and a seeded generator.
+//!
+//! No external dependencies: `std::thread::scope` + `AtomicUsize` only.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use by default: the host's available
+/// parallelism, or 1 if it cannot be queried.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `jobs` independent jobs on up to `threads` scoped worker threads
+/// and return the results in job-index order.
+///
+/// `job(i)` is called exactly once for every `i in 0..jobs`, from some
+/// worker thread. With `threads <= 1` (or a single job) the jobs run
+/// serially on the calling thread — the parallel and serial paths
+/// produce identical output.
+///
+/// # Panics
+/// If a job panics, the panic is propagated to the caller after the
+/// remaining workers finish their current jobs (scoped threads are
+/// always joined).
+pub fn run_indexed<T, F>(jobs: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(jobs);
+    if threads == 1 {
+        return (0..jobs).map(job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let per_thread: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut claimed = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        claimed.push((i, job(i)));
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    });
+
+    // Re-assemble in job-index order: catalog order, independent of which
+    // worker ran which job.
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+    slots.resize_with(jobs, || None);
+    for (i, v) in per_thread.into_iter().flatten() {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| match v {
+            Some(v) => v,
+            // fetch_add hands out each index exactly once, so every slot
+            // is filled; reaching here means the executor itself broke.
+            None => panic!("sweep executor lost the result of job {i}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn empty_job_set() {
+        let out: Vec<u32> = run_indexed(0, 8, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let out = run_indexed(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let out = run_indexed(257, 8, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn more_threads_than_jobs() {
+        let out = run_indexed(3, 16, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "job 7 panicked")]
+    fn job_panics_propagate() {
+        let _ = run_indexed(16, 4, |i| {
+            if i == 7 {
+                panic!("job 7 panicked");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn default_threads_is_at_least_one() {
+        assert!(default_threads() >= 1);
+    }
+}

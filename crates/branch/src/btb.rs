@@ -131,6 +131,10 @@ impl Line {
 struct EntryStore {
     sets: usize,
     ways: usize,
+    /// `sets - 1` when `sets` is a power of two (every shipped geometry),
+    /// letting `set_of` mask instead of divide; `None` keeps the modulo
+    /// for exact non-power-of-two geometries.
+    set_mask: Option<usize>,
     entries: Vec<Option<(BtbEntry, u64)>>, // (entry, lru stamp)
 }
 
@@ -141,17 +145,23 @@ impl EntryStore {
         EntryStore {
             sets,
             ways,
+            set_mask: sets.is_power_of_two().then(|| sets - 1),
             entries: vec![None; sets * ways],
         }
     }
 
+    #[inline]
     fn set_of(&self, pc: u64) -> usize {
         // Mix line and intra-line bits so branches 128 B apart spread over
         // the sets; modulo supports exact (non-power-of-two) geometries.
         let h = (pc >> 2) ^ (pc >> 7) ^ (pc >> 16);
-        h as usize % self.sets
+        match self.set_mask {
+            Some(mask) => h as usize & mask,
+            None => h as usize % self.sets,
+        }
     }
 
+    #[inline]
     fn lookup(&mut self, pc: u64, stamp: u64) -> Option<BtbEntry> {
         let s = self.set_of(pc);
         for w in 0..self.ways {
@@ -230,6 +240,9 @@ pub struct BtbStats {
 pub struct BtbHierarchy {
     cfg: BtbConfig,
     sets: usize,
+    /// `sets - 1` when `sets` is a power of two; `None` keeps the modulo
+    /// for exact non-power-of-two geometries.
+    line_mask: Option<usize>,
     lines: Vec<Line>,
     vbtb: EntryStore,
     l2btb: EntryStore,
@@ -248,6 +261,7 @@ impl BtbHierarchy {
         let sets = (cfg.mbtb_lines / cfg.mbtb_ways).max(1);
         BtbHierarchy {
             sets,
+            line_mask: sets.is_power_of_two().then(|| sets - 1),
             lines: vec![Line::empty(); sets * cfg.mbtb_ways],
             vbtb: EntryStore::new(cfg.vbtb_entries, cfg.vbtb_ways),
             l2btb: EntryStore::new(cfg.l2btb_entries, cfg.l2btb_ways),
@@ -267,10 +281,16 @@ impl BtbHierarchy {
         self.stats
     }
 
+    #[inline]
     fn set_of_line(&self, line_addr: u64) -> usize {
-        (line_addr as usize ^ (line_addr >> 11) as usize) % self.sets
+        let h = line_addr as usize ^ (line_addr >> 11) as usize;
+        match self.line_mask {
+            Some(mask) => h & mask,
+            None => h % self.sets,
+        }
     }
 
+    #[inline]
     fn find_line(&mut self, line_addr: u64) -> Option<usize> {
         let s = self.set_of_line(line_addr);
         let base = s * self.cfg.mbtb_ways;
@@ -292,27 +312,28 @@ impl BtbHierarchy {
         let line_addr = pc >> 7;
         if let Some(li) = self.find_line(line_addr) {
             self.lines[li].lru = self.stamp;
-            if let Some(bad) = self.lines[li]
-                .slots
-                .iter()
-                .flatten()
-                .find(|e| e.pc >> 7 != line_addr)
-            {
-                return Err(PredictorError::BtbTagMismatch {
-                    slot_pc: bad.pc,
-                    line_addr,
-                });
+            // One pass over the line's slots: validate every tag, note
+            // whether the line holds any branch at all, and pick up the
+            // PC match. The first bad tag still wins over a hit, exactly
+            // as with the separate validation scan.
+            let mut occupied = false;
+            let mut hit: Option<BtbEntry> = None;
+            for e in self.lines[li].slots.iter().flatten() {
+                if e.pc >> 7 != line_addr {
+                    return Err(PredictorError::BtbTagMismatch {
+                        slot_pc: e.pc,
+                        line_addr,
+                    });
+                }
+                occupied = true;
+                if hit.is_none() && e.pc == pc {
+                    hit = Some(*e);
+                }
             }
-            if self.lines[li].slots.iter().flatten().count() == 0 {
+            if !occupied {
                 self.stats.empty_line_lookups += 1;
             }
-            if let Some(e) = self.lines[li]
-                .slots
-                .iter()
-                .flatten()
-                .find(|e| e.pc == pc)
-                .copied()
-            {
+            if let Some(e) = hit {
                 self.stats.main_hits += 1;
                 return Ok(Some((e, BtbHit::Main)));
             }
@@ -346,12 +367,31 @@ impl BtbHierarchy {
     fn l2_line_siblings(&mut self, pc: u64) -> Vec<BtbEntry> {
         let line = pc >> 7;
         let stamp = self.stamp;
+        // An entry always lives in the set its own PC hashes to, and the
+        // hash only depends on pc >> 2 within a line, so a 128 B line can
+        // reach at most 32 distinct sets. Probing just those (in ascending
+        // set order, hence ascending slot order) visits every possible
+        // sibling in the same order the old full-store scan did, without
+        // walking all the L2BTB entries.
+        let mut sets = [0usize; 32];
+        for (k, s) in sets.iter_mut().enumerate() {
+            *s = self.l2btb.set_of((line << 7) | ((k as u64) << 2));
+        }
+        sets.sort_unstable();
         let mut out = Vec::new();
-        for slot in self.l2btb.entries.iter_mut() {
-            if let Some((e, lru)) = slot {
-                if e.pc >> 7 == line && e.pc != pc {
-                    *lru = stamp;
-                    out.push(*e);
+        let mut prev = usize::MAX;
+        for &s in &sets {
+            if s == prev {
+                continue;
+            }
+            prev = s;
+            let base = s * self.l2btb.ways;
+            for slot in self.l2btb.entries[base..base + self.l2btb.ways].iter_mut() {
+                if let Some((e, lru)) = slot {
+                    if e.pc >> 7 == line && e.pc != pc {
+                        *lru = stamp;
+                        out.push(*e);
+                    }
                 }
             }
         }

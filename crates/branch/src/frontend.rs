@@ -26,7 +26,7 @@ use crate::history::{GlobalHistory, PathHistory};
 use crate::indirect::IndirectPredictor;
 use crate::mrb::{Mrb, MrbStats};
 use crate::ras::{Ras, RasStats};
-use crate::shp::{apply_bias_delta, Shp};
+use crate::shp::{apply_bias_delta, Shp, ShpPrediction};
 use crate::ubtb::{MicroBtb, UbtbPrediction};
 use exynos_secure::cipher::{decrypt_target, encrypt_target};
 use exynos_secure::context::{compute_context_hash, ContextHash, ContextId, EntropySources};
@@ -440,6 +440,11 @@ impl FrontEnd {
         let mut bubbles: u32 = 0;
         let mut btb_entry: Option<(BtbEntry, BtbHit)> = None;
         let mut indirect_pred: Option<Option<u64>> = None;
+        // SHP lookup made on the prediction path, reused at training time:
+        // nothing between the two points touches the SHP tables, the
+        // histories, or the entry bias, so recomputing it would return the
+        // same rows.
+        let mut shp_pred: Option<ShpPrediction> = None;
         let mut ras_popped = false;
 
         if locked {
@@ -481,9 +486,10 @@ impl FrontEnd {
                             if entry.always_taken {
                                 true
                             } else {
-                                self.shp
-                                    .predict(pc, entry.bias, &self.ghist, &self.phist)
-                                    .taken
+                                let p =
+                                    self.shp.predict(pc, entry.bias, &self.ghist, &self.phist);
+                                shp_pred = Some(p);
+                                p.taken
                             }
                         }
                         _ => true,
@@ -605,7 +611,9 @@ impl FrontEnd {
                 // SHP for conditionals (with always-taken filtering).
                 if kind.is_conditional() {
                     let filtered = entry.always_taken && self.cfg.at_filter;
-                    let p = self.shp.predict(pc, entry.bias, &self.ghist, &self.phist);
+                    let p = shp_pred.unwrap_or_else(|| {
+                        self.shp.predict(pc, entry.bias, &self.ghist, &self.phist)
+                    });
                     let d = self.shp.update(&p, taken, filtered);
                     entry.bias = apply_bias_delta(entry.bias, d);
                 }

@@ -12,6 +12,8 @@
 pub const MAX_GHIST: usize = 256;
 /// Maximum PHIST entries (3 bits each) any generation keeps.
 pub const MAX_PHIST: usize = 128;
+// The PHIST ring buffer masks with MAX_PHIST - 1.
+const _: () = assert!(MAX_PHIST.is_power_of_two());
 
 /// A shift-register of conditional-branch outcomes, newest in bit 0.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +30,7 @@ impl GlobalHistory {
     }
 
     /// Record a conditional-branch outcome.
+    #[inline]
     pub fn push(&mut self, taken: bool) {
         // Shift the whole register left by one, inserting at bit 0.
         let n = self.words.len();
@@ -38,9 +41,24 @@ impl GlobalHistory {
     }
 
     /// Bit `i` of history (0 = most recent outcome).
+    #[inline]
     pub fn bit(&self, i: usize) -> bool {
         debug_assert!(i < MAX_GHIST);
         (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Bits `[pos, pos + n)` of history as a little-endian value (bit
+    /// `pos` in bit 0), extracted by whole-word shifts. `n <= 32`.
+    #[inline]
+    fn bits(&self, pos: usize, n: usize) -> u64 {
+        debug_assert!(n >= 1 && n <= 32 && pos + n <= MAX_GHIST);
+        let w = pos / 64;
+        let off = pos % 64;
+        let mut v = self.words[w] >> off;
+        if off > 0 && w + 1 < self.words.len() {
+            v |= self.words[w + 1] << (64 - off);
+        }
+        v & ((1u64 << n) - 1)
     }
 
     /// Fold the most recent `len` bits into `out_bits` bits by XOR-ing
@@ -48,6 +66,7 @@ impl GlobalHistory {
     ///
     /// # Panics
     /// Panics if `out_bits` is 0 or greater than 32.
+    #[inline]
     pub fn fold(&self, len: usize, out_bits: u32) -> u32 {
         assert!(out_bits >= 1 && out_bits <= 32, "fold width out of range");
         let len = len.min(MAX_GHIST);
@@ -57,13 +76,11 @@ impl GlobalHistory {
         let mask = (1u64 << out_bits) - 1;
         let mut acc = 0u64;
         let mut consumed = 0usize;
+        // Each chunk is extracted with word shifts rather than bit-by-bit
+        // — same chunks, same XOR, so the hash is unchanged.
         while consumed < len {
             let chunk_len = (len - consumed).min(out_bits as usize);
-            let mut chunk = 0u64;
-            for k in 0..chunk_len {
-                chunk |= (self.bit(consumed + k) as u64) << k;
-            }
-            acc ^= chunk;
+            acc ^= self.bits(consumed, chunk_len);
             consumed += chunk_len;
         }
         (acc & mask) as u32
@@ -78,10 +95,16 @@ impl Default for GlobalHistory {
 
 /// A shift-register of per-branch path nibbles: bits 2..=4 of each branch
 /// address encountered, newest first.
+///
+/// Stored as a ring buffer: `head` is the index of the newest entry and
+/// a push only writes one byte, instead of rotating the whole 128-byte
+/// array per branch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathHistory {
-    /// 3-bit entries, newest at index 0.
+    /// 3-bit entries; the newest is at `entries[head]`, older entries
+    /// follow at increasing (wrapping) indices.
     entries: [u8; MAX_PHIST],
+    head: usize,
 }
 
 impl PathHistory {
@@ -89,13 +112,15 @@ impl PathHistory {
     pub fn new() -> PathHistory {
         PathHistory {
             entries: [0; MAX_PHIST],
+            head: 0,
         }
     }
 
     /// Record a branch address (any branch encountered).
+    #[inline]
     pub fn push(&mut self, pc: u64) {
-        self.entries.rotate_right(1);
-        self.entries[0] = ((pc >> 2) & 0x7) as u8;
+        self.head = (self.head + MAX_PHIST - 1) & (MAX_PHIST - 1);
+        self.entries[self.head] = ((pc >> 2) & 0x7) as u8;
     }
 
     /// Fold the most recent `len` entries (3 bits each) into `out_bits`
@@ -103,14 +128,18 @@ impl PathHistory {
     ///
     /// # Panics
     /// Panics if `out_bits` is 0 or greater than 32.
+    #[inline]
     pub fn fold(&self, len: usize, out_bits: u32) -> u32 {
         assert!(out_bits >= 1 && out_bits <= 32, "fold width out of range");
         let len = len.min(MAX_PHIST);
         let mask = (1u64 << out_bits) - 1;
         let mut acc = 0u64;
         let mut bitpos = 0u32;
-        for e in self.entries.iter().take(len) {
-            acc ^= (*e as u64) << bitpos;
+        // Walk newest → older through the ring, identical entry order to
+        // the pre-ring shift-register layout.
+        for k in 0..len {
+            let e = self.entries[(self.head + k) & (MAX_PHIST - 1)];
+            acc ^= (e as u64) << bitpos;
             bitpos += 3;
             if bitpos + 3 > out_bits {
                 // Wrap the rolling insertion point.

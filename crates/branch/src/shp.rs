@@ -114,6 +114,9 @@ pub struct ShpPrediction {
 pub struct Shp {
     cfg: ShpConfig,
     intervals: Vec<usize>,
+    /// Per-table PHIST interval lengths, derived from `intervals` at
+    /// construction (the derivation divides; the lookup path must not).
+    plens: Vec<usize>,
     /// `tables × rows` weights, row-major.
     weights: Vec<i8>,
     /// Adaptive threshold (O-GEHL).
@@ -132,10 +135,18 @@ impl Shp {
         assert!(cfg.rows.is_power_of_two(), "rows must be a power of two");
         assert!(cfg.tables >= 1 && cfg.tables <= 16, "1..=16 tables supported");
         let intervals = cfg.intervals();
+        let plens = intervals
+            .iter()
+            .map(|&glen| {
+                (glen.min(cfg.phist_len) * cfg.phist_len / cfg.ghist_len.max(1))
+                    .min(cfg.phist_len)
+            })
+            .collect();
         let idx_bits = cfg.rows.trailing_zeros();
         Shp {
             weights: vec![0; cfg.tables * cfg.rows],
             intervals,
+            plens,
             theta: cfg.initial_theta,
             theta_ctr: 0,
             cfg,
@@ -169,6 +180,7 @@ impl Shp {
         };
     }
 
+    #[inline]
     fn pc_hash(&self, pc: u64, table: usize) -> u32 {
         // Cheap PC mix, diversified per table.
         let x = (pc >> 2) as u32;
@@ -178,12 +190,11 @@ impl Shp {
             .rotate_left(t * 3)
     }
 
+    #[inline]
     fn row(&self, pc: u64, table: usize, ghist: &GlobalHistory, phist: &PathHistory) -> usize {
         let mask = (self.cfg.rows - 1) as u32;
         let glen = self.intervals[table];
-        let plen = (glen.min(self.cfg.phist_len) * self.cfg.phist_len
-            / self.cfg.ghist_len.max(1))
-        .min(self.cfg.phist_len);
+        let plen = self.plens[table];
         let mut h = self.pc_hash(pc, table);
         if glen > 0 {
             h ^= ghist.fold(glen, self.idx_bits);
@@ -196,6 +207,7 @@ impl Shp {
 
     /// Predict the direction of the conditional branch at `pc` given the
     /// speculative histories and the branch's BTB `bias` weight.
+    #[inline]
     pub fn predict(
         &self,
         pc: u64,
@@ -220,6 +232,7 @@ impl Shp {
 
     /// Whether the predictor wants a weight update given the outcome:
     /// update on a mispredict, or when |sum| fails the threshold.
+    #[inline]
     pub fn needs_update(&self, pred: &ShpPrediction, taken: bool) -> bool {
         pred.taken != taken || pred.sum.abs() <= self.theta
     }
@@ -269,6 +282,7 @@ impl Shp {
 }
 
 /// Clamp-add a bias delta into a stored i8 bias weight.
+#[inline]
 pub fn apply_bias_delta(bias: i8, delta: i8) -> i8 {
     (bias as i32 + delta as i32).clamp(WEIGHT_MIN, WEIGHT_MAX) as i8
 }

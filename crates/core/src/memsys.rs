@@ -9,9 +9,10 @@
 use crate::config::CoreConfig;
 use crate::error::SimError;
 use exynos_dram::{MemoryController, SnoopFilter, SpecDecision, SpecReadController};
-use exynos_mem::{AccessKind, Cache, InsertPriority, LineMeta, MissBuffers, TlbHierarchy};
+use exynos_mem::{AccessKind, Cache, InsertPriority, LineMeta, MissBuffers, TlbHierarchy, Victims};
 use exynos_prefetch::{
-    BuddyPrefetcher, L1Prefetcher, PassMode, StandalonePrefetcher, TwoPassController,
+    BuddyPrefetcher, L1Prefetcher, L1PrefetchRequest, PassMode, StandalonePrefetcher,
+    TwoPassController,
 };
 use std::collections::VecDeque;
 
@@ -79,6 +80,12 @@ pub struct MemSystem {
     l1_hit_lat: u32,
     l1_cascade_lat: u32,
     stats: MemStats,
+    /// Reused line-address buffer for prefetcher output (taken with
+    /// `mem::take` around each use so per-access allocations disappear
+    /// from the step loop).
+    scratch_lines: Vec<u64>,
+    /// Reused L1-prefetch-request buffer, same discipline.
+    scratch_reqs: Vec<L1PrefetchRequest>,
 }
 
 impl MemSystem {
@@ -102,6 +109,8 @@ impl MemSystem {
             l1_hit_lat: cfg.lat.l1_hit,
             l1_cascade_lat: cfg.lat.l1_cascade,
             stats: MemStats::default(),
+            scratch_lines: Vec::new(),
+            scratch_reqs: Vec::new(),
         }
     }
 
@@ -177,7 +186,7 @@ impl MemSystem {
     /// Handle L2 victims into the exclusive L3 with the coordinated
     /// castout policy (§VIII.A): reuse ≥ 2 → elevated; reuse ≥ 1 →
     /// ordinary; never-reused (or pure second-pass) lines bypass the L3.
-    fn castout_l2_victims(&mut self, victims: Vec<exynos_mem::Victim>) {
+    fn castout_l2_victims(&mut self, victims: Victims) {
         // Buddy usefulness: a buddy-brought line evicted without a demand
         // hit was wasted bandwidth.
         for v in &victims {
@@ -235,13 +244,16 @@ impl MemSystem {
         let l2_lat = self.l2.config().latency as u64;
         // Standalone prefetcher observes the L2-level access stream
         // (demands and core prefetches alike).
-        let standalone_pf: Vec<u64> = match &mut self.standalone {
-            Some(sp) => sp.on_l2_access(line, kind == AccessKind::Demand),
-            None => Vec::new(),
-        };
-        for pf_line in standalone_pf {
-            self.background_fill_l2(pf_line * 64, now, AccessKind::Prefetch);
-            self.stats.standalone_fills += 1;
+        if self.standalone.is_some() {
+            let mut standalone_pf = std::mem::take(&mut self.scratch_lines);
+            if let Some(sp) = &mut self.standalone {
+                sp.on_l2_access_into(line, kind == AccessKind::Demand, &mut standalone_pf);
+            }
+            for &pf_line in &standalone_pf {
+                self.background_fill_l2(pf_line * 64, now, AccessKind::Prefetch);
+                self.stats.standalone_fills += 1;
+            }
+            self.scratch_lines = standalone_pf;
         }
         // Speculative read decision happens in parallel with the L2 tags.
         let spec = if kind == AccessKind::Demand {
@@ -411,8 +423,8 @@ impl MemSystem {
 
     /// Issue L1 prefetch requests through the one-pass/two-pass delivery
     /// scheme (§VII.B), preloading translations along the way.
-    fn issue_l1_prefetches(&mut self, requests: Vec<exynos_prefetch::L1PrefetchRequest>, start: u64) {
-        for req in requests {
+    fn issue_l1_prefetches(&mut self, requests: &[L1PrefetchRequest], start: u64) {
+        for &req in requests {
             let addr = req.line * 64;
             self.tlb.prefetch_translation(addr);
             if self.l1d.probe(addr) {
@@ -454,12 +466,14 @@ impl MemSystem {
         if budget == 0 {
             return;
         }
-        let lines = self.twopass.drain_ready(now, budget);
-        for line in lines {
+        let mut lines = std::mem::take(&mut self.scratch_lines);
+        self.twopass.drain_ready_into(now, budget, &mut lines);
+        for &line in &lines {
             let addr = line * 64;
             self.mabs.try_allocate(now, now + self.l1_hit_lat as u64 + 4);
             self.fill_l1(addr, now);
         }
+        self.scratch_lines = lines;
     }
 
     // ------------------------------------------------------------------
@@ -521,8 +535,10 @@ impl MemSystem {
             if let Some(m) = l1_meta {
                 if m.prefetched && !m.demand_hit {
                     self.l2.mark_demanded(vaddr);
-                    let reqs = self.l1pf.on_demand_miss(pc, vaddr);
-                    self.issue_l1_prefetches(reqs, now);
+                    let mut reqs = std::mem::take(&mut self.scratch_reqs);
+                    self.l1pf.on_demand_miss_into(pc, vaddr, &mut reqs);
+                    self.issue_l1_prefetches(&reqs, now);
+                    self.scratch_reqs = reqs;
                 }
             }
             let done = base + hit_lat;
@@ -538,7 +554,8 @@ impl MemSystem {
             start = free_at;
         }
         // Train the L1 prefetchers on the miss and issue their requests.
-        let requests = self.l1pf.on_demand_miss(pc, vaddr);
+        let mut requests = std::mem::take(&mut self.scratch_reqs);
+        self.l1pf.on_demand_miss_into(pc, vaddr, &mut requests);
         let data_at_l2 = self.fetch_to_l2(pc, vaddr, start, AccessKind::Demand);
         // Reserve the MAB until the fill returns.
         let _ = self.mabs.try_allocate(start, data_at_l2);
@@ -556,7 +573,8 @@ impl MemSystem {
             }
         }
         // Issue the prefetch requests (two-pass scheme + TLB preload).
-        self.issue_l1_prefetches(requests, start);
+        self.issue_l1_prefetches(&requests, start);
+        self.scratch_reqs = requests;
         let done = data_at_l2 + hit_lat;
         self.stats.total_load_latency += done - now;
         Ok(done)
@@ -570,8 +588,11 @@ impl MemSystem {
         if self.l1d.access(vaddr, AccessKind::Demand) {
             self.l1d.mark_dirty(vaddr);
         } else {
-            // Write-allocate in the background.
-            let _ = self.l1pf.on_demand_miss(pc, vaddr);
+            // Write-allocate in the background: train the prefetcher but
+            // discard its requests, as before.
+            let mut reqs = std::mem::take(&mut self.scratch_reqs);
+            self.l1pf.on_demand_miss_into(pc, vaddr, &mut reqs);
+            self.scratch_reqs = reqs;
             let _ = self.fetch_to_l2(pc, vaddr, now, AccessKind::Demand);
             let victims = self.l1d.fill(vaddr, AccessKind::Demand, LineMeta::default(), InsertPriority::Elevated);
             self.l1d.mark_dirty(vaddr);
@@ -595,8 +616,8 @@ impl MemSystem {
         self.check_mab_invariant(now)?;
         self.stats.icache_misses += 1;
         let done = self.fetch_to_l2(pc, pc, now + tlb_lat, AccessKind::Demand);
-        let victims = self.l1i.fill(pc, AccessKind::Demand, LineMeta::default(), InsertPriority::Elevated);
-        drop(victims); // clean instruction lines need no writeback
+        let _ = self.l1i.fill(pc, AccessKind::Demand, LineMeta::default(), InsertPriority::Elevated);
+        // Clean instruction lines need no writeback.
         Ok(done.saturating_sub(now))
     }
 }

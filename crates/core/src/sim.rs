@@ -121,6 +121,14 @@ pub struct Simulator {
     retire_in_cycle: u32,
     decode_depth: u64,
     fe_restart: u64,
+    // ---- per-step constants hoisted out of `cfg` (the step loop reads
+    // them every instruction) ----
+    width: u32,
+    rob_cap: usize,
+    int_prf_cap: usize,
+    fp_prf_cap: usize,
+    lat_mispredict: u64,
+    load_cascade: bool,
     stats: SimStats,
     // ---- robustness ----
     injector: Option<FaultInjector>,
@@ -150,6 +158,12 @@ impl Simulator {
             retire_in_cycle: 0,
             decode_depth,
             fe_restart: 4,
+            width: cfg.width,
+            rob_cap: cfg.rob,
+            int_prf_cap: cfg.int_prf.saturating_sub(32),
+            fp_prf_cap: cfg.fp_prf.saturating_sub(32),
+            lat_mispredict: cfg.lat.mispredict as u64,
+            load_cascade: cfg.mem.load_cascade,
             stats: SimStats::default(),
             injector: None,
             watchdog: Watchdog::default(),
@@ -323,7 +337,7 @@ impl Simulator {
     /// Recoverable conditions (detected predictor corruption, UOC state
     /// loss, transient stalls) degrade gracefully and return `Ok`.
     pub fn step(&mut self, inst: &Inst) -> Result<u64, SimError> {
-        let width = self.cfg.width;
+        let width = self.width;
         // ---------------- Fault injection ----------------
         let mut inst = *inst;
         let fired = match self.injector.as_mut() {
@@ -351,7 +365,7 @@ impl Simulator {
                     return Err(e.into());
                 }
                 self.frontend.flush_predictors();
-                self.fetch_cycle += self.cfg.lat.mispredict as u64;
+                self.fetch_cycle += self.lat_mispredict;
                 self.fetch_slots = 0;
                 self.cur_fetch_line = u64::MAX;
                 FetchFeedback::NONE
@@ -379,7 +393,7 @@ impl Simulator {
         }
         // Trace gaps delay THIS instruction's fetch.
         if fb.redirect == Some(Redirect::TraceGap) {
-            self.fetch_cycle += self.cfg.lat.mispredict as u64;
+            self.fetch_cycle += self.lat_mispredict;
             self.fetch_slots = 0;
         }
         // Prediction-pipe bubbles precede this instruction.
@@ -415,7 +429,7 @@ impl Simulator {
 
         // ---------------- Dispatch (ROB / PRF limits) ----------------
         let mut dispatch = fetch_time + self.decode_depth;
-        if self.rob.len() >= self.cfg.rob {
+        if self.rob.len() >= self.rob_cap {
             debug_assert!(!self.rob.is_empty(), "a full ROB cannot be empty");
             if let Some(oldest) = self.rob.pop_front() {
                 dispatch = dispatch.max(oldest);
@@ -423,9 +437,9 @@ impl Simulator {
         }
         if let Some(dst) = inst.dst {
             let (q, cap) = if dst.is_int() {
-                (&mut self.int_inflight, self.cfg.int_prf.saturating_sub(32))
+                (&mut self.int_inflight, self.int_prf_cap)
             } else {
-                (&mut self.fp_inflight, self.cfg.fp_prf.saturating_sub(32))
+                (&mut self.fp_inflight, self.fp_prf_cap)
             };
             if q.len() >= cap.max(8) {
                 debug_assert!(!q.is_empty(), "a full PRF queue cannot be empty");
@@ -450,7 +464,7 @@ impl Simulator {
             InstKind::Load => match inst.mem {
                 Some(m) => {
                     self.stats.loads += 1;
-                    let cascade = self.cfg.mem.load_cascade
+                    let cascade = self.load_cascade
                         && inst
                             .srcs
                             .iter()

@@ -67,6 +67,58 @@ pub struct Victim {
     pub dirty: bool,
 }
 
+/// The victims displaced by one fill: at most both sectors of a single
+/// evicted tag, so a fixed two-slot array avoids a heap allocation on
+/// every fill in the simulator's hot loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Victims {
+    items: [Option<Victim>; 2],
+    len: u8,
+}
+
+impl Victims {
+    fn push(&mut self, v: Victim) {
+        debug_assert!((self.len as usize) < 2, "a fill evicts at most one tag");
+        if (self.len as usize) < self.items.len() {
+            self.items[self.len as usize] = Some(v);
+            self.len += 1;
+        }
+    }
+
+    /// Number of victims.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the fill displaced nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over the victims by reference.
+    pub fn iter(&self) -> impl Iterator<Item = &Victim> {
+        self.items[..self.len as usize].iter().flatten()
+    }
+}
+
+impl IntoIterator for Victims {
+    type Item = Victim;
+    type IntoIter = std::iter::Flatten<std::array::IntoIter<Option<Victim>, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter().flatten()
+    }
+}
+
+impl<'a> IntoIterator for &'a Victims {
+    type Item = &'a Victim;
+    type IntoIter = std::iter::Flatten<std::slice::Iter<'a, Option<Victim>>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items[..self.len as usize].iter().flatten()
+    }
+}
+
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -149,6 +201,13 @@ pub struct CacheStats {
 pub struct Cache {
     cfg: CacheConfig,
     sets: u64,
+    /// `log2(granule)` when the tag granule is a power of two (every
+    /// shipped geometry), letting `tag_addr` shift instead of divide.
+    granule_shift: Option<u32>,
+    /// `log2(line_bytes)` when the line size is a power of two.
+    line_shift: Option<u32>,
+    /// `sets - 1` when the set count is a power of two.
+    set_mask: Option<u64>,
     entries: Vec<TagEntry>,
     stats: CacheStats,
 }
@@ -166,8 +225,15 @@ impl Cache {
             "1 or 2 sectors per tag supported"
         );
         let sets = cfg.sets();
+        let granule = cfg.line_bytes * cfg.sectors_per_tag;
         Cache {
             sets,
+            granule_shift: granule.is_power_of_two().then(|| granule.trailing_zeros()),
+            line_shift: cfg
+                .line_bytes
+                .is_power_of_two()
+                .then(|| cfg.line_bytes.trailing_zeros()),
+            set_mask: sets.is_power_of_two().then(|| sets - 1),
             entries: vec![TagEntry::invalid(); (sets * cfg.ways as u64) as usize],
             stats: CacheStats::default(),
             cfg,
@@ -188,19 +254,36 @@ impl Cache {
         self.cfg.line_bytes * self.cfg.sectors_per_tag
     }
 
+    #[inline]
     fn tag_addr(&self, addr: u64) -> u64 {
-        addr / self.granule()
+        match self.granule_shift {
+            Some(s) => addr >> s,
+            None => addr / self.granule(),
+        }
     }
 
+    #[inline]
     fn sector_of(&self, addr: u64) -> usize {
-        ((addr / self.cfg.line_bytes) % self.cfg.sectors_per_tag) as usize
+        // sectors_per_tag is 1 or 2 (asserted in `new`), so it is always
+        // a power of two and the modulo can be a mask.
+        let line = match self.line_shift {
+            Some(s) => addr >> s,
+            None => addr / self.cfg.line_bytes,
+        };
+        (line & (self.cfg.sectors_per_tag - 1)) as usize
     }
 
+    #[inline]
     fn set_of(&self, addr: u64) -> u64 {
         let t = self.tag_addr(addr);
-        (t ^ (t >> 13)) % self.sets
+        let h = t ^ (t >> 13);
+        match self.set_mask {
+            Some(mask) => h & mask,
+            None => h % self.sets,
+        }
     }
 
+    #[inline]
     fn find(&self, addr: u64) -> Option<usize> {
         let t = self.tag_addr(addr);
         let base = (self.set_of(addr) * self.cfg.ways as u64) as usize;
@@ -265,9 +348,9 @@ impl Cache {
 
     /// Fill the 64 B line at `addr`. Returns victims displaced by the fill
     /// (up to both sectors of an evicted sectored tag).
-    pub fn fill(&mut self, addr: u64, kind: AccessKind, mut meta: LineMeta, priority: InsertPriority) -> Vec<Victim> {
+    pub fn fill(&mut self, addr: u64, kind: AccessKind, mut meta: LineMeta, priority: InsertPriority) -> Victims {
         if priority == InsertPriority::Bypass {
-            return Vec::new();
+            return Victims::default();
         }
         self.stats.fills += 1;
         meta.prefetched = kind.is_prefetch();
@@ -288,7 +371,7 @@ impl Cache {
             e.sector_valid |= 1 << sector;
             e.meta[sector] = meta;
             e.rrpv = e.rrpv.min(insert_rrpv);
-            return Vec::new();
+            return Victims::default();
         }
         // SRRIP victim selection: a free way, else a way at RRPV 3 (aging
         // the set until one appears). Among RRPV-3 candidates, prefer
@@ -300,23 +383,34 @@ impl Cache {
             if let Some(i) = (base..base + self.cfg.ways).find(|&i| self.entries[i].sector_valid == 0) {
                 break i;
             }
-            let candidates: Vec<usize> = (base..base + self.cfg.ways)
-                .filter(|&i| self.entries[i].rrpv >= 3)
-                .collect();
-            if !candidates.is_empty() {
-                let consumed = candidates.iter().copied().find(|&i| {
-                    let e = &self.entries[i];
-                    (0..self.cfg.sectors_per_tag as usize)
-                        .filter(|&s| e.sector_valid >> s & 1 == 1)
-                        .all(|s| e.meta[s].demand_hit)
-                });
-                break consumed.unwrap_or(candidates[0]);
+            // One scan, no candidate list: remember the first RRPV-3 way
+            // and stop at the first fully demand-consumed one.
+            let mut first = None;
+            let mut consumed = None;
+            for i in base..base + self.cfg.ways {
+                if self.entries[i].rrpv < 3 {
+                    continue;
+                }
+                if first.is_none() {
+                    first = Some(i);
+                }
+                let e = &self.entries[i];
+                if (0..self.cfg.sectors_per_tag as usize)
+                    .filter(|&s| e.sector_valid >> s & 1 == 1)
+                    .all(|s| e.meta[s].demand_hit)
+                {
+                    consumed = Some(i);
+                    break;
+                }
+            }
+            if let Some(i) = consumed.or(first) {
+                break i;
             }
             for i in base..base + self.cfg.ways {
                 self.entries[i].rrpv += 1;
             }
         };
-        let mut victims = Vec::new();
+        let mut victims = Victims::default();
         let granule = self.granule();
         {
             let e = &self.entries[victim_idx];

@@ -21,7 +21,9 @@ pub mod config;
 pub mod mshr;
 pub mod tlb;
 
-pub use cache::{AccessKind, Cache, CacheConfig, CacheStats, InsertPriority, LineMeta, Victim};
+pub use cache::{
+    AccessKind, Cache, CacheConfig, CacheStats, InsertPriority, LineMeta, Victim, Victims,
+};
 pub use config::MemGenConfig;
 pub use mshr::MissBuffers;
 pub use tlb::{Tlb, TlbConfig, TlbHierarchy, TlbHierarchyConfig};

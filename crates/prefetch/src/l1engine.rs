@@ -85,10 +85,19 @@ impl L1Prefetcher {
     /// Observe a demand L1 miss by the load at `pc` to `vaddr`; returns
     /// the prefetch requests to issue.
     pub fn on_demand_miss(&mut self, pc: u64, vaddr: u64) -> Vec<L1PrefetchRequest> {
+        let mut out = Vec::new();
+        self.on_demand_miss_into(pc, vaddr, &mut out);
+        out
+    }
+
+    /// As [`L1Prefetcher::on_demand_miss`], but writing the requests into
+    /// `out` (cleared first) so callers can reuse one buffer across misses
+    /// instead of allocating per call.
+    pub fn on_demand_miss_into(&mut self, pc: u64, vaddr: u64, out: &mut Vec<L1PrefetchRequest>) {
+        out.clear();
         let line = vaddr / 64;
         let seq = self.seq;
         self.seq += 1;
-        let mut out = Vec::new();
         // Stride path: through the re-order buffer + duplicate filter.
         for released in self.reorder.insert(seq, line) {
             for pf in self.stride.on_demand_line(released) {
@@ -108,7 +117,6 @@ impl L1Prefetcher {
                 });
             }
         }
-        out
     }
 }
 

@@ -135,6 +135,16 @@ impl StandalonePrefetcher {
     /// 64 B `line`. Returns lines to prefetch (empty in low-confidence
     /// mode).
     pub fn on_l2_access(&mut self, line: u64, is_demand: bool) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.on_l2_access_into(line, is_demand, &mut out);
+        out
+    }
+
+    /// As [`StandalonePrefetcher::on_l2_access`], but writing the prefetch
+    /// lines into `out` (cleared first) so callers can reuse one buffer
+    /// across accesses instead of allocating per call.
+    pub fn on_l2_access_into(&mut self, line: u64, is_demand: bool, out: &mut Vec<u64>) {
+        out.clear();
         self.stamp += 1;
         self.stats.trained += 1;
         // Demands matching the phantom filter raise confidence (Fig. 15).
@@ -159,7 +169,7 @@ impl StandalonePrefetcher {
         s.lru = self.stamp;
         let delta = in_page - s.last_line;
         if delta == 0 {
-            return Vec::new();
+            return;
         }
         if s.stride == delta {
             s.confirmations += 1;
@@ -169,12 +179,11 @@ impl StandalonePrefetcher {
         }
         s.last_line = in_page;
         if s.confirmations < self.cfg.train_count || s.stride == 0 {
-            return Vec::new();
+            return;
         }
         self.recent_stride = s.stride;
         // Generate up to `distance` lines ahead, clamped to the page (the
         // physical-address span limit).
-        let mut out = Vec::new();
         let stride = s.stride;
         let mut next = in_page;
         for _ in 0..self.cfg.distance {
@@ -186,18 +195,17 @@ impl StandalonePrefetcher {
         }
         match self.mode {
             ConfMode::Low => {
-                for l in out {
+                for &l in out.iter() {
                     if self.filter.len() == self.cfg.filter_depth {
                         self.filter.pop_front();
                     }
                     self.filter.push_back(l);
                     self.stats.phantoms += 1;
                 }
-                Vec::new()
+                out.clear();
             }
             ConfMode::High => {
                 self.stats.issued += out.len() as u64;
-                out
             }
         }
     }

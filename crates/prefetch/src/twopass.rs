@@ -142,6 +142,15 @@ impl TwoPassController {
     /// ready at `now`. Returns the lines to fill into the L1.
     pub fn drain_ready(&mut self, now: u64, buffers: usize) -> Vec<u64> {
         let mut out = Vec::new();
+        self.drain_ready_into(now, buffers, &mut out);
+        out
+    }
+
+    /// As [`TwoPassController::drain_ready`], but writing the lines into
+    /// `out` (cleared first) so callers can reuse one buffer across drains
+    /// instead of allocating per call.
+    pub fn drain_ready_into(&mut self, now: u64, buffers: usize, out: &mut Vec<u64>) {
+        out.clear();
         let mut rotated = 0;
         while out.len() < buffers && rotated < self.pending.len() {
             let Some(p) = self.pending.pop_front() else {
@@ -159,7 +168,6 @@ impl TwoPassController {
                 rotated += 1;
             }
         }
-        out
     }
 
     /// Fault-injection hook: the chaining path loses every pending fill

@@ -146,6 +146,11 @@ pub struct Uoc {
     /// Block-accumulation state for the instruction-level driver.
     cur_block_start: Option<u64>,
     cur_block_uops: u32,
+    /// Index of the most recent [`Uoc::find`] hit. Kernels loop over a
+    /// handful of blocks, so verifying this tag first usually skips the
+    /// linear scan; it is always re-validated against the block's start
+    /// PC, so a stale hint (e.g. after `swap_remove`) just falls back.
+    find_hint: usize,
 }
 
 impl Uoc {
@@ -167,6 +172,7 @@ impl Uoc {
             cfg,
             cur_block_start: None,
             cur_block_uops: 0,
+            find_hint: 0,
         }
     }
 
@@ -210,8 +216,18 @@ impl Uoc {
         self.cur_block_uops = 0;
     }
 
-    fn find(&self, start: u64) -> Option<usize> {
-        self.blocks.iter().position(|b| b.start == start)
+    #[inline]
+    fn find(&mut self, start: u64) -> Option<usize> {
+        if let Some(b) = self.blocks.get(self.find_hint) {
+            if b.start == start {
+                return Some(self.find_hint);
+            }
+        }
+        let found = self.blocks.iter().position(|b| b.start == start);
+        if let Some(i) = found {
+            self.find_hint = i;
+        }
+        found
     }
 
     fn allocate(&mut self, start: u64, branch_pc: u64, uops: u32, ubtb: &mut MicroBtb) {
@@ -325,6 +341,7 @@ impl Uoc {
     /// signalled via `block_broken`) closes it. Returns whether the
     /// *closing* block was supplied by the UOC, or a typed [`UocError`]
     /// if the accumulator state is inconsistent.
+    #[inline]
     pub fn on_inst(
         &mut self,
         pc: u64,

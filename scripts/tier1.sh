@@ -9,5 +9,17 @@ cargo test -q
 # Panic-site gate: library and binary code must propagate typed errors
 # (SimError / PredictorError / UocError) instead of unwrapping. Tests,
 # examples and benches are exempt (no --all-targets) — unwrap there is a
-# legitimate assertion that the simulated trace is clean.
-cargo clippy --workspace -- -D clippy::unwrap_used -D clippy::expect_used
+# legitimate assertion that the simulated trace is clean. The perf lint
+# group guards the step-loop optimizations (needless clones/allocations
+# creeping back into hot paths) at warn level.
+cargo clippy --workspace -- -D clippy::unwrap_used -D clippy::expect_used -W clippy::perf
+
+# Bench smoke: the quick-mode reference sweep must run end to end and
+# leave a well-formed BENCH_sweep.json at the repo root.
+cargo run --release -q -p exynos-bench --bin harness -- bench --quick
+test -s BENCH_sweep.json
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.schema and .serial.steps_per_sec > 0 and .parallel.steps_per_sec > 0 and .bit_identical == true' BENCH_sweep.json >/dev/null
+else
+  python3 -m json.tool BENCH_sweep.json >/dev/null
+fi
