@@ -10,7 +10,14 @@
 //!
 //! Subcommands: table1 table2 table3 table4 fig1 fig4 fig5 fig7 fig8 fig9
 //! fig10 fig14 fig15 fig16 fig17 uoc btb_ablation branchstats ablations
-//! security_policies bench all
+//! security_policies bench metrics trace all
+//!
+//! Telemetry (requires the default `telemetry` feature):
+//!
+//! ```text
+//! cargo run --release -p exynos-bench --bin harness -- metrics --epoch 10000
+//! cargo run --release -p exynos-bench --bin harness -- trace > events.jsonl
+//! ```
 
 use exynos_bench::experiments as exp;
 use exynos_bench::sweep;
@@ -22,12 +29,14 @@ use exynos_core::config::CoreConfig;
 const SUBCOMMANDS: &[&str] = &[
     "all", "table1", "table2", "table3", "table4", "fig1", "fig4", "fig5", "fig7", "fig8", "fig9",
     "fig10", "fig14", "fig15", "fig16", "fig17", "uoc", "btb_ablation", "branchstats", "ablations",
-    "security_policies", "bench",
+    "security_policies", "bench", "metrics", "trace",
 ];
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("harness: {msg}");
-    eprintln!("usage: harness [SUBCOMMAND] [--scale N] [--csv PATH] [--threads N] [--quick]");
+    eprintln!(
+        "usage: harness [SUBCOMMAND] [--scale N] [--csv PATH] [--threads N] [--epoch N] [--quick]"
+    );
     eprintln!("subcommands: {}", SUBCOMMANDS.join(" "));
     std::process::exit(2);
 }
@@ -40,6 +49,7 @@ struct Options {
     scale: usize,
     csv_path: Option<String>,
     threads: Option<usize>,
+    epoch: u64,
     quick: bool,
 }
 
@@ -49,6 +59,7 @@ fn parse_args(args: &[String]) -> Options {
         scale: 1,
         csv_path: None,
         threads: None,
+        epoch: 10_000,
         quick: false,
     };
     let mut saw_cmd = false;
@@ -69,9 +80,16 @@ fn parse_args(args: &[String]) -> Options {
                 Some(_) => usage_error("--threads expects a positive integer"),
                 None => usage_error("--threads is missing its value"),
             },
+            "--epoch" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n >= 1 => opts.epoch = n,
+                Some(_) => usage_error("--epoch expects a positive integer"),
+                None => usage_error("--epoch is missing its value"),
+            },
             "--quick" => opts.quick = true,
             "--help" | "-h" => {
-                println!("usage: harness [SUBCOMMAND] [--scale N] [--csv PATH] [--threads N] [--quick]");
+                println!(
+                    "usage: harness [SUBCOMMAND] [--scale N] [--csv PATH] [--threads N] [--epoch N] [--quick]"
+                );
                 println!("subcommands: {}", SUBCOMMANDS.join(" "));
                 std::process::exit(0);
             }
@@ -94,9 +112,17 @@ fn parse_args(args: &[String]) -> Options {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_args(&args);
-    let Options { cmd, scale, csv_path, threads, quick } = opts;
+    let Options { cmd, scale, csv_path, threads, epoch, quick } = opts;
     if cmd == "bench" {
         bench(quick, threads);
+        return;
+    }
+    if cmd == "metrics" {
+        telemetry_metrics(epoch, quick, csv_path.as_deref());
+        return;
+    }
+    if cmd == "trace" {
+        telemetry_trace(epoch, quick);
         return;
     }
     let run_all = cmd == "all";
@@ -611,5 +637,73 @@ fn bench(quick: bool, threads: Option<usize>) {
             eprintln!("harness: failed to write BENCH_sweep.json: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// Drive an instrumented M6 through one representative slice per suite
+/// family; the shared body behind `metrics` and `trace`.
+///
+/// Every slice runs on the SAME simulator so the telemetry stream spans
+/// workload phase changes (the inter-slice PC discontinuities surface as
+/// trace-gap events, like context switches would).
+fn telemetry_run(epoch_len: u64, quick: bool, event_capacity: usize) -> exynos_telemetry::Telemetry {
+    use exynos_telemetry::{Telemetry, TelemetryConfig};
+    use exynos_core::sim::Simulator;
+    use exynos_trace::SlicePlan;
+
+    if !Telemetry::ACTIVE {
+        eprintln!(
+            "harness: built without the `telemetry` feature; metrics/trace produce no output"
+        );
+        eprintln!("harness: rebuild with default features to enable instrumentation");
+        std::process::exit(1);
+    }
+    let mut tel = Telemetry::new(TelemetryConfig { epoch_len, event_capacity });
+    let mut sim = Simulator::new(CoreConfig::m6());
+    let (warmup, detail) = if quick { (1_000, 4_000) } else { (5_000, 30_000) };
+    let suite = exynos_trace::standard_suite(1);
+    let mut seen = Vec::new();
+    for slice in &suite {
+        if seen.contains(&slice.suite) {
+            continue;
+        }
+        seen.push(slice.suite);
+        eprintln!("# slice {} ({} + {} instructions)", slice.name, warmup, detail);
+        let mut gen = slice.instantiate();
+        exp::must(sim.run_slice_with(&mut *gen, SlicePlan::new(warmup, detail), &mut tel));
+    }
+    // Close the trailing partial epoch so short runs still emit rows.
+    sim.sample_telemetry(&mut tel);
+    tel.end_epoch(sim.stats().instructions, sim.stats().last_retire);
+    tel
+}
+
+/// `harness -- metrics [--epoch N] [--quick] [--csv PATH]`: epoch
+/// time-series and histograms as JSON Lines on stdout, the summary table
+/// on stderr.
+fn telemetry_metrics(epoch_len: u64, quick: bool, csv_path: Option<&str>) {
+    let tel = telemetry_run(epoch_len, quick, 1 << 16);
+    print!("{}", tel.metrics_jsonl());
+    if let Some(path) = csv_path {
+        match std::fs::write(path, tel.metrics_csv()) {
+            Ok(()) => eprintln!("# wrote epoch series to {path}"),
+            Err(e) => {
+                eprintln!("harness: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    eprint!("{}", tel.summary());
+}
+
+/// `harness -- trace [--epoch N] [--quick]`: the pipeline event trace as
+/// JSON Lines on stdout, event counts on stderr.
+fn telemetry_trace(epoch_len: u64, quick: bool) {
+    let tel = telemetry_run(epoch_len, quick, 1 << 18);
+    print!("{}", tel.events_jsonl());
+    let events = tel.events();
+    eprintln!("# {} events recorded, {} dropped", events.recorded(), events.dropped());
+    for (name, count) in events.counts_by_name() {
+        eprintln!("# {name:<22} {count}");
     }
 }

@@ -44,12 +44,24 @@ impl ConfidenceTable {
     }
 
     /// Record a prediction outcome for the branch at `pc`.
-    pub fn record(&mut self, pc: u64, correct: bool) {
+    ///
+    /// Returns `Some(now_low)` when the update flipped the branch across
+    /// the confidence threshold (`true` = became low-confidence), `None`
+    /// when the classification is unchanged — the flip feeds the
+    /// telemetry event trace.
+    pub fn record(&mut self, pc: u64, correct: bool) -> Option<bool> {
         let i = self.index(pc);
+        let was_low = self.ctrs[i] < self.threshold;
         if correct {
             self.ctrs[i] = (self.ctrs[i] + 1).min(self.max);
         } else {
             self.ctrs[i] = 0;
+        }
+        let now_low = self.ctrs[i] < self.threshold;
+        if was_low != now_low {
+            Some(now_low)
+        } else {
+            None
         }
     }
 }
@@ -90,6 +102,16 @@ mod tests {
             c.record(0x4000, true);
         }
         assert_eq!(c.ctrs[c.index(0x4000)], 3);
+    }
+
+    #[test]
+    fn record_reports_threshold_flips() {
+        let mut c = ConfidenceTable::new(16, 2, 3);
+        assert_eq!(c.record(0x4000, true), None, "0→1 stays low");
+        assert_eq!(c.record(0x4000, true), Some(false), "1→2 crosses up");
+        assert_eq!(c.record(0x4000, true), None, "2→3 stays high");
+        assert_eq!(c.record(0x4000, false), Some(true), "reset crosses down");
+        assert_eq!(c.record(0x4000, false), None, "already low");
     }
 
     #[test]

@@ -103,6 +103,10 @@ pub struct FrontendStats {
     pub elo_skipped_lookups: u64,
     /// SHP lookups performed (power proxy; gated under µBTB lock).
     pub shp_lookups: u64,
+    /// Confidence-table crossings into low confidence (MRB eligibility).
+    pub conf_flips_to_low: u64,
+    /// Confidence-table crossings back to high confidence.
+    pub conf_flips_to_high: u64,
 }
 
 impl FrontendStats {
@@ -138,7 +142,6 @@ pub struct FrontEnd {
     ubtb: MicroBtb,
     btb: BtbHierarchy,
     ras: Ras,
-    ras_stats: RasStats,
     indirect: IndirectPredictor,
     confidence: ConfidenceTable,
     mrb: Option<Mrb>,
@@ -174,7 +177,6 @@ impl FrontEnd {
             ubtb: MicroBtb::new(cfg.ubtb.clone()),
             btb: BtbHierarchy::new(cfg.btb.clone()),
             ras: Ras::new(cfg.ras_entries, key),
-            ras_stats: RasStats::default(),
             indirect: IndirectPredictor::new(cfg.indirect.clone(), cfg.indirect_chains),
             confidence: ConfidenceTable::m5(),
             mrb: cfg.mrb_entries.map(Mrb::new),
@@ -204,7 +206,7 @@ impl FrontEnd {
 
     /// RAS statistics.
     pub fn ras_stats(&self) -> RasStats {
-        self.ras_stats
+        self.ras.stats()
     }
 
     /// MRB statistics (zeroes when the generation has no MRB).
@@ -232,6 +234,11 @@ impl FrontEnd {
         &mut self.ubtb
     }
 
+    /// Read-only µBTB access (telemetry gauges).
+    pub fn ubtb(&self) -> &MicroBtb {
+        &self.ubtb
+    }
+
     /// Switch to a new execution context: recompute CONTEXT_HASH. Stored
     /// indirect/RAS targets trained by the old context now decode to
     /// garbage (the §V property).
@@ -257,7 +264,9 @@ impl FrontEnd {
         self.shp = Shp::new(self.cfg.shp.clone());
         self.ubtb = MicroBtb::new(self.cfg.ubtb.clone());
         self.btb = BtbHierarchy::new(self.cfg.btb.clone());
-        self.ras = Ras::new(self.cfg.ras_entries, self.key);
+        // The RAS is cleared in place so its cumulative overflow/underflow
+        // stats survive the flush (they describe the run, not the state).
+        self.ras.clear();
         self.indirect = IndirectPredictor::new(self.cfg.indirect.clone(), self.cfg.indirect_chains);
         self.ghist = GlobalHistory::new();
         self.phist = PathHistory::new();
@@ -458,7 +467,7 @@ impl FrontEnd {
                     BranchKind::Return => {
                         // Returns still use the RAS even under lock.
                         ras_popped = true;
-                        self.ras.pop(&mut self.ras_stats).unwrap_or(tg)
+                        self.ras.pop().unwrap_or(tg)
                     }
                     _ => tg,
                 });
@@ -499,7 +508,7 @@ impl FrontEnd {
                         match kind {
                             BranchKind::Return => {
                                 ras_popped = true;
-                                self.ras.pop(&mut self.ras_stats)
+                                self.ras.pop()
                             }
                             BranchKind::IndirectJump | BranchKind::IndirectCall => {
                                 // Chains store CONTEXT_HASH-sealed targets;
@@ -590,15 +599,19 @@ impl FrontEnd {
                 }
             }
         }
-        self.confidence.record(pc, correct);
+        match self.confidence.record(pc, correct) {
+            Some(true) => self.stats.conf_flips_to_low += 1,
+            Some(false) => self.stats.conf_flips_to_high += 1,
+            None => {}
+        }
 
         // ---------------- Training ----------------
         // RAS: calls push; a return whose prediction path never consulted
         // the RAS (BTB miss) still pops at decode to stay balanced.
         if kind.is_call() {
-            self.ras.push(pc + 4, &mut self.ras_stats);
+            self.ras.push(pc + 4);
         } else if kind.is_return() && !ras_popped {
-            let _ = self.ras.pop(&mut self.ras_stats);
+            let _ = self.ras.pop();
         }
         // BTB entry maintenance (discovery, direction counters, targets).
         let sealed_target = self.seal(kind, target);

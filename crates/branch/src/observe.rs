@@ -1,0 +1,126 @@
+//! [`Observable`] wiring for every branch-prediction statistics producer.
+//!
+//! Component paths are rooted at `branch.`; names mirror the public stat
+//! field names so the registry schema reads like the structs. Derived
+//! rates (MPKI) ride along as gauges.
+
+use crate::btb::BtbStats;
+use crate::frontend::FrontendStats;
+use crate::indirect::IndirectStats;
+use crate::mrb::MrbStats;
+use crate::ras::RasStats;
+use crate::ubtb::UbtbStats;
+use exynos_telemetry::{Observable, Value};
+
+impl Observable for FrontendStats {
+    fn component(&self) -> &'static str {
+        "branch.frontend"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("instructions", Value::U64(self.instructions));
+        f("branches", Value::U64(self.branches));
+        f("cond_branches", Value::U64(self.cond_branches));
+        f("taken_branches", Value::U64(self.taken_branches));
+        f("cond_mispredicts", Value::U64(self.cond_mispredicts));
+        f("indirect_mispredicts", Value::U64(self.indirect_mispredicts));
+        f("return_mispredicts", Value::U64(self.return_mispredicts));
+        f("discoveries", Value::U64(self.discoveries));
+        f("trace_gaps", Value::U64(self.trace_gaps));
+        f("bubbles", Value::U64(self.bubbles));
+        f("zat_zot_zero_bubble", Value::U64(self.zat_zot_zero_bubble));
+        f("one_bubble_at", Value::U64(self.one_bubble_at));
+        f("ubtb_zero_bubble", Value::U64(self.ubtb_zero_bubble));
+        f("mrb_covered", Value::U64(self.mrb_covered));
+        f("elo_skipped_lookups", Value::U64(self.elo_skipped_lookups));
+        f("shp_lookups", Value::U64(self.shp_lookups));
+        f("conf_flips_to_low", Value::U64(self.conf_flips_to_low));
+        f("conf_flips_to_high", Value::U64(self.conf_flips_to_high));
+        f("mpki", Value::F64(self.mpki()));
+    }
+}
+
+impl Observable for RasStats {
+    fn component(&self) -> &'static str {
+        "branch.ras"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("overflows", Value::U64(self.overflows));
+        f("underflows", Value::U64(self.underflows));
+    }
+}
+
+impl Observable for MrbStats {
+    fn component(&self) -> &'static str {
+        "branch.mrb"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("hits", Value::U64(self.hits));
+        f("misses", Value::U64(self.misses));
+        f("addresses_confirmed", Value::U64(self.addresses_confirmed));
+        f("addresses_corrected", Value::U64(self.addresses_corrected));
+    }
+}
+
+impl Observable for UbtbStats {
+    fn component(&self) -> &'static str {
+        "branch.ubtb"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("locked_predictions", Value::U64(self.locked_predictions));
+        f("locks", Value::U64(self.locks));
+        f("unlocks", Value::U64(self.unlocks));
+        f("gated_cycles", Value::U64(self.gated_cycles));
+    }
+}
+
+impl Observable for BtbStats {
+    fn component(&self) -> &'static str {
+        "branch.btb"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("main_hits", Value::U64(self.main_hits));
+        f("virtual_hits", Value::U64(self.virtual_hits));
+        f("l2_hits", Value::U64(self.l2_hits));
+        f("misses", Value::U64(self.misses));
+        f("l2_writebacks", Value::U64(self.l2_writebacks));
+        f("empty_line_lookups", Value::U64(self.empty_line_lookups));
+    }
+}
+
+impl Observable for IndirectStats {
+    fn component(&self) -> &'static str {
+        "branch.indirect"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("lookups", Value::U64(self.lookups));
+        f("correct", Value::U64(self.correct));
+        f("hash_hits", Value::U64(self.hash_hits));
+        f("extra_cycles", Value::U64(self.extra_cycles));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(obs: &dyn Observable) -> Vec<&'static str> {
+        let mut v = Vec::new();
+        obs.visit(&mut |n, _| v.push(n));
+        v
+    }
+
+    #[test]
+    fn visit_order_is_stable() {
+        let a = names(&FrontendStats::default());
+        let b = names(&FrontendStats::default());
+        assert_eq!(a, b);
+        assert!(a.contains(&"mpki"));
+        assert_eq!(names(&RasStats::default()), vec!["overflows", "underflows"]);
+    }
+}

@@ -11,6 +11,9 @@ use exynos_secure::context::ContextHash;
 /// A bounded return-address stack. Overflow wraps (oldest entries are
 /// silently overwritten), underflow predicts nothing — both are genuine
 /// mispredict sources on deep recursion.
+///
+/// The stack owns its [`RasStats`] and exposes them through
+/// [`Ras::stats`], matching every other predictor component.
 #[derive(Debug, Clone)]
 pub struct Ras {
     slots: Vec<Option<EncryptedTarget>>,
@@ -18,6 +21,7 @@ pub struct Ras {
     depth: usize,
     capacity: usize,
     key: ContextHash,
+    stats: RasStats,
 }
 
 /// RAS statistics.
@@ -42,6 +46,7 @@ impl Ras {
             depth: 0,
             capacity,
             key,
+            stats: RasStats::default(),
         }
     }
 
@@ -53,9 +58,9 @@ impl Ras {
     }
 
     /// Push a return address (on a call).
-    pub fn push(&mut self, ret_addr: u64, stats: &mut RasStats) {
+    pub fn push(&mut self, ret_addr: u64) {
         if self.depth == self.capacity {
-            stats.overflows += 1;
+            self.stats.overflows += 1;
         } else {
             self.depth += 1;
         }
@@ -64,9 +69,9 @@ impl Ras {
     }
 
     /// Pop and predict the return target (on a return).
-    pub fn pop(&mut self, stats: &mut RasStats) -> Option<u64> {
+    pub fn pop(&mut self) -> Option<u64> {
         if self.depth == 0 {
-            stats.underflows += 1;
+            self.stats.underflows += 1;
             return None;
         }
         self.depth -= 1;
@@ -84,6 +89,14 @@ impl Ras {
         self.depth = self.depth.min(keep);
     }
 
+    /// Flush all entries (pipeline-flush recovery) while keeping the key
+    /// and the cumulative statistics.
+    pub fn clear(&mut self) {
+        self.slots.fill(None);
+        self.top = 0;
+        self.depth = 0;
+    }
+
     /// Current number of live entries.
     pub fn depth(&self) -> usize {
         self.depth
@@ -92,6 +105,11 @@ impl Ras {
     /// Capacity in entries.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> RasStats {
+        self.stats
     }
 }
 
@@ -106,57 +124,63 @@ mod tests {
 
     #[test]
     fn push_pop_lifo() {
-        let mut s = RasStats::default();
         let mut r = Ras::new(8, key(1));
-        r.push(0x100, &mut s);
-        r.push(0x200, &mut s);
-        assert_eq!(r.pop(&mut s), Some(0x200));
-        assert_eq!(r.pop(&mut s), Some(0x100));
-        assert_eq!(s.overflows + s.underflows, 0);
+        r.push(0x100);
+        r.push(0x200);
+        assert_eq!(r.pop(), Some(0x200));
+        assert_eq!(r.pop(), Some(0x100));
+        assert_eq!(r.stats().overflows + r.stats().underflows, 0);
     }
 
     #[test]
     fn underflow_counts_and_returns_none() {
-        let mut s = RasStats::default();
         let mut r = Ras::new(4, key(1));
-        assert_eq!(r.pop(&mut s), None);
-        assert_eq!(s.underflows, 1);
+        assert_eq!(r.pop(), None);
+        assert_eq!(r.stats().underflows, 1);
     }
 
     #[test]
     fn overflow_wraps_and_loses_oldest() {
-        let mut s = RasStats::default();
         let mut r = Ras::new(2, key(1));
-        r.push(0x100, &mut s);
-        r.push(0x200, &mut s);
-        r.push(0x300, &mut s); // overwrites 0x100
-        assert_eq!(s.overflows, 1);
-        assert_eq!(r.pop(&mut s), Some(0x300));
-        assert_eq!(r.pop(&mut s), Some(0x200));
-        assert_eq!(r.pop(&mut s), None, "0x100 was lost to the wrap");
+        r.push(0x100);
+        r.push(0x200);
+        r.push(0x300); // overwrites 0x100
+        assert_eq!(r.stats().overflows, 1);
+        assert_eq!(r.pop(), Some(0x300));
+        assert_eq!(r.pop(), Some(0x200));
+        assert_eq!(r.pop(), None, "0x100 was lost to the wrap");
     }
 
     #[test]
     fn deep_recursion_depth_tracks() {
-        let mut s = RasStats::default();
         let mut r = Ras::new(16, key(1));
         for i in 0..10u64 {
-            r.push(0x1000 + i * 4, &mut s);
+            r.push(0x1000 + i * 4);
         }
         assert_eq!(r.depth(), 10);
         assert_eq!(r.capacity(), 16);
     }
 
     #[test]
+    fn clear_empties_but_keeps_stats() {
+        let mut r = Ras::new(4, key(1));
+        let _ = r.pop(); // underflow
+        r.push(0x100);
+        r.clear();
+        assert_eq!(r.depth(), 0);
+        assert_eq!(r.pop(), None);
+        assert_eq!(r.stats().underflows, 2, "stats survive the flush");
+    }
+
+    #[test]
     fn context_switch_scrambles_stale_entries() {
-        let mut s = RasStats::default();
         let mut r = Ras::new(8, key(1));
-        r.push(0xAAA0, &mut s);
+        r.push(0xAAA0);
         r.set_key(key(2));
-        let got = r.pop(&mut s).unwrap();
+        let got = r.pop().unwrap();
         assert_ne!(got, 0xAAA0, "old-context entries must not decode");
         // New pushes under the new key decode fine.
-        r.push(0xBBB0, &mut s);
-        assert_eq!(r.pop(&mut s), Some(0xBBB0));
+        r.push(0xBBB0);
+        assert_eq!(r.pop(), Some(0xBBB0));
     }
 }

@@ -336,6 +336,16 @@ impl MicroBtb {
         self.nodes.len()
     }
 
+    /// Fraction of resident nodes with their "built" bit set — the
+    /// paper's µBTB built-bit coverage metric (0.0 when empty).
+    pub fn built_fraction(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let built = self.nodes.iter().filter(|n| n.built).count();
+        built as f64 / self.nodes.len() as f64
+    }
+
     /// Read the "built" bit of the node at `pc` (UOC BuildMode support).
     pub fn built_bit(&self, pc: u64) -> Option<bool> {
         self.find(pc).map(|i| self.nodes[i].built)

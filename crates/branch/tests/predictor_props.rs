@@ -4,7 +4,7 @@ use exynos_branch::btb::{BtbConfig, BtbEntry, BtbHierarchy};
 use exynos_branch::config::FrontendConfig;
 use exynos_branch::frontend::FrontEnd;
 use exynos_branch::history::GlobalHistory;
-use exynos_branch::ras::{Ras, RasStats};
+use exynos_branch::ras::Ras;
 use exynos_branch::shp::{apply_bias_delta, Shp, ShpConfig, WEIGHT_MAX, WEIGHT_MIN};
 use exynos_secure::context::{compute_context_hash, ContextId, EntropySources};
 use exynos_trace::gen::web::{WebParams, WebWorkload};
@@ -43,23 +43,22 @@ proptest! {
         let key = compute_context_hash(&sources, ContextId::user(1, 0));
         let mut ras = Ras::new(256, key);
         let mut reference: Vec<u64> = Vec::new();
-        let mut stats = RasStats::default();
         for op in ops {
             match op {
                 Some(addr) => {
                     let a = addr as u64 * 4;
-                    ras.push(a, &mut stats);
+                    ras.push(a);
                     reference.push(a);
                 }
                 None => {
-                    let got = ras.pop(&mut stats);
+                    let got = ras.pop();
                     let want = reference.pop();
                     prop_assert_eq!(got, want);
                 }
             }
         }
         prop_assert_eq!(ras.depth(), reference.len());
-        prop_assert_eq!(stats.overflows, 0);
+        prop_assert_eq!(ras.stats().overflows, 0);
     }
 
     /// The BTB hierarchy never stores duplicate PCs within a level and its

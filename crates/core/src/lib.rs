@@ -33,6 +33,7 @@ pub mod config;
 pub mod error;
 pub mod fault;
 pub mod memsys;
+pub mod observe;
 pub mod ports;
 pub mod sim;
 

@@ -504,6 +504,16 @@ impl MemSystem {
         self.mabs.capacity()
     }
 
+    /// MAB occupancy statistics.
+    pub fn mab_stats(&self) -> exynos_mem::mshr::MshrStats {
+        self.mabs.stats()
+    }
+
+    /// TLB hierarchy access (per-level stats).
+    pub fn tlb(&self) -> &exynos_mem::tlb::TlbHierarchy {
+        &self.tlb
+    }
+
     /// Fault-injection hook: the prefetch confirmation paths lose their
     /// in-flight state — pending two-pass fills are discarded and the
     /// standalone prefetcher's stream training resets. Returns the number

@@ -1,0 +1,67 @@
+//! [`Observable`] wiring for the core-level statistics producers.
+
+use crate::fault::FaultStats;
+use crate::memsys::MemStats;
+use crate::sim::SimStats;
+use exynos_telemetry::{Observable, Value};
+
+impl Observable for SimStats {
+    fn component(&self) -> &'static str {
+        "core.sim"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("instructions", Value::U64(self.instructions));
+        f("last_retire", Value::U64(self.last_retire));
+        f("loads", Value::U64(self.loads));
+        f("uoc_supplied", Value::U64(self.uoc_supplied));
+        f("malformed_insts", Value::U64(self.malformed_insts));
+        f("predictor_corruptions", Value::U64(self.predictor_corruptions));
+        f("uoc_recoveries", Value::U64(self.uoc_recoveries));
+        f("watchdog_events", Value::U64(self.watchdog_events));
+        f("watchdog_recoveries", Value::U64(self.watchdog_recoveries));
+        let cycles = self.last_retire.max(1);
+        f("ipc", Value::F64(self.instructions as f64 / cycles as f64));
+    }
+}
+
+impl Observable for MemStats {
+    fn component(&self) -> &'static str {
+        "core.mem"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("loads", Value::U64(self.loads));
+        f("stores", Value::U64(self.stores));
+        f("l1_hits", Value::U64(self.l1_hits));
+        f("l2_hits", Value::U64(self.l2_hits));
+        f("l3_hits", Value::U64(self.l3_hits));
+        f("dram_loads", Value::U64(self.dram_loads));
+        f("total_load_latency", Value::U64(self.total_load_latency));
+        f("mab_stalls", Value::U64(self.mab_stalls));
+        f("l1_prefetch_fills", Value::U64(self.l1_prefetch_fills));
+        f("buddy_fills", Value::U64(self.buddy_fills));
+        f("standalone_fills", Value::U64(self.standalone_fills));
+        f("spec_read_wins", Value::U64(self.spec_read_wins));
+        f("icache_misses", Value::U64(self.icache_misses));
+        f("avg_load_latency", Value::F64(self.avg_load_latency()));
+    }
+}
+
+impl Observable for FaultStats {
+    fn component(&self) -> &'static str {
+        "core.fault"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("btb_targets", Value::U64(self.btb_targets));
+        f("btb_tags", Value::U64(self.btb_tags));
+        f("shp_flips", Value::U64(self.shp_flips));
+        f("ras_truncations", Value::U64(self.ras_truncations));
+        f("prefetch_drops", Value::U64(self.prefetch_drops));
+        f("malformed", Value::U64(self.malformed));
+        f("gaps", Value::U64(self.gaps));
+        f("stalls", Value::U64(self.stalls));
+        f("total", Value::U64(self.total()));
+    }
+}

@@ -24,6 +24,9 @@ use crate::fault::{FaultFiring, FaultInjector, FaultPlan, FaultStats};
 use crate::memsys::{MemStats, MemSystem};
 use crate::ports::{PortSchedule, Resource};
 use exynos_branch::{FetchFeedback, FrontEnd, FrontendStats, Redirect};
+use exynos_telemetry::{
+    BranchClass, FaultClass, PipelineEvent, PrefetchKind, Telemetry, UocModeTag,
+};
 use exynos_trace::{BranchKind, Inst, InstKind, Reg, SlicePlan, TraceGen};
 use exynos_uoc::{Uoc, UocMode};
 use std::collections::VecDeque;
@@ -80,6 +83,41 @@ impl Default for Watchdog {
 
 /// Progress steps needed to forgive one spent recovery rung.
 const WATCHDOG_DECAY_STREAK: u32 = 1024;
+
+/// Pre-step statistics snapshot used to derive telemetry events from the
+/// deltas one instruction produces. Only captured when a [`Telemetry`]
+/// sink is attached, so the plain [`Simulator::step`] path pays nothing.
+struct StepProbe {
+    fe: FrontendStats,
+    ubtb_locks: u64,
+    ubtb_unlocks: u64,
+    uoc_mode: Option<UocMode>,
+    tp_first: u64,
+    tp_dropped: u64,
+    buddy_issued: u64,
+    standalone_issued: u64,
+    mem: MemStats,
+    malformed: u64,
+}
+
+/// The telemetry tag for a UOC mode.
+fn uoc_tag(mode: UocMode) -> UocModeTag {
+    match mode {
+        UocMode::Filter => UocModeTag::Filter,
+        UocMode::Build => UocModeTag::Build,
+        UocMode::Fetch => UocModeTag::Fetch,
+    }
+}
+
+/// The telemetry class for a resolved branch.
+fn branch_class(kind: Option<BranchKind>) -> BranchClass {
+    match kind {
+        Some(k) if k.is_return() => BranchClass::Return,
+        Some(k) if k.is_indirect() => BranchClass::Indirect,
+        Some(k) if k.is_conditional() => BranchClass::Cond,
+        _ => BranchClass::Direct,
+    }
+}
 
 /// Results of one measured slice.
 #[derive(Debug, Clone)]
@@ -337,6 +375,26 @@ impl Simulator {
     /// Recoverable conditions (detected predictor corruption, UOC state
     /// loss, transient stalls) degrade gracefully and return `Ok`.
     pub fn step(&mut self, inst: &Inst) -> Result<u64, SimError> {
+        self.step_impl(inst, None)
+    }
+
+    /// [`step`](Simulator::step) with a telemetry sink: pipeline events
+    /// and histograms are recorded into `tel`. Timing and statistics are
+    /// identical to the plain path — telemetry only observes.
+    pub fn step_with(&mut self, inst: &Inst, tel: &mut Telemetry) -> Result<u64, SimError> {
+        self.step_impl(inst, Some(tel))
+    }
+
+    fn step_impl(&mut self, inst: &Inst, tel: Option<&mut Telemetry>) -> Result<u64, SimError> {
+        // Snapshot stat counters so post-step deltas become events. Only
+        // paid when a sink is attached AND the telemetry feature is on.
+        let probe = match tel {
+            Some(_) if Telemetry::ACTIVE => Some(self.capture_probe()),
+            _ => None,
+        };
+        let mut corruption_recovered = false;
+        let mut uoc_loss = false;
+        let mut watchdog_trip: Option<(u64, u64)> = None;
         let width = self.width;
         // ---------------- Fault injection ----------------
         let mut inst = *inst;
@@ -364,6 +422,7 @@ impl Simulator {
                 if self.consecutive_corruptions > CORRUPTION_ESCALATION_LIMIT {
                     return Err(e.into());
                 }
+                corruption_recovered = true;
                 self.frontend.flush_predictors();
                 self.fetch_cycle += self.lat_mispredict;
                 self.fetch_slots = 0;
@@ -385,6 +444,7 @@ impl Simulator {
                 // from FilterMode rather than serving a stale block.
                 uoc.demote_to_filter();
                 self.stats.uoc_recoveries += 1;
+                uoc_loss = true;
             }
             uoc_supply = uoc.mode() == UocMode::Fetch;
             if uoc_supply {
@@ -545,6 +605,7 @@ impl Simulator {
                     self.frontend.flush_predictors();
                 }
             }
+            watchdog_trip = Some((gap, self.watchdog.recoveries as u64));
             self.watchdog.recoveries += 1;
             self.stats.watchdog_recoveries += 1;
         } else {
@@ -568,7 +629,171 @@ impl Simulator {
         }
         self.stats.instructions += 1;
         self.stats.last_retire = rt;
+        if let (Some(tel), Some(p)) = (tel, probe) {
+            self.emit_step_events(
+                tel,
+                &p,
+                inst,
+                &fired,
+                fb,
+                corruption_recovered,
+                uoc_loss,
+                watchdog_trip,
+                complete,
+                gap,
+                rt,
+            );
+        }
         Ok(rt)
+    }
+
+    /// Snapshot the counters `emit_step_events` diffs against.
+    fn capture_probe(&self) -> StepProbe {
+        let ubtb = self.frontend.ubtb_stats();
+        let tp = self.memsys.twopass().stats();
+        StepProbe {
+            fe: *self.frontend.stats(),
+            ubtb_locks: ubtb.locks,
+            ubtb_unlocks: ubtb.unlocks,
+            uoc_mode: self.uoc.as_ref().map(|u| u.mode()),
+            tp_first: tp.first_passes,
+            tp_dropped: tp.dropped,
+            buddy_issued: self.memsys.buddy_stats().issued,
+            standalone_issued: self.memsys.standalone_stats().issued,
+            mem: self.memsys.stats(),
+            malformed: self.stats.malformed_insts,
+        }
+    }
+
+    /// Turn one step's stat deltas into pipeline events. Every event is
+    /// stamped at the retirement cycle `rt`; retirement never moves
+    /// backwards, so the trace stays cycle-monotone by construction.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_step_events(
+        &self,
+        tel: &mut Telemetry,
+        p: &StepProbe,
+        inst: &Inst,
+        fired: &FaultFiring,
+        fb: FetchFeedback,
+        corruption_recovered: bool,
+        uoc_loss: bool,
+        watchdog_trip: Option<(u64, u64)>,
+        resolve_cycle: u64,
+        gap: u64,
+        rt: u64,
+    ) {
+        let n = self.stats.instructions;
+        // Injector firings come first: the pipeline's reaction (flushes,
+        // gaps, malformed skips) follows from them.
+        let firings = [
+            (fired.corrupt_btb_target.is_some(), FaultClass::BtbTarget),
+            (fired.corrupt_btb_tag.is_some(), FaultClass::BtbTag),
+            (fired.flip_shp_weight.is_some(), FaultClass::ShpWeight),
+            (fired.truncate_ras.is_some(), FaultClass::RasTruncate),
+            (fired.drop_prefetch, FaultClass::PrefetchDrop),
+            (fired.malform_inst, FaultClass::Malformed),
+            (fired.gap_inst, FaultClass::TraceGap),
+            (fired.stall_cycles > 0, FaultClass::Stall),
+        ];
+        for (hit, class) in firings {
+            if hit {
+                tel.record(rt, n, PipelineEvent::FaultInjected { class });
+            }
+        }
+        if corruption_recovered {
+            tel.record(
+                rt,
+                n,
+                PipelineEvent::CorruptionRecovered {
+                    consecutive: self.consecutive_corruptions as u64,
+                },
+            );
+        }
+        match fb.redirect {
+            Some(Redirect::Mispredict) => tel.record(
+                rt,
+                n,
+                PipelineEvent::Mispredict {
+                    pc: inst.pc,
+                    class: branch_class(inst.branch.map(|b| b.kind)),
+                    resolve_cycle,
+                },
+            ),
+            Some(Redirect::Discovery) => {
+                tel.record(rt, n, PipelineEvent::BranchDiscovery { pc: inst.pc });
+            }
+            Some(Redirect::TraceGap) => {
+                tel.record(rt, n, PipelineEvent::TraceGap { pc: inst.pc });
+            }
+            None => {}
+        }
+        let fe = self.frontend.stats();
+        if fe.conf_flips_to_low > p.fe.conf_flips_to_low {
+            tel.record(rt, n, PipelineEvent::ShpConfFlip { to_low: true });
+        }
+        if fe.conf_flips_to_high > p.fe.conf_flips_to_high {
+            tel.record(rt, n, PipelineEvent::ShpConfFlip { to_low: false });
+        }
+        let ubtb = self.frontend.ubtb_stats();
+        if ubtb.locks > p.ubtb_locks {
+            tel.record(rt, n, PipelineEvent::UbtbLock);
+        }
+        if ubtb.unlocks > p.ubtb_unlocks {
+            tel.record(rt, n, PipelineEvent::UbtbUnlock);
+        }
+        let mode = self.uoc.as_ref().map(|u| u.mode());
+        if let (Some(from), Some(to)) = (p.uoc_mode, mode) {
+            if from != to {
+                tel.record(
+                    rt,
+                    n,
+                    PipelineEvent::UocTransition { from: uoc_tag(from), to: uoc_tag(to) },
+                );
+            }
+        }
+        if uoc_loss {
+            tel.record(rt, n, PipelineEvent::UocStateLoss);
+        }
+        // Prefetch activity: launches from the engines, fills and drops
+        // from the memory system.
+        let tp = self.memsys.twopass().stats();
+        let mem = self.memsys.stats();
+        let flows = [
+            (tp.first_passes - p.tp_first, PrefetchKind::L1, 0u8),
+            (self.memsys.buddy_stats().issued - p.buddy_issued, PrefetchKind::Buddy, 0),
+            (
+                self.memsys.standalone_stats().issued - p.standalone_issued,
+                PrefetchKind::Standalone,
+                0,
+            ),
+            (mem.l1_prefetch_fills - p.mem.l1_prefetch_fills, PrefetchKind::L1, 1),
+            (mem.buddy_fills - p.mem.buddy_fills, PrefetchKind::Buddy, 1),
+            (mem.standalone_fills - p.mem.standalone_fills, PrefetchKind::Standalone, 1),
+            (tp.dropped - p.tp_dropped, PrefetchKind::L1, 2),
+        ];
+        for (count, kind, stage) in flows {
+            if count > 0 {
+                let event = match stage {
+                    0 => PipelineEvent::PrefetchLaunch { kind, count },
+                    1 => PipelineEvent::PrefetchFill { kind, count },
+                    _ => PipelineEvent::PrefetchDrop { kind, count },
+                };
+                tel.record(rt, n, event);
+            }
+        }
+        if self.stats.malformed_insts > p.malformed {
+            tel.record(rt, n, PipelineEvent::MalformedInst { pc: inst.pc });
+        }
+        if let Some((stall_gap, rung)) = watchdog_trip {
+            tel.record(rt, n, PipelineEvent::WatchdogTrip { gap: stall_gap, rung });
+        }
+        // Histograms: every retirement gap, and demand-load latency when
+        // this step performed a load.
+        tel.observe_retire_gap(gap);
+        if mem.loads > p.mem.loads {
+            tel.observe_load_latency(mem.total_load_latency - p.mem.total_load_latency);
+        }
     }
 
     /// Run a warmup + detail slice of `gen`, returning measured results
@@ -578,9 +803,38 @@ impl Simulator {
         gen: &mut dyn TraceGen,
         plan: SlicePlan,
     ) -> Result<SliceResult, SimError> {
+        self.run_slice_impl(gen, plan, None)
+    }
+
+    /// [`run_slice`](Simulator::run_slice) with a telemetry sink: events
+    /// stream into the trace and the metrics registry is re-sampled into
+    /// an epoch row every [`Telemetry::epoch_len`] instructions.
+    pub fn run_slice_with(
+        &mut self,
+        gen: &mut dyn TraceGen,
+        plan: SlicePlan,
+        tel: &mut Telemetry,
+    ) -> Result<SliceResult, SimError> {
+        self.run_slice_impl(gen, plan, Some(tel))
+    }
+
+    fn run_slice_impl(
+        &mut self,
+        gen: &mut dyn TraceGen,
+        plan: SlicePlan,
+        mut tel: Option<&mut Telemetry>,
+    ) -> Result<SliceResult, SimError> {
         for _ in 0..plan.warmup {
             let inst = gen.next_inst();
-            self.step(&inst)?;
+            match tel.as_deref_mut() {
+                Some(t) => {
+                    self.step_impl(&inst, Some(t))?;
+                    self.maybe_epoch(t);
+                }
+                None => {
+                    self.step(&inst)?;
+                }
+            }
         }
         let start_insts = self.stats.instructions;
         let start_cycle = self.stats.last_retire;
@@ -588,7 +842,15 @@ impl Simulator {
         let mem0 = self.memsys.stats();
         for _ in 0..plan.detail {
             let inst = gen.next_inst();
-            self.step(&inst)?;
+            match tel.as_deref_mut() {
+                Some(t) => {
+                    self.step_impl(&inst, Some(t))?;
+                    self.maybe_epoch(t);
+                }
+                None => {
+                    self.step(&inst)?;
+                }
+            }
         }
         let instructions = self.stats.instructions - start_insts;
         let cycles = (self.stats.last_retire - start_cycle).max(1);
@@ -607,6 +869,63 @@ impl Simulator {
             frontend: fe1,
             mem: mem1,
         })
+    }
+
+    /// Close the current epoch if the instruction count says it is due.
+    fn maybe_epoch(&self, tel: &mut Telemetry) {
+        if Telemetry::ACTIVE && tel.epoch_due(self.stats.instructions) {
+            self.sample_telemetry(tel);
+            tel.end_epoch(self.stats.instructions, self.stats.last_retire);
+        }
+    }
+
+    /// Snapshot every statistics producer in the machine into `tel`'s
+    /// metrics registry. Multi-instance producers (cache levels, TLBs)
+    /// register under per-instance component paths.
+    pub fn sample_telemetry(&self, tel: &mut Telemetry) {
+        if !Telemetry::ACTIVE {
+            return;
+        }
+        tel.sample(&self.stats);
+        tel.sample(&self.memsys.stats());
+        // Branch front end.
+        tel.sample(self.frontend.stats());
+        tel.sample(&self.frontend.ras_stats());
+        tel.sample(&self.frontend.mrb_stats());
+        tel.sample(&self.frontend.ubtb_stats());
+        tel.sample(&self.frontend.btb_stats());
+        tel.sample(&self.frontend.indirect_stats());
+        tel.gauge("branch.ubtb", "built_fraction", self.frontend.ubtb().built_fraction());
+        // Memory hierarchy, one instance per level.
+        tel.sample_named("mem.cache.l1d", &self.memsys.l1d_stats());
+        tel.sample_named("mem.cache.l2", &self.memsys.l2_stats());
+        tel.sample_named("mem.cache.l3", &self.memsys.l3_stats());
+        let tlb = self.memsys.tlb();
+        tel.sample_named("mem.tlb.itlb", &tlb.itlb.stats());
+        tel.sample_named("mem.tlb.dtlb", &tlb.dtlb.stats());
+        if let Some(d15) = &tlb.dtlb15 {
+            tel.sample_named("mem.tlb.dtlb15", &d15.stats());
+        }
+        tel.sample_named("mem.tlb.l2tlb", &tlb.l2tlb.stats());
+        tel.sample_named("mem.mshr.mab", &self.memsys.mab_stats());
+        // Prefetch engines.
+        tel.sample(&self.memsys.l1_prefetcher().stride_stats());
+        tel.sample(&self.memsys.l1_prefetcher().sms_stats());
+        tel.sample(&self.memsys.l1_prefetcher().reorder_stats());
+        tel.sample(&self.memsys.twopass().stats());
+        tel.sample(&self.memsys.buddy_stats());
+        tel.sample(&self.memsys.standalone_stats());
+        // DRAM path.
+        tel.sample(&self.memsys.dram_stats());
+        tel.sample(&self.memsys.spec_stats());
+        // UOC (M5+ generations only).
+        if let Some(uoc) = &self.uoc {
+            tel.sample(&uoc.stats());
+            tel.gauge("uoc.cache", "occupancy", uoc.occupancy() as f64);
+        }
+        if let Some(fs) = self.fault_stats() {
+            tel.sample(&fs);
+        }
     }
 }
 

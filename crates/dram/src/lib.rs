@@ -13,6 +13,7 @@
 
 pub mod bank;
 pub mod controller;
+pub mod observe;
 pub mod specread;
 
 pub use bank::{Bank, DramTiming};

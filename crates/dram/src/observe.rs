@@ -1,0 +1,32 @@
+//! [`Observable`] wiring for the DRAM-path statistics producers.
+
+use crate::controller::DramStats;
+use crate::specread::SpecReadStats;
+use exynos_telemetry::{Observable, Value};
+
+impl Observable for DramStats {
+    fn component(&self) -> &'static str {
+        "dram.ctrl"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("reads", Value::U64(self.reads));
+        f("row_hits", Value::U64(self.row_hits));
+        f("hints", Value::U64(self.hints));
+        f("prefetch_deferred", Value::U64(self.prefetch_deferred));
+        f("total_latency", Value::U64(self.total_latency));
+    }
+}
+
+impl Observable for SpecReadStats {
+    fn component(&self) -> &'static str {
+        "dram.specread"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("speculated", Value::U64(self.speculated));
+        f("cancelled", Value::U64(self.cancelled));
+        f("useful", Value::U64(self.useful));
+        f("wasted", Value::U64(self.wasted));
+    }
+}

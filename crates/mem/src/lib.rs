@@ -19,6 +19,7 @@
 pub mod cache;
 pub mod config;
 pub mod mshr;
+pub mod observe;
 pub mod tlb;
 
 pub use cache::{

@@ -77,10 +77,25 @@ impl MissBuffers {
             .unwrap_or(now)
     }
 
-    /// (allocations, rejections, peak occupancy).
-    pub fn stats(&self) -> (u64, u64, usize) {
-        (self.allocations, self.rejections, self.peak)
+    /// Accumulated statistics.
+    pub fn stats(&self) -> MshrStats {
+        MshrStats {
+            allocations: self.allocations,
+            rejections: self.rejections,
+            peak: self.peak as u64,
+        }
     }
+}
+
+/// Occupancy statistics for a miss-buffer bank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MshrStats {
+    /// Allocations performed.
+    pub allocations: u64,
+    /// Allocation attempts rejected with every slot busy.
+    pub rejections: u64,
+    /// Peak simultaneous occupancy observed.
+    pub peak: u64,
 }
 
 #[cfg(test)]
@@ -93,7 +108,7 @@ mod tests {
         assert!(m.try_allocate(0, 100));
         assert!(m.try_allocate(0, 100));
         assert!(!m.try_allocate(0, 100));
-        assert_eq!(m.stats().1, 1);
+        assert_eq!(m.stats().rejections, 1);
     }
 
     #[test]
@@ -119,7 +134,7 @@ mod tests {
         for _ in 0..5 {
             m.try_allocate(0, 100);
         }
-        assert_eq!(m.stats().2, 5);
+        assert_eq!(m.stats().peak, 5);
         assert_eq!(m.occupancy(100), 0);
     }
 }

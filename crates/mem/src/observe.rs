@@ -1,0 +1,50 @@
+//! [`Observable`] wiring for the memory-hierarchy statistics producers.
+//!
+//! Cache and TLB stats are multi-instance (one per level), so their
+//! [`Observable::component`] returns a generic path and the sampler
+//! overrides it per level via `Telemetry::sample_named` (e.g.
+//! `mem.cache.l1d`, `mem.tlb.itlb`).
+
+use crate::cache::CacheStats;
+use crate::mshr::MshrStats;
+use crate::tlb::TlbStats;
+use exynos_telemetry::{Observable, Value};
+
+impl Observable for CacheStats {
+    fn component(&self) -> &'static str {
+        "mem.cache"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("demand_hits", Value::U64(self.demand_hits));
+        f("demand_misses", Value::U64(self.demand_misses));
+        f("prefetch_hits", Value::U64(self.prefetch_hits));
+        f("prefetch_misses", Value::U64(self.prefetch_misses));
+        f("fills", Value::U64(self.fills));
+        f("evictions", Value::U64(self.evictions));
+        f("useful_prefetch_hits", Value::U64(self.useful_prefetch_hits));
+    }
+}
+
+impl Observable for TlbStats {
+    fn component(&self) -> &'static str {
+        "mem.tlb"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("hits", Value::U64(self.hits));
+        f("misses", Value::U64(self.misses));
+    }
+}
+
+impl Observable for MshrStats {
+    fn component(&self) -> &'static str {
+        "mem.mshr"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("allocations", Value::U64(self.allocations));
+        f("rejections", Value::U64(self.rejections));
+        f("peak", Value::U64(self.peak));
+    }
+}

@@ -27,6 +27,15 @@ impl TlbConfig {
     }
 }
 
+/// Hit/miss statistics for one TLB level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
 /// One TLB array (page-granular, 4 KiB pages, sectored tags).
 #[derive(Debug, Clone)]
 pub struct Tlb {
@@ -62,9 +71,12 @@ impl Tlb {
         &self.cfg
     }
 
-    /// (hits, misses).
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TlbStats {
+        TlbStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
     }
 
     fn granule_vpn(&self, vaddr: u64) -> (u64, usize) {

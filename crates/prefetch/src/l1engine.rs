@@ -82,6 +82,11 @@ impl L1Prefetcher {
         self.sms.as_ref().map(|s| s.stats()).unwrap_or_default()
     }
 
+    /// Address re-order buffer statistics.
+    pub fn reorder_stats(&self) -> crate::reorder::ReorderStats {
+        self.reorder.stats()
+    }
+
     /// Observe a demand L1 miss by the load at `pc` to `vaddr`; returns
     /// the prefetch requests to issue.
     pub fn on_demand_miss(&mut self, pc: u64, vaddr: u64) -> Vec<L1PrefetchRequest> {

@@ -1,0 +1,94 @@
+//! [`Observable`] wiring for every prefetch-engine statistics producer.
+
+use crate::buddy::BuddyStats;
+use crate::reorder::ReorderStats;
+use crate::sms::SmsStats;
+use crate::standalone::StandaloneStats;
+use crate::stride::StrideStats;
+use crate::twopass::TwoPassStats;
+use exynos_telemetry::{Observable, Value};
+
+impl Observable for StrideStats {
+    fn component(&self) -> &'static str {
+        "prefetch.stride"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("trained", Value::U64(self.trained));
+        f("issued", Value::U64(self.issued));
+        f("confirms", Value::U64(self.confirms));
+        f("locks", Value::U64(self.locks));
+        f("unlocks", Value::U64(self.unlocks));
+        f("skip_aheads", Value::U64(self.skip_aheads));
+    }
+}
+
+impl Observable for SmsStats {
+    fn component(&self) -> &'static str {
+        "prefetch.sms"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("generations", Value::U64(self.generations));
+        f("trainings", Value::U64(self.trainings));
+        f("l1_prefetches", Value::U64(self.l1_prefetches));
+        f("l2_prefetches", Value::U64(self.l2_prefetches));
+        f("suppressed", Value::U64(self.suppressed));
+    }
+}
+
+impl Observable for TwoPassStats {
+    fn component(&self) -> &'static str {
+        "prefetch.twopass"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("first_passes", Value::U64(self.first_passes));
+        f("first_pass_l2_hits", Value::U64(self.first_pass_l2_hits));
+        f("second_passes", Value::U64(self.second_passes));
+        f("one_passes", Value::U64(self.one_passes));
+        f("to_one_pass", Value::U64(self.to_one_pass));
+        f("to_two_pass", Value::U64(self.to_two_pass));
+        f("dropped", Value::U64(self.dropped));
+    }
+}
+
+impl Observable for BuddyStats {
+    fn component(&self) -> &'static str {
+        "prefetch.buddy"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("issued", Value::U64(self.issued));
+        f("suppressed", Value::U64(self.suppressed));
+        f("useful", Value::U64(self.useful));
+        f("wasted", Value::U64(self.wasted));
+    }
+}
+
+impl Observable for StandaloneStats {
+    fn component(&self) -> &'static str {
+        "prefetch.standalone"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("trained", Value::U64(self.trained));
+        f("phantoms", Value::U64(self.phantoms));
+        f("phantom_hits", Value::U64(self.phantom_hits));
+        f("issued", Value::U64(self.issued));
+        f("promotions", Value::U64(self.promotions));
+        f("demotions", Value::U64(self.demotions));
+        f("page_crossings", Value::U64(self.page_crossings));
+    }
+}
+
+impl Observable for ReorderStats {
+    fn component(&self) -> &'static str {
+        "prefetch.reorder"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, Value)) {
+        f("filtered", Value::U64(self.filtered));
+        f("overflows", Value::U64(self.overflows));
+    }
+}

@@ -9,6 +9,16 @@
 
 use std::collections::VecDeque;
 
+/// Statistics for the address re-order buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReorderStats {
+    /// Entries dropped by the duplicate filter.
+    pub filtered: u64,
+    /// Entries dropped because the buffer was full (oldest released
+    /// early).
+    pub overflows: u64,
+}
+
 /// Re-orders (sequence-numbered) load addresses back into program order
 /// and filters duplicate cache lines.
 #[derive(Debug, Clone)]
@@ -46,9 +56,12 @@ impl AddressReorderBuffer {
         }
     }
 
-    /// (filtered duplicates, overflows).
-    pub fn stats(&self) -> (u64, u64) {
-        (self.filtered, self.overflows)
+    /// Accumulated statistics.
+    pub fn stats(&self) -> ReorderStats {
+        ReorderStats {
+            filtered: self.filtered,
+            overflows: self.overflows,
+        }
     }
 
     /// Insert a load's cache-line address with its program-order sequence
@@ -131,7 +144,7 @@ mod tests {
         assert_eq!(out, vec![0x10]);
         let out = b.insert(1, 0x10); // duplicate line
         assert!(out.is_empty());
-        assert_eq!(b.stats().0, 1);
+        assert_eq!(b.stats().filtered, 1);
         // Sequence continues past the filtered slot.
         let out = b.insert(2, 0x20);
         assert_eq!(out, vec![0x20]);
@@ -156,6 +169,6 @@ mod tests {
         // Third insert overflows: the oldest (seq 3) releases early.
         let out = b.insert(7, 0x70);
         assert!(out.contains(&0x30));
-        assert_eq!(b.stats().1, 1);
+        assert_eq!(b.stats().overflows, 1);
     }
 }

@@ -82,6 +82,49 @@ pub struct AttackOutcome {
     pub hijacked: bool,
 }
 
+/// Aggregate statistics over a batch of attack trials.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AttackStats {
+    /// Trials run.
+    pub trials: u64,
+    /// Trials where the victim speculatively fetched the gadget.
+    pub hijacked: u64,
+}
+
+impl AttackStats {
+    /// Fold one trial outcome into the totals.
+    pub fn record(&mut self, outcome: &AttackOutcome) {
+        self.trials += 1;
+        if outcome.hijacked {
+            self.hijacked += 1;
+        }
+    }
+
+    /// Fraction of trials that hijacked the victim (0.0 with no trials).
+    pub fn hijack_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.hijacked as f64 / self.trials as f64
+        }
+    }
+}
+
+impl exynos_telemetry::Observable for AttackStats {
+    fn component(&self) -> &'static str {
+        "secure.attack"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, exynos_telemetry::Value)) {
+        f("trials", exynos_telemetry::Value::U64(self.trials));
+        f("hijacked", exynos_telemetry::Value::U64(self.hijacked));
+        f(
+            "hijack_rate",
+            exynos_telemetry::Value::F64(self.hijack_rate()),
+        );
+    }
+}
+
 /// Run one cross-training trial: attacker (ASID `attacker_asid`) trains the
 /// aliased entry to `gadget`; the victim (ASID `victim_asid`) then predicts
 /// the same PC.

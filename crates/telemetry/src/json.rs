@@ -1,0 +1,84 @@
+//! Minimal deterministic JSON emission helpers.
+//!
+//! The build environment has no registry access (no `serde`), and the
+//! telemetry outputs must be byte-identical across same-seed runs, so the
+//! writers here are deliberately tiny: append-only `String` pushes, no
+//! map types, no locale/clock dependence. `f64` values are written with
+//! Rust's shortest-roundtrip `Display`, which is deterministic for a
+//! given bit pattern; non-finite values become `null` (JSON has no
+//! NaN/inf literals).
+
+use std::fmt::Write as _;
+
+/// Append `s` as a quoted JSON string, escaping the characters JSON
+/// requires (quotes, backslash, control bytes).
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append an unsigned integer.
+pub fn push_u64(out: &mut String, v: u64) {
+    let _ = write!(out, "{v}");
+}
+
+/// Append a float, or `null` when the value is not finite.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append `"key":` (with the leading comma when `first` is false).
+pub fn push_key(out: &mut String, first: bool, key: &str) {
+    if !first {
+        out.push(',');
+    }
+    push_str(out, key);
+    out.push(':');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_is_null() {
+        let mut s = String::new();
+        push_f64(&mut s, f64::NAN);
+        s.push(' ');
+        push_f64(&mut s, f64::INFINITY);
+        s.push(' ');
+        push_f64(&mut s, 1.5);
+        assert_eq!(s, "null null 1.5");
+    }
+
+    #[test]
+    fn integral_floats_have_no_exponent() {
+        let mut s = String::new();
+        push_f64(&mut s, 123.0);
+        assert_eq!(s, "123");
+    }
+}

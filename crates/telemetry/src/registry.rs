@@ -1,0 +1,363 @@
+//! The central [`MetricsRegistry`]: a flat, append-only table of named
+//! metric slots keyed by `(component, name)`.
+//!
+//! Components register lazily on first sample; subsequent samples of the
+//! same `(component, name)` pair reuse the slot, so the registry order is
+//! stable for the life of a run and the epoch series can index columns by
+//! slot position. With the `enabled` feature off the registry has no
+//! fields and every method is a no-op.
+
+use crate::metric::{Histogram, MetricKind};
+#[cfg(feature = "enabled")]
+use crate::metric::{Counter, Gauge};
+
+/// Handle to a registered metric slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricId(pub(crate) u32);
+
+/// One registered metric.
+#[cfg(feature = "enabled")]
+#[derive(Debug, Clone)]
+pub(crate) enum Metric {
+    /// Counter slot.
+    Counter(Counter),
+    /// Gauge slot.
+    Gauge(Gauge),
+    /// Histogram slot.
+    Histogram(Histogram),
+}
+
+#[cfg(feature = "enabled")]
+impl Metric {
+    /// Scalar view of the slot for time-series columns: counters report
+    /// their total, gauges their value, histograms their mean.
+    pub(crate) fn scalar(&self) -> f64 {
+        match self {
+            Metric::Counter(c) => c.get() as f64,
+            Metric::Gauge(g) => g.get(),
+            Metric::Histogram(h) => h.mean(),
+        }
+    }
+
+    pub(crate) fn kind(&self) -> MetricKind {
+        match self {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+#[derive(Debug, Clone)]
+struct Slot {
+    component: &'static str,
+    name: &'static str,
+    metric: Metric,
+}
+
+/// The central metric table.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    #[cfg(feature = "enabled")]
+    slots: Vec<Slot>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    #[cfg(feature = "enabled")]
+    fn find_slot(&self, component: &str, name: &str) -> Option<u32> {
+        self.slots
+            .iter()
+            .position(|s| s.component == component && s.name == name)
+            .map(|i| i as u32)
+    }
+
+    #[cfg(feature = "enabled")]
+    fn register(&mut self, component: &'static str, name: &'static str, metric: Metric) -> MetricId {
+        if let Some(i) = self.find_slot(component, name) {
+            return MetricId(i);
+        }
+        self.slots.push(Slot {
+            component,
+            name,
+            metric,
+        });
+        MetricId(self.slots.len() as u32 - 1)
+    }
+
+    /// Find-or-register a counter slot.
+    pub fn counter(&mut self, component: &'static str, name: &'static str) -> MetricId {
+        #[cfg(feature = "enabled")]
+        {
+            self.register(component, name, Metric::Counter(Counter::new()))
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (component, name);
+            MetricId(0)
+        }
+    }
+
+    /// Find-or-register a gauge slot.
+    pub fn gauge(&mut self, component: &'static str, name: &'static str) -> MetricId {
+        #[cfg(feature = "enabled")]
+        {
+            self.register(component, name, Metric::Gauge(Gauge::new()))
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (component, name);
+            MetricId(0)
+        }
+    }
+
+    /// Find-or-register a histogram slot over `bounds` (see
+    /// [`Histogram::new`]).
+    pub fn histogram(
+        &mut self,
+        component: &'static str,
+        name: &'static str,
+        bounds: &'static [u64],
+    ) -> MetricId {
+        #[cfg(feature = "enabled")]
+        {
+            self.register(component, name, Metric::Histogram(Histogram::new(bounds)))
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (component, name, bounds);
+            MetricId(0)
+        }
+    }
+
+    /// Overwrite a counter's total (no-op on other kinds).
+    #[inline]
+    pub fn set_counter(&mut self, id: MetricId, total: u64) {
+        #[cfg(feature = "enabled")]
+        if let Some(Slot {
+            metric: Metric::Counter(c),
+            ..
+        }) = self.slots.get_mut(id.0 as usize)
+        {
+            c.set(total);
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (id, total);
+        }
+    }
+
+    /// Add to a counter's total (no-op on other kinds).
+    #[inline]
+    pub fn add(&mut self, id: MetricId, by: u64) {
+        #[cfg(feature = "enabled")]
+        if let Some(Slot {
+            metric: Metric::Counter(c),
+            ..
+        }) = self.slots.get_mut(id.0 as usize)
+        {
+            c.add(by);
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (id, by);
+        }
+    }
+
+    /// Overwrite a gauge's value (no-op on other kinds).
+    #[inline]
+    pub fn set_gauge(&mut self, id: MetricId, value: f64) {
+        #[cfg(feature = "enabled")]
+        if let Some(Slot {
+            metric: Metric::Gauge(g),
+            ..
+        }) = self.slots.get_mut(id.0 as usize)
+        {
+            g.set(value);
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (id, value);
+        }
+    }
+
+    /// Record one histogram sample (no-op on other kinds).
+    #[inline]
+    pub fn observe(&mut self, id: MetricId, sample: u64) {
+        #[cfg(feature = "enabled")]
+        if let Some(Slot {
+            metric: Metric::Histogram(h),
+            ..
+        }) = self.slots.get_mut(id.0 as usize)
+        {
+            h.observe(sample);
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (id, sample);
+        }
+    }
+
+    /// Number of registered slots.
+    pub fn len(&self) -> usize {
+        #[cfg(feature = "enabled")]
+        {
+            self.slots.len()
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+
+    /// Whether the registry has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct component paths registered.
+    pub fn component_count(&self) -> usize {
+        #[cfg(feature = "enabled")]
+        {
+            let mut seen: Vec<&'static str> = Vec::new();
+            for s in &self.slots {
+                if !seen.contains(&s.component) {
+                    seen.push(s.component);
+                }
+            }
+            seen.len()
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+
+    /// Look up a slot by exact `(component, name)`.
+    pub fn find(&self, component: &str, name: &str) -> Option<MetricId> {
+        #[cfg(feature = "enabled")]
+        {
+            self.find_slot(component, name).map(MetricId)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (component, name);
+            None
+        }
+    }
+
+    /// Scalar view of a slot (counter total, gauge value, histogram
+    /// mean); 0.0 for an unknown id or in a disabled build.
+    pub fn scalar(&self, id: MetricId) -> f64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.slots
+                .get(id.0 as usize)
+                .map(|s| s.metric.scalar())
+                .unwrap_or(0.0)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = id;
+            0.0
+        }
+    }
+
+    /// The kind of a slot, if known.
+    pub fn kind(&self, id: MetricId) -> Option<MetricKind> {
+        #[cfg(feature = "enabled")]
+        {
+            self.slots.get(id.0 as usize).map(|s| s.metric.kind())
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = id;
+            None
+        }
+    }
+
+    /// Read-only access to a histogram slot.
+    pub fn histogram_ref(&self, id: MetricId) -> Option<&Histogram> {
+        #[cfg(feature = "enabled")]
+        {
+            match self.slots.get(id.0 as usize) {
+                Some(Slot {
+                    metric: Metric::Histogram(h),
+                    ..
+                }) => Some(h),
+                _ => None,
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = id;
+            None
+        }
+    }
+
+    /// Visit every slot in registration order as
+    /// `(component, name, kind, scalar)`.
+    pub fn for_each(&self, f: &mut dyn FnMut(&'static str, &'static str, MetricKind, f64)) {
+        #[cfg(feature = "enabled")]
+        for s in &self.slots {
+            f(s.component, s.name, s.metric.kind(), s.metric.scalar());
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = f;
+        }
+    }
+
+    /// Visit every histogram slot as `(component, name, histogram)`.
+    pub fn for_each_histogram(&self, f: &mut dyn FnMut(&'static str, &'static str, &Histogram)) {
+        #[cfg(feature = "enabled")]
+        for s in &self.slots {
+            if let Metric::Histogram(h) = &s.metric {
+                f(s.component, s.name, h);
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = f;
+        }
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut r = MetricsRegistry::new();
+        let a = r.counter("x.y", "hits");
+        let b = r.counter("x.y", "hits");
+        assert_eq!(a, b);
+        assert_eq!(r.len(), 1);
+        let c = r.counter("x.y", "misses");
+        assert_ne!(a, c);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.component_count(), 1);
+    }
+
+    #[test]
+    fn scalar_views() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("a", "n");
+        let g = r.gauge("a", "rate");
+        let h = r.histogram("a", "lat", &[10, 100]);
+        r.set_counter(c, 7);
+        r.set_gauge(g, 0.5);
+        r.observe(h, 4);
+        r.observe(h, 6);
+        assert_eq!(r.scalar(c), 7.0);
+        assert_eq!(r.scalar(g), 0.5);
+        assert_eq!(r.scalar(h), 5.0);
+        assert_eq!(r.kind(h), Some(MetricKind::Histogram));
+    }
+}

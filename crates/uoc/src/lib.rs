@@ -131,6 +131,25 @@ pub struct UocStats {
     pub squashed_builds: u64,
 }
 
+impl exynos_telemetry::Observable for UocStats {
+    fn component(&self) -> &'static str {
+        "uoc.cache"
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&'static str, exynos_telemetry::Value)) {
+        use exynos_telemetry::Value;
+        f("filter_blocks", Value::U64(self.filter_blocks));
+        f("build_blocks", Value::U64(self.build_blocks));
+        f("fetch_blocks", Value::U64(self.fetch_blocks));
+        f("uops_supplied", Value::U64(self.uops_supplied));
+        f("builds", Value::U64(self.builds));
+        f("evictions", Value::U64(self.evictions));
+        f("promotions", Value::U64(self.promotions));
+        f("demotions", Value::U64(self.demotions));
+        f("squashed_builds", Value::U64(self.squashed_builds));
+    }
+}
+
 /// The micro-operation cache and its mode state machine.
 #[derive(Debug, Clone)]
 pub struct Uoc {

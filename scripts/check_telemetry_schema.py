@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate the JSON Lines stream emitted by `harness -- metrics`.
+
+Reads JSONL from the file given as argv[1] (or stdin) and enforces the
+telemetry schema plus the PR's acceptance floor:
+
+* every line is a JSON object with "type" in {"epoch", "histogram"};
+* epoch lines carry integer epoch/instructions/cycle (both monotone
+  non-decreasing) and a flat metrics object of numbers or nulls;
+* histogram lines carry count/sum/max/mean/p50/p99 and aligned
+  buckets/bounds arrays;
+* across the stream, >= 12 distinct metric names drawn from >= 5 distinct
+  top-level components (crates).
+
+Exits 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+MIN_METRICS = 12
+MIN_CRATES = 5
+
+
+def fail(lineno, msg):
+    print(f"check_telemetry_schema: line {lineno}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    stream = open(sys.argv[1]) if len(sys.argv) > 1 else sys.stdin
+    metric_names = set()
+    epochs = 0
+    histograms = 0
+    prev_epoch = -1
+    prev_instructions = -1
+    prev_cycle = -1
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(lineno, f"invalid JSON: {e}")
+        if not isinstance(rec, dict):
+            fail(lineno, "record is not an object")
+        kind = rec.get("type")
+        if kind == "epoch":
+            epochs += 1
+            for key in ("epoch", "instructions", "cycle"):
+                if not isinstance(rec.get(key), int):
+                    fail(lineno, f"epoch record missing integer '{key}'")
+            if rec["epoch"] <= prev_epoch:
+                fail(lineno, f"epoch {rec['epoch']} not increasing")
+            if rec["instructions"] < prev_instructions:
+                fail(lineno, "instructions went backwards")
+            if rec["cycle"] < prev_cycle:
+                fail(lineno, "cycle went backwards")
+            prev_epoch = rec["epoch"]
+            prev_instructions = rec["instructions"]
+            prev_cycle = rec["cycle"]
+            metrics = rec.get("metrics")
+            if not isinstance(metrics, dict) or not metrics:
+                fail(lineno, "epoch record has no metrics object")
+            for name, value in metrics.items():
+                if "." not in name:
+                    fail(lineno, f"metric '{name}' has no component path")
+                if value is not None and not isinstance(value, (int, float)):
+                    fail(lineno, f"metric '{name}' is not numeric or null")
+                metric_names.add(name)
+        elif kind == "histogram":
+            histograms += 1
+            if not isinstance(rec.get("metric"), str):
+                fail(lineno, "histogram record missing 'metric'")
+            for key in ("count", "sum", "max", "mean", "p50", "p99"):
+                if not isinstance(rec.get(key), (int, float)):
+                    fail(lineno, f"histogram missing numeric '{key}'")
+            buckets = rec.get("buckets")
+            bounds = rec.get("bounds")
+            if not isinstance(buckets, list) or not isinstance(bounds, list):
+                fail(lineno, "histogram missing buckets/bounds arrays")
+            if len(buckets) != len(bounds) + 1:
+                fail(lineno, "buckets must have one more entry than bounds (overflow)")
+        else:
+            fail(lineno, f"unknown record type {kind!r}")
+    if epochs == 0:
+        fail(0, "stream contained no epoch records")
+    if len(metric_names) < MIN_METRICS:
+        fail(0, f"only {len(metric_names)} distinct metrics (need >= {MIN_METRICS})")
+    crates = {name.split(".", 1)[0] for name in metric_names}
+    if len(crates) < MIN_CRATES:
+        fail(0, f"metrics span only {sorted(crates)} (need >= {MIN_CRATES} crates)")
+    print(
+        f"check_telemetry_schema: OK — {epochs} epochs, {histograms} histograms, "
+        f"{len(metric_names)} metrics across {len(crates)} crates {sorted(crates)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,17 @@ cargo test -q
 # creeping back into hot paths) at warn level.
 cargo clippy --workspace -- -D clippy::unwrap_used -D clippy::expect_used -W clippy::perf
 
+# Telemetry no-op guard: with the feature off, the whole stack must still
+# build and the Telemetry handle must compile down to a ZST (asserted by
+# the crate's noop tests).
+cargo build --release -p exynos-bench --no-default-features
+cargo test -q -p exynos-telemetry --no-default-features
+
+# Telemetry smoke: the instrumented quick run must emit schema-valid
+# JSONL covering the whole machine (>= 12 metrics from >= 5 crates).
+cargo run --release -q -p exynos-bench --bin harness -- metrics --quick 2>/dev/null \
+  | python3 scripts/check_telemetry_schema.py
+
 # Bench smoke: the quick-mode reference sweep must run end to end and
 # leave a well-formed BENCH_sweep.json at the repo root.
 cargo run --release -q -p exynos-bench --bin harness -- bench --quick

@@ -17,7 +17,11 @@
 //!   engines with dynamic degree and one/two-pass delivery (§VII–§VIII);
 //! * [`dram`] — DRAM banks, domain crossings, the data fast path,
 //!   speculative reads and early page activate (§IX);
-//! * [`core`] — the composed out-of-order core model and slice runner.
+//! * [`core`] — the composed out-of-order core model and slice runner;
+//! * [`telemetry`] — the metrics registry, epoch time-series and pipeline
+//!   event trace behind `Simulator::run_slice_with` and the harness's
+//!   `metrics`/`trace` subcommands (compiles to no-ops without the
+//!   `telemetry` feature).
 //!
 //! ## Quickstart
 //!
@@ -44,6 +48,7 @@ pub use exynos_dram as dram;
 pub use exynos_mem as mem;
 pub use exynos_prefetch as prefetch;
 pub use exynos_secure as secure;
+pub use exynos_telemetry as telemetry;
 pub use exynos_trace as trace;
 pub use exynos_uoc as uoc;
 

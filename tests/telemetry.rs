@@ -1,0 +1,161 @@
+//! Integration tests for the telemetry layer (ISSUE PR 3):
+//!
+//! * telemetry must be a pure observer — attaching it changes no
+//!   simulated number, bit for bit;
+//! * same-seed runs must emit byte-identical JSONL traces;
+//! * the event trace must be cycle-monotone;
+//! * the registry must cover the whole machine (many metrics, many
+//!   crates);
+//! * the bounded ring must count what it drops.
+//!
+//! Everything here requires the default `telemetry` feature; the
+//! `cargo test -p exynos-telemetry --no-default-features` run covers the
+//! disabled mode's ZST guarantees.
+
+use exynos::core::config::CoreConfig;
+use exynos::core::sim::{SimStats, Simulator};
+use exynos::telemetry::{Telemetry, TelemetryConfig};
+use exynos::trace::gen::loops::{LoopNest, LoopNestParams};
+use exynos::trace::SlicePlan;
+
+fn small_tel() -> Telemetry {
+    Telemetry::new(TelemetryConfig { epoch_len: 1_000, event_capacity: 1 << 14 })
+}
+
+fn run_instrumented(cfg: CoreConfig, seed: u64) -> (Simulator, Telemetry) {
+    let mut sim = Simulator::new(cfg);
+    let mut tel = small_tel();
+    let mut gen = LoopNest::new(&LoopNestParams::default(), 7, seed);
+    sim.run_slice_with(&mut gen, SlicePlan::new(2_000, 10_000), &mut tel)
+        .expect("clean trace");
+    sim.sample_telemetry(&mut tel);
+    tel.end_epoch(sim.stats().instructions, sim.stats().last_retire);
+    (sim, tel)
+}
+
+fn assert_stats_bits_equal(a: &SimStats, b: &SimStats) {
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.last_retire, b.last_retire);
+    assert_eq!(a.loads, b.loads);
+    assert_eq!(a.uoc_supplied, b.uoc_supplied);
+    assert_eq!(a.malformed_insts, b.malformed_insts);
+    assert_eq!(a.predictor_corruptions, b.predictor_corruptions);
+    assert_eq!(a.uoc_recoveries, b.uoc_recoveries);
+    assert_eq!(a.watchdog_events, b.watchdog_events);
+    assert_eq!(a.watchdog_recoveries, b.watchdog_recoveries);
+}
+
+#[test]
+fn telemetry_does_not_change_results() {
+    let mut plain = Simulator::new(CoreConfig::m6());
+    let mut gen = LoopNest::new(&LoopNestParams::default(), 7, 42);
+    let r_plain = plain
+        .run_slice(&mut gen, SlicePlan::new(2_000, 10_000))
+        .expect("clean trace");
+
+    let (instrumented, _tel) = run_instrumented(CoreConfig::m6(), 42);
+
+    assert_stats_bits_equal(&plain.stats(), &instrumented.stats());
+    // Every derived f64 must match bit for bit, not approximately.
+    let mut i_gen = LoopNest::new(&LoopNestParams::default(), 7, 42);
+    let mut i_sim = Simulator::new(CoreConfig::m6());
+    let mut tel = small_tel();
+    let r_instr = i_sim
+        .run_slice_with(&mut i_gen, SlicePlan::new(2_000, 10_000), &mut tel)
+        .expect("clean trace");
+    assert_eq!(r_plain.ipc.to_bits(), r_instr.ipc.to_bits());
+    assert_eq!(r_plain.mpki.to_bits(), r_instr.mpki.to_bits());
+    assert_eq!(
+        r_plain.avg_load_latency.to_bits(),
+        r_instr.avg_load_latency.to_bits()
+    );
+    assert_eq!(r_plain.instructions, r_instr.instructions);
+    assert_eq!(r_plain.cycles, r_instr.cycles);
+}
+
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    let (_s1, t1) = run_instrumented(CoreConfig::m6(), 1234);
+    let (_s2, t2) = run_instrumented(CoreConfig::m6(), 1234);
+    assert_eq!(t1.events_jsonl(), t2.events_jsonl());
+    assert_eq!(t1.metrics_jsonl(), t2.metrics_jsonl());
+    assert_eq!(t1.metrics_csv(), t2.metrics_csv());
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let (_s1, t1) = run_instrumented(CoreConfig::m6(), 1);
+    let (_s2, t2) = run_instrumented(CoreConfig::m6(), 2);
+    // Sanity: the byte-identity test above isn't vacuous.
+    assert_ne!(t1.events_jsonl(), t2.events_jsonl());
+}
+
+#[test]
+fn event_cycles_are_monotone() {
+    let (_sim, tel) = run_instrumented(CoreConfig::m6(), 99);
+    let events = tel.events();
+    assert!(!events.is_empty(), "an M6 loop run must produce events");
+    let mut prev = 0u64;
+    let mut prev_seq = None;
+    events.for_each(&mut |r| {
+        assert!(r.cycle >= prev, "cycle went backwards: {} < {prev}", r.cycle);
+        prev = r.cycle;
+        if let Some(ps) = prev_seq {
+            assert_eq!(r.seq, ps + 1, "seq numbers must be dense");
+        }
+        prev_seq = Some(r.seq);
+    });
+}
+
+#[test]
+fn registry_covers_the_machine() {
+    let (_sim, tel) = run_instrumented(CoreConfig::m6(), 7);
+    let reg = tel.registry();
+    assert!(
+        reg.len() >= 12,
+        "expected >= 12 metrics, got {}",
+        reg.len()
+    );
+    let mut crates: Vec<String> = Vec::new();
+    reg.for_each(&mut |component, _name, _kind, _value| {
+        let first = component.split('.').next().unwrap_or(component).to_string();
+        if !crates.contains(&first) {
+            crates.push(first);
+        }
+    });
+    for expected in ["core", "branch", "mem", "prefetch", "dram", "uoc"] {
+        assert!(
+            crates.iter().any(|c| c == expected),
+            "missing metrics from crate '{expected}' (have {crates:?})"
+        );
+    }
+    assert!(crates.len() >= 5, "metrics must span >= 5 crates");
+}
+
+#[test]
+fn epoch_series_grows_with_run_length() {
+    let (_sim, tel) = run_instrumented(CoreConfig::m6(), 3);
+    // 12k instructions at epoch_len 1k, plus the forced final flush.
+    assert!(tel.series().len() >= 12, "got {} epochs", tel.series().len());
+    // Epoch marks must be instruction- and cycle-monotone.
+    let mut prev = (0u64, 0u64);
+    for i in 0..tel.series().len() {
+        let mark = tel.series().mark(i).expect("mark in range");
+        assert!(mark.instructions >= prev.0);
+        assert!(mark.cycle >= prev.1);
+        prev = (mark.instructions, mark.cycle);
+    }
+}
+
+#[test]
+fn bounded_ring_counts_drops() {
+    let mut sim = Simulator::new(CoreConfig::m6());
+    let mut tel = Telemetry::new(TelemetryConfig { epoch_len: 1_000, event_capacity: 8 });
+    let mut gen = LoopNest::new(&LoopNestParams::default(), 7, 5);
+    sim.run_slice_with(&mut gen, SlicePlan::new(2_000, 10_000), &mut tel)
+        .expect("clean trace");
+    let events = tel.events();
+    assert_eq!(events.len(), 8, "ring must clamp to capacity");
+    assert!(events.recorded() > 8, "the run produces more than 8 events");
+    assert_eq!(events.dropped(), events.recorded() - 8);
+}
