@@ -2,6 +2,7 @@
 //! second per generation (the tool a user sizes their experiments with).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use exynos_core::builder::SimBuilder;
 use exynos_core::config::CoreConfig;
 use exynos_core::sim::Simulator;
 use exynos_trace::{standard_suite, SlicePlan};
@@ -18,7 +19,7 @@ fn bench_simulator(c: &mut Criterion) {
             &cfg,
             |b, cfg| {
                 b.iter(|| {
-                    let mut sim = Simulator::new(cfg.clone());
+                    let mut sim = SimBuilder::config(cfg.clone()).build().unwrap();
                     let mut gen = slice.instantiate();
                     sim.run_slice(&mut *gen, SlicePlan::new(1_000, 10_000))
                         .expect("clean bench slice")

@@ -3,6 +3,7 @@
 //! it — the number the step-loop optimizations move.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use exynos_core::builder::SimBuilder;
 use exynos_core::config::CoreConfig;
 use exynos_core::sim::Simulator;
 use exynos_trace::standard_suite;
@@ -24,7 +25,7 @@ fn bench_step(c: &mut Criterion) {
             &cfg,
             |b, cfg| {
                 b.iter(|| {
-                    let mut sim = Simulator::new(cfg.clone());
+                    let mut sim = SimBuilder::config(cfg.clone()).build().unwrap();
                     let mut gen = slice.instantiate();
                     let mut last = 0;
                     for _ in 0..STEPS {

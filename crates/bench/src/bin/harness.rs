@@ -10,7 +10,15 @@
 //!
 //! Subcommands: table1 table2 table3 table4 fig1 fig4 fig5 fig7 fig8 fig9
 //! fig10 fig14 fig15 fig16 fig17 uoc btb_ablation branchstats ablations
-//! security_policies bench metrics trace all
+//! security_policies bench metrics trace checkpoint resume all
+//!
+//! Checkpoint round trip (byte-identical telemetry across the two runs):
+//!
+//! ```text
+//! cargo run --release -p exynos-bench --bin harness -- checkpoint warm.ckpt > a.jsonl
+//! cargo run --release -p exynos-bench --bin harness -- resume warm.ckpt > b.jsonl
+//! cmp a.jsonl b.jsonl
+//! ```
 //!
 //! Telemetry (requires the default `telemetry` feature):
 //!
@@ -23,21 +31,23 @@ use exynos_bench::experiments as exp;
 use exynos_bench::sweep;
 use exynos_branch::config::FrontendConfig;
 use exynos_branch::indirect::IndirectConfig;
+use exynos_core::builder::SimBuilder;
 use exynos_core::config::CoreConfig;
 
 /// Every recognized subcommand; anything else is a usage error.
 const SUBCOMMANDS: &[&str] = &[
     "all", "table1", "table2", "table3", "table4", "fig1", "fig4", "fig5", "fig7", "fig8", "fig9",
     "fig10", "fig14", "fig15", "fig16", "fig17", "uoc", "btb_ablation", "branchstats", "ablations",
-    "security_policies", "bench", "metrics", "trace",
+    "security_policies", "bench", "metrics", "trace", "checkpoint", "resume",
 ];
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("harness: {msg}");
     eprintln!(
-        "usage: harness [SUBCOMMAND] [--scale N] [--csv PATH] [--threads N] [--epoch N] [--quick]"
+        "usage: harness [SUBCOMMAND] [FILE] [--scale N] [--csv PATH] [--threads N] [--epoch N] [--quick]"
     );
     eprintln!("subcommands: {}", SUBCOMMANDS.join(" "));
+    eprintln!("FILE is required by checkpoint/resume: the on-disk image path");
     std::process::exit(2);
 }
 
@@ -46,6 +56,7 @@ fn usage_error(msg: &str) -> ! {
 /// silent fallback).
 struct Options {
     cmd: String,
+    file: Option<String>,
     scale: usize,
     csv_path: Option<String>,
     threads: Option<usize>,
@@ -56,6 +67,7 @@ struct Options {
 fn parse_args(args: &[String]) -> Options {
     let mut opts = Options {
         cmd: "all".to_string(),
+        file: None,
         scale: 1,
         csv_path: None,
         threads: None,
@@ -103,6 +115,9 @@ fn parse_args(args: &[String]) -> Options {
                 opts.cmd = cmd.to_string();
                 saw_cmd = true;
             }
+            path if matches!(opts.cmd.as_str(), "checkpoint" | "resume") && opts.file.is_none() => {
+                opts.file = Some(path.to_string());
+            }
             extra => usage_error(&format!("unexpected argument '{extra}'")),
         }
     }
@@ -112,9 +127,20 @@ fn parse_args(args: &[String]) -> Options {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_args(&args);
-    let Options { cmd, scale, csv_path, threads, epoch, quick } = opts;
+    let Options { cmd, file, scale, csv_path, threads, epoch, quick } = opts;
     if cmd == "bench" {
         bench(quick, threads);
+        return;
+    }
+    if cmd == "checkpoint" || cmd == "resume" {
+        let Some(path) = file else {
+            usage_error(&format!("'{cmd}' needs the image file path"));
+        };
+        if cmd == "checkpoint" {
+            checkpoint_cmd(&path, epoch, quick);
+        } else {
+            resume_cmd(&path, epoch, quick);
+        }
         return;
     }
     if cmd == "metrics" {
@@ -423,10 +449,9 @@ fn fig10(threads: usize) {
 
 fn uoc() {
     hr("Figs. 12-13 — micro-op cache modes (M5 loop kernel)");
-    use exynos_core::sim::Simulator;
     use exynos_trace::gen::loops::{LoopNest, LoopNestParams};
     use exynos_trace::SlicePlan;
-    let mut sim = Simulator::new(CoreConfig::m5());
+    let mut sim = exp::must(SimBuilder::config(CoreConfig::m5()).build());
     let mut gen = LoopNest::new(&LoopNestParams::default(), 95, 5);
     let r = exp::must(sim.run_slice(&mut gen, SlicePlan::new(10_000, 100_000)));
     println!("UOC stats: {:?}", sim.uoc_stats());
@@ -586,7 +611,10 @@ fn bench(quick: bool, threads: Option<usize>) {
     // harmless for correctness, speedup is then bounded by the host).
     let bench_threads = threads.unwrap_or_else(|| host_parallelism.max(4));
     let scale = 1;
-    let (warmup, detail) = if quick { (1_000, 4_000) } else { (5_000, 30_000) };
+    // Warmup-heavy on purpose: the warm-start pool amortizes exactly this
+    // cost, so the protocol mirrors the intended use (one long warmup,
+    // repeated short detail sweeps over it).
+    let (warmup, detail) = if quick { (40_000, 5_000) } else { (80_000, 30_000) };
     let slices = exynos_trace::standard_suite(scale).len();
     let jobs = slices * CoreConfig::all_generations().len();
     let steps = (warmup + detail) * jobs as u64;
@@ -625,11 +653,60 @@ fn bench(quick: bool, threads: Option<usize>) {
         std::process::exit(1);
     }
 
+    // Warm-start path: checkpoint every job once after warmup, then fork
+    // the pool for each sweep so repeated sweeps pay the warmup once.
+    let t2 = Instant::now();
+    let pool = exp::build_warm_pool(scale, warmup, bench_threads);
+    let pool_s = t2.elapsed().as_secs_f64();
+    let t3 = Instant::now();
+    let warm_serial = exp::run_population_warm(&pool, detail, 1);
+    let warm_serial_s = t3.elapsed().as_secs_f64();
+    let t4 = Instant::now();
+    let warm_parallel = exp::run_population_warm(&pool, detail, bench_threads);
+    let warm_parallel_s = t4.elapsed().as_secs_f64();
+
+    let records_equal = |a: &[exp::SliceRecord], b: &[exp::SliceRecord]| {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.name == y.name
+                    && x.gen == y.gen
+                    && x.ipc.to_bits() == y.ipc.to_bits()
+                    && x.mpki.to_bits() == y.mpki.to_bits()
+                    && x.load_latency.to_bits() == y.load_latency.to_bits()
+            })
+    };
+    let warm_equals_cold =
+        records_equal(&serial, &warm_serial) && records_equal(&serial, &warm_parallel);
+    let detail_steps = detail * jobs as u64;
+    let warm_rate = |secs: f64| detail_steps as f64 / secs.max(1e-9);
+    let warm_speedup = parallel_s / warm_parallel_s.max(1e-9);
+    println!(
+        "warm pool: {pool_s:>7.3} s to checkpoint {} jobs ({} warmup steps each, {:.1} MiB)",
+        pool.jobs(),
+        warmup,
+        pool.bytes() as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "warm serial   : {warm_serial_s:>8.3} s   {:>12.0} steps/s",
+        warm_rate(warm_serial_s)
+    );
+    println!(
+        "warm parallel : {warm_parallel_s:>8.3} s   {:>12.0} steps/s   ({warm_speedup:.2}x vs cold parallel)",
+        warm_rate(warm_parallel_s)
+    );
+    println!("warm results equal cold: {warm_equals_cold}");
+    if !warm_equals_cold {
+        eprintln!("harness: warm-start sweep diverged from the cold baseline");
+        std::process::exit(1);
+    }
+
     let json = format!(
-        "{{\n  \"schema\": 1,\n  \"quick\": {quick},\n  \"scale\": {scale},\n  \"slices\": {slices},\n  \"generations\": 6,\n  \"jobs\": {jobs},\n  \"steps_per_job\": {},\n  \"total_steps\": {steps},\n  \"threads\": {bench_threads},\n  \"available_parallelism\": {host_parallelism},\n  \"serial\": {{ \"wall_s\": {serial_s:.6}, \"steps_per_sec\": {:.0} }},\n  \"parallel\": {{ \"wall_s\": {parallel_s:.6}, \"steps_per_sec\": {:.0} }},\n  \"speedup\": {speedup:.4},\n  \"bit_identical\": {bit_identical}\n}}\n",
+        "{{\n  \"schema\": 1,\n  \"quick\": {quick},\n  \"scale\": {scale},\n  \"slices\": {slices},\n  \"generations\": 6,\n  \"jobs\": {jobs},\n  \"steps_per_job\": {},\n  \"total_steps\": {steps},\n  \"threads\": {bench_threads},\n  \"available_parallelism\": {host_parallelism},\n  \"serial\": {{ \"wall_s\": {serial_s:.6}, \"steps_per_sec\": {:.0} }},\n  \"parallel\": {{ \"wall_s\": {parallel_s:.6}, \"steps_per_sec\": {:.0} }},\n  \"speedup\": {speedup:.4},\n  \"warm\": {{\n    \"pool_build_s\": {pool_s:.6},\n    \"serial_wall_s\": {warm_serial_s:.6},\n    \"parallel_wall_s\": {warm_parallel_s:.6},\n    \"serial_steps_per_sec\": {:.0},\n    \"parallel_steps_per_sec\": {:.0}\n  }},\n  \"warm_speedup\": {warm_speedup:.4},\n  \"warm_equals_cold\": {warm_equals_cold},\n  \"bit_identical\": {bit_identical}\n}}\n",
         warmup + detail,
         rate(serial_s),
         rate(parallel_s),
+        warm_rate(warm_serial_s),
+        warm_rate(warm_parallel_s),
     );
     match std::fs::write("BENCH_sweep.json", &json) {
         Ok(()) => println!("wrote BENCH_sweep.json"),
@@ -648,18 +725,17 @@ fn bench(quick: bool, threads: Option<usize>) {
 /// trace-gap events, like context switches would).
 fn telemetry_run(epoch_len: u64, quick: bool, event_capacity: usize) -> exynos_telemetry::Telemetry {
     use exynos_telemetry::{Telemetry, TelemetryConfig};
-    use exynos_core::sim::Simulator;
     use exynos_trace::SlicePlan;
 
     if !Telemetry::ACTIVE {
         eprintln!(
-            "harness: built without the `telemetry` feature; metrics/trace produce no output"
+            "harness: built without the `telemetry` feature; this subcommand produces no output"
         );
         eprintln!("harness: rebuild with default features to enable instrumentation");
-        std::process::exit(1);
+        std::process::exit(2);
     }
     let mut tel = Telemetry::new(TelemetryConfig { epoch_len, event_capacity });
-    let mut sim = Simulator::new(CoreConfig::m6());
+    let mut sim = exp::must(SimBuilder::config(CoreConfig::m6()).build());
     let (warmup, detail) = if quick { (1_000, 4_000) } else { (5_000, 30_000) };
     let suite = exynos_trace::standard_suite(1);
     let mut seen = Vec::new();
@@ -706,4 +782,101 @@ fn telemetry_trace(epoch_len: u64, quick: bool) {
     for (name, count) in events.counts_by_name() {
         eprintln!("# {name:<22} {count}");
     }
+}
+
+/// The fixed workload protocol the checkpoint/resume pair shares: the
+/// first catalog slice, with window sizes keyed off `--quick`.
+fn roundtrip_windows(quick: bool) -> (u64, u64) {
+    if quick {
+        (2_000, 6_000)
+    } else {
+        (10_000, 40_000)
+    }
+}
+
+/// `harness -- checkpoint FILE [--epoch N] [--quick]`: warm an M6 core
+/// on the reference slice (silently), write the checkpoint image to
+/// FILE, then continue through the detail window with telemetry JSONL
+/// on stdout. `harness -- resume FILE` replays the same detail window
+/// from the image; the two stdout streams are byte-identical.
+fn checkpoint_cmd(path: &str, epoch_len: u64, quick: bool) {
+    use exynos_telemetry::{Telemetry, TelemetryConfig};
+    use exynos_trace::SlicePlan;
+    if !Telemetry::ACTIVE {
+        eprintln!(
+            "harness: built without the `telemetry` feature; this subcommand produces no output"
+        );
+        eprintln!("harness: rebuild with default features to enable instrumentation");
+        std::process::exit(2);
+    }
+    let (warmup, detail) = roundtrip_windows(quick);
+    let mut sim = exp::must(SimBuilder::generation(exynos_core::config::Generation::M6).build());
+    let suite = exynos_trace::standard_suite(1);
+    let slice = &suite[0];
+    let mut gen = slice.instantiate();
+    exp::must(sim.run_warmup(&mut *gen, warmup));
+    let image = sim.checkpoint();
+    if let Err(e) = std::fs::write(path, &image) {
+        eprintln!("harness: failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "# checkpoint: {} bytes at instruction {} ({})",
+        image.len(),
+        sim.stats().instructions,
+        slice.name
+    );
+    let mut tel = Telemetry::new(TelemetryConfig { epoch_len, event_capacity: 1 << 16 });
+    exp::must(sim.run_slice_with(&mut *gen, SlicePlan::new(0, detail), &mut tel));
+    sim.sample_telemetry(&mut tel);
+    tel.end_epoch(sim.stats().instructions, sim.stats().last_retire);
+    print!("{}", tel.metrics_jsonl());
+}
+
+/// `harness -- resume FILE [--epoch N] [--quick]`: load the checkpoint
+/// image, fast-forward the reference generator to the saved position,
+/// and run the same detail window as `checkpoint`, telemetry JSONL on
+/// stdout.
+fn resume_cmd(path: &str, epoch_len: u64, quick: bool) {
+    use exynos_core::sim::Simulator;
+    use exynos_telemetry::{Telemetry, TelemetryConfig};
+    use exynos_trace::SlicePlan;
+    if !Telemetry::ACTIVE {
+        eprintln!(
+            "harness: built without the `telemetry` feature; this subcommand produces no output"
+        );
+        eprintln!("harness: rebuild with default features to enable instrumentation");
+        std::process::exit(2);
+    }
+    let (_, detail) = roundtrip_windows(quick);
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("harness: failed to read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut sim = match Simulator::resume(&bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("harness: {e}");
+            std::process::exit(1);
+        }
+    };
+    let suite = exynos_trace::standard_suite(1);
+    let slice = &suite[0];
+    let mut gen = slice.instantiate();
+    for _ in 0..sim.stats().instructions {
+        let _ = gen.next_inst();
+    }
+    eprintln!(
+        "# resumed at instruction {} ({})",
+        sim.stats().instructions,
+        slice.name
+    );
+    let mut tel = Telemetry::new(TelemetryConfig { epoch_len, event_capacity: 1 << 16 });
+    exp::must(sim.run_slice_with(&mut *gen, SlicePlan::new(0, detail), &mut tel));
+    sim.sample_telemetry(&mut tel);
+    tel.end_epoch(sim.stats().instructions, sim.stats().last_retire);
+    print!("{}", tel.metrics_jsonl());
 }

@@ -9,6 +9,7 @@ use exynos_branch::indirect::{IndirectConfig, IndirectPredictor};
 use exynos_branch::shp::{apply_bias_delta, Shp, ShpConfig};
 use exynos_branch::storage_budget;
 use exynos_branch::ubtb::{MicroBtb, UbtbConfig};
+use exynos_core::builder::SimBuilder;
 use exynos_core::config::CoreConfig;
 use exynos_core::sim::Simulator;
 use exynos_trace::gen::loops::{LoopNest, LoopNestParams};
@@ -67,9 +68,95 @@ pub fn run_population_with_threads(
     crate::sweep::run_indexed(gens.len() * per_gen, threads, |i| {
         let cfg = &gens[i / per_gen];
         let slice = &suite[i % per_gen];
-        let mut sim = Simulator::new(cfg.clone());
+        let mut sim = must(SimBuilder::config(cfg.clone()).build());
         let mut gen = slice.instantiate();
         let r = must(sim.run_slice(&mut *gen, SlicePlan::new(warmup, detail)));
+        SliceRecord {
+            name: slice.name.clone(),
+            gen: cfg.gen.name(),
+            ipc: r.ipc,
+            mpki: r.mpki,
+            load_latency: r.avg_load_latency,
+        }
+    })
+}
+
+/// A pool of warmed checkpoint images, one per (generation, slice) job
+/// of the population sweep, in job order (generation-major,
+/// slice-minor). Building the pool pays each job's warmup exactly once;
+/// every subsequent measured sweep forks from the in-memory image and
+/// pays only the detail window — bit-identical to the cold run by the
+/// checkpoint/resume invariant.
+#[derive(Debug)]
+pub struct WarmPool {
+    /// Checkpoint image per job, job order.
+    images: Vec<Vec<u8>>,
+    /// Catalog scale the pool was built at.
+    scale: usize,
+    /// Warmup instructions burned into every image.
+    warmup: u64,
+}
+
+impl WarmPool {
+    /// Catalog scale the pool was built at.
+    pub fn scale(&self) -> usize {
+        self.scale
+    }
+
+    /// Warmup instructions burned into every image.
+    pub fn warmup(&self) -> u64 {
+        self.warmup
+    }
+
+    /// Number of checkpoint images (one per job).
+    pub fn jobs(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Total bytes held across all images.
+    pub fn bytes(&self) -> usize {
+        self.images.iter().map(Vec::len).sum()
+    }
+}
+
+/// Warm one simulator per (generation, slice) job for `warmup`
+/// instructions and snapshot each into an in-memory [`WarmPool`].
+pub fn build_warm_pool(scale: usize, warmup: u64, threads: usize) -> WarmPool {
+    let suite = standard_suite(scale);
+    let gens = CoreConfig::all_generations();
+    let per_gen = suite.len();
+    let images = crate::sweep::run_indexed(gens.len() * per_gen, threads, |i| {
+        let cfg = &gens[i / per_gen];
+        let slice = &suite[i % per_gen];
+        let mut sim = must(SimBuilder::config(cfg.clone()).build());
+        let mut gen = slice.instantiate();
+        must(sim.run_warmup(&mut *gen, warmup));
+        sim.checkpoint()
+    });
+    WarmPool { images, scale, warmup }
+}
+
+/// [`run_population_with_threads`], but forking every job from its
+/// warmed image in `pool` instead of re-running the warmup. Results are
+/// bit-identical to the cold path at the same (scale, warmup, detail).
+pub fn run_population_warm(pool: &WarmPool, detail: u64, threads: usize) -> Vec<SliceRecord> {
+    let suite = standard_suite(pool.scale);
+    let gens = CoreConfig::all_generations();
+    let per_gen = suite.len();
+    crate::sweep::run_indexed(gens.len() * per_gen, threads, |i| {
+        let cfg = &gens[i / per_gen];
+        let slice = &suite[i % per_gen];
+        let mut sim = match Simulator::resume_with_config(cfg.clone(), &pool.images[i]) {
+            Ok(sim) => sim,
+            Err(e) => panic!("warm pool image {i} failed to resume: {e}"),
+        };
+        let mut gen = slice.instantiate();
+        // Fast-forward the freshly seeded generator to where the warmed
+        // simulator stopped consuming it.
+        for _ in 0..sim.stats().instructions {
+            let _ = gen.next_inst();
+        }
+        let r = must(sim.run_slice(&mut *gen, SlicePlan::new(0, detail)));
         SliceRecord {
             name: slice.name.clone(),
             gen: cfg.gen.name(),
@@ -343,7 +430,7 @@ pub fn table2_storage() -> Vec<(&'static str, f64, f64, f64)> {
 /// DRAM-sized stream on M1; returns the two-pass stats for each.
 pub fn fig14_twopass() -> (exynos_prefetch::twopass::TwoPassStats, exynos_prefetch::twopass::TwoPassStats) {
     let run = |ws: u64| {
-        let mut sim = Simulator::new(CoreConfig::m1());
+        let mut sim = must(SimBuilder::config(CoreConfig::m1()).build());
         let mut gen = MultiStride::new(
             &MultiStrideParams {
                 components: vec![StrideComponent { stride: 1, repeat: 1 }],
@@ -678,7 +765,7 @@ pub fn ablations_with_threads(threads: usize) -> Vec<Ablation> {
             let mut cfg = CoreConfig::m5();
             cfg.spec_read = spec;
             cfg.dram.early_activate = false;
-            let mut sim = Simulator::new(cfg);
+            let mut sim = must(SimBuilder::config(cfg).build());
             let mut gen = exynos_trace::gen::pointer_chase::PointerChase::new(
                 &exynos_trace::gen::pointer_chase::PointerChaseParams {
                     working_set: 64 << 20,
@@ -698,7 +785,7 @@ pub fn ablations_with_threads(threads: usize) -> Vec<Ablation> {
         let lat = |fast: bool| {
             let mut cfg = CoreConfig::m4();
             cfg.dram.fast_path = fast;
-            let mut sim = Simulator::new(cfg);
+            let mut sim = must(SimBuilder::config(cfg).build());
             let mut gen = exynos_trace::gen::pointer_chase::PointerChase::new(
                 &exynos_trace::gen::pointer_chase::PointerChaseParams {
                     working_set: 64 << 20,
@@ -718,7 +805,7 @@ pub fn ablations_with_threads(threads: usize) -> Vec<Ablation> {
         let lat = |early: bool| {
             let mut cfg = CoreConfig::m5();
             cfg.dram.early_activate = early;
-            let mut sim = Simulator::new(cfg);
+            let mut sim = must(SimBuilder::config(cfg).build());
             let mut gen = exynos_trace::gen::pointer_chase::PointerChase::new(
                 &exynos_trace::gen::pointer_chase::PointerChaseParams {
                     working_set: 64 << 20,
@@ -738,7 +825,7 @@ pub fn ablations_with_threads(threads: usize) -> Vec<Ablation> {
         let ipc = |buddy: bool| {
             let mut cfg = CoreConfig::m4();
             cfg.buddy = buddy;
-            let mut sim = Simulator::new(cfg);
+            let mut sim = must(SimBuilder::config(cfg).build());
             // Spatial payloads touch the second sector of each chased line's
             // 128 B granule.
             let mut gen = exynos_trace::gen::pointer_chase::PointerChase::new(
@@ -766,7 +853,7 @@ pub fn ablations_with_threads(threads: usize) -> Vec<Ablation> {
             if !standalone {
                 cfg.standalone = None;
             }
-            let mut sim = Simulator::new(cfg);
+            let mut sim = must(SimBuilder::config(cfg).build());
             // ~700 KB of code walked sequentially: every line is an L1I
             // miss; only an L2-level prefetcher can stay ahead of fetch.
             let mut gen = MarkovBranches::new(

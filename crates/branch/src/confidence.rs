@@ -43,6 +43,12 @@ impl ConfidenceTable {
         self.ctrs[self.index(pc)] < self.threshold
     }
 
+    /// Reset every counter to the untrained (low-confidence) state,
+    /// keeping the configured geometry and thresholds.
+    pub fn clear(&mut self) {
+        self.ctrs.fill(0);
+    }
+
     /// Record a prediction outcome for the branch at `pc`.
     ///
     /// Returns `Some(now_low)` when the update flipped the branch across
@@ -118,5 +124,35 @@ mod tests {
     #[should_panic]
     fn bad_threshold_rejected() {
         let _ = ConfidenceTable::new(16, 9, 3);
+    }
+}
+
+mod snapshot_impl {
+    use super::*;
+    use exynos_snapshot::{tags, Decoder, Encoder, Snapshot, SnapshotError};
+
+    impl Snapshot for ConfidenceTable {
+        fn save(&self, enc: &mut Encoder) {
+            enc.begin_section(tags::CONFIDENCE);
+            enc.seq(self.ctrs.len());
+            enc.bytes(&self.ctrs);
+            enc.end_section();
+        }
+
+        fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+            dec.begin_section(tags::CONFIDENCE)?;
+            let n = dec.seq(1)?;
+            if n != self.ctrs.len() {
+                return Err(SnapshotError::Geometry {
+                    what: "confidence table",
+                    expected: self.ctrs.len() as u64,
+                    found: n as u64,
+                });
+            }
+            for c in &mut self.ctrs {
+                *c = dec.u8()?;
+            }
+            dec.end_section()
+        }
     }
 }

@@ -276,6 +276,22 @@ impl FrontEnd {
         self.expected_pc = None;
     }
 
+    /// Reset every dynamic structure — predictors, history, confidence,
+    /// line-scan transients — while keeping the cumulative [`stats`]
+    /// (they describe the run so far, not the state). Part of the
+    /// `stats()/clear()/snapshot` surface every stateful component
+    /// exposes.
+    ///
+    /// [`stats`]: FrontEnd::stats
+    pub fn clear(&mut self) {
+        self.flush_predictors();
+        self.confidence.clear();
+        self.pair_pending_second = false;
+        self.elo_bits.fill(0);
+        self.cur_line = u64::MAX;
+        self.cur_line_had_branch = false;
+    }
+
     /// Rotate the context cipher key in place (CEASER-style re-keying,
     /// §V). Every sealed indirect/RAS target trained under the old key now
     /// decodes to garbage, so poisoned (or corrupted) encrypted state is
@@ -709,5 +725,244 @@ impl FrontEnd {
 
         self.stats.bubbles += bubbles as u64;
         Ok(FetchFeedback { bubbles, redirect })
+    }
+}
+
+mod snapshot_impl {
+    use super::*;
+    use exynos_snapshot::{tags, Decoder, Encoder, Snapshot, SnapshotError};
+
+    fn save_opt_pair(enc: &mut Encoder, v: Option<(u64, u64)>) {
+        match v {
+            Some((a, b)) => {
+                enc.u8(1);
+                enc.u64(a);
+                enc.u64(b);
+            }
+            None => enc.u8(0),
+        }
+    }
+
+    fn load_opt_pair(dec: &mut Decoder<'_>) -> Result<Option<(u64, u64)>, SnapshotError> {
+        match dec.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some((dec.u64()?, dec.u64()?))),
+            _ => Err(SnapshotError::Corrupt { what: "frontend option flag" }),
+        }
+    }
+
+    fn save_stats(enc: &mut Encoder, s: &FrontendStats) {
+        for v in [
+            s.instructions,
+            s.branches,
+            s.cond_branches,
+            s.taken_branches,
+            s.cond_mispredicts,
+            s.indirect_mispredicts,
+            s.return_mispredicts,
+            s.discoveries,
+            s.trace_gaps,
+            s.bubbles,
+            s.zat_zot_zero_bubble,
+            s.one_bubble_at,
+            s.ubtb_zero_bubble,
+            s.mrb_covered,
+            s.pair_lead_taken,
+            s.pair_second_taken,
+            s.pair_both_not_taken,
+            s.elo_skipped_lookups,
+            s.shp_lookups,
+            s.conf_flips_to_low,
+            s.conf_flips_to_high,
+        ] {
+            enc.u64(v);
+        }
+    }
+
+    fn load_stats(dec: &mut Decoder<'_>, s: &mut FrontendStats) -> Result<(), SnapshotError> {
+        for v in [
+            &mut s.instructions,
+            &mut s.branches,
+            &mut s.cond_branches,
+            &mut s.taken_branches,
+            &mut s.cond_mispredicts,
+            &mut s.indirect_mispredicts,
+            &mut s.return_mispredicts,
+            &mut s.discoveries,
+            &mut s.trace_gaps,
+            &mut s.bubbles,
+            &mut s.zat_zot_zero_bubble,
+            &mut s.one_bubble_at,
+            &mut s.ubtb_zero_bubble,
+            &mut s.mrb_covered,
+            &mut s.pair_lead_taken,
+            &mut s.pair_second_taken,
+            &mut s.pair_both_not_taken,
+            &mut s.elo_skipped_lookups,
+            &mut s.shp_lookups,
+            &mut s.conf_flips_to_low,
+            &mut s.conf_flips_to_high,
+        ] {
+            *v = dec.u64()?;
+        }
+        Ok(())
+    }
+
+    impl Snapshot for FrontEnd {
+        fn save(&self, enc: &mut Encoder) {
+            enc.begin_section(tags::FRONTEND);
+            self.shp.save(enc);
+            self.ghist.save(enc);
+            self.phist.save(enc);
+            self.ubtb.save(enc);
+            self.btb.save(enc);
+            self.ras.save(enc);
+            self.indirect.save(enc);
+            self.confidence.save(enc);
+            match &self.mrb {
+                Some(m) => {
+                    enc.u8(1);
+                    m.save(enc);
+                }
+                None => enc.u8(0),
+            }
+            self.entropy.save(enc);
+            self.key.save(enc);
+            match self.expected_pc {
+                Some(pc) => {
+                    enc.u8(1);
+                    enc.u64(pc);
+                }
+                None => enc.u8(0),
+            }
+            save_opt_pair(enc, self.last_taken_branch);
+            save_opt_pair(enc, self.pending_zero_bubble);
+            enc.bool(self.pair_pending_second);
+            enc.seq(self.elo_bits.len());
+            for w in &self.elo_bits {
+                enc.u64(*w);
+            }
+            enc.u64(self.cur_line);
+            enc.bool(self.cur_line_had_branch);
+            save_stats(enc, &self.stats);
+            enc.end_section();
+        }
+
+        fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+            dec.begin_section(tags::FRONTEND)?;
+            self.shp.restore(dec)?;
+            self.ghist.restore(dec)?;
+            self.phist.restore(dec)?;
+            self.ubtb.restore(dec)?;
+            self.btb.restore(dec)?;
+            self.ras.restore(dec)?;
+            self.indirect.restore(dec)?;
+            self.confidence.restore(dec)?;
+            let has_mrb = match dec.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(SnapshotError::Corrupt { what: "frontend mrb flag" }),
+            };
+            match (&mut self.mrb, has_mrb) {
+                (Some(m), true) => m.restore(dec)?,
+                (None, false) => {}
+                (mine, _) => {
+                    return Err(SnapshotError::Geometry {
+                        what: "frontend mrb presence",
+                        expected: u64::from(mine.is_some()),
+                        found: u64::from(has_mrb),
+                    })
+                }
+            }
+            self.entropy.restore(dec)?;
+            self.key.restore(dec)?;
+            self.expected_pc = match dec.u8()? {
+                0 => None,
+                1 => Some(dec.u64()?),
+                _ => return Err(SnapshotError::Corrupt { what: "frontend expected-pc flag" }),
+            };
+            self.last_taken_branch = load_opt_pair(dec)?;
+            self.pending_zero_bubble = load_opt_pair(dec)?;
+            self.pair_pending_second = dec.bool()?;
+            let n = dec.seq(8)?;
+            if n != self.elo_bits.len() {
+                return Err(SnapshotError::Geometry {
+                    what: "frontend elo bitmap",
+                    expected: self.elo_bits.len() as u64,
+                    found: n as u64,
+                });
+            }
+            for w in &mut self.elo_bits {
+                *w = dec.u64()?;
+            }
+            self.cur_line = dec.u64()?;
+            self.cur_line_had_branch = dec.bool()?;
+            load_stats(dec, &mut self.stats)?;
+            // The restored RAS carries the snapshot's key; keep the
+            // front-end copy (used for re-keying) in sync with it.
+            self.ras.set_key(self.key);
+            dec.end_section()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::config::FrontendConfig;
+        use exynos_trace::{BranchInfo, BranchKind, Inst, Reg};
+
+        fn warmed_frontend(cfg: FrontendConfig) -> FrontEnd {
+            let mut fe = FrontEnd::new(cfg);
+            for i in 0..5_000u64 {
+                let pc = 0x1000 + (i % 97) * 4;
+                let inst = if i % 7 == 0 {
+                    let info = BranchInfo {
+                        kind: BranchKind::CondDirect,
+                        taken: i % 3 != 0,
+                        target: pc + 64,
+                    };
+                    Inst::branch(pc, info, [None, None])
+                } else if i % 31 == 0 {
+                    Inst::load(pc, Reg::int(1), None, 0x10_0000 + i * 8)
+                } else {
+                    Inst::alu(pc, Reg::int(2), [None, None])
+                };
+                let _ = fe.on_inst(&inst);
+            }
+            fe
+        }
+
+        #[test]
+        fn frontend_roundtrip_is_bit_identical() {
+            for cfg in FrontendConfig::all_generations() {
+                let fe = warmed_frontend(cfg.clone());
+                let mut enc = Encoder::new();
+                fe.save(&mut enc);
+                let bytes = enc.finish();
+
+                let mut fe2 = FrontEnd::new(cfg.clone());
+                let mut dec = Decoder::new(&bytes);
+                fe2.restore(&mut dec).unwrap();
+                dec.finish().unwrap();
+
+                // Re-encoding the restored front end must reproduce the
+                // exact snapshot bytes: every field round-tripped.
+                let mut enc2 = Encoder::new();
+                fe2.save(&mut enc2);
+                assert_eq!(enc2.finish(), bytes, "gen {}", cfg.name);
+            }
+        }
+
+        #[test]
+        fn restore_into_wrong_generation_is_a_typed_error() {
+            let cfgs = FrontendConfig::all_generations();
+            let fe = warmed_frontend(cfgs[5].clone());
+            let mut enc = Encoder::new();
+            fe.save(&mut enc);
+            let bytes = enc.finish();
+            let mut fe1 = FrontEnd::new(cfgs[0].clone());
+            let mut dec = Decoder::new(&bytes);
+            assert!(fe1.restore(&mut dec).is_err());
+        }
     }
 }

@@ -245,3 +245,48 @@ mod tests {
         assert_ne!(a.fold(5, 9), b.fold(5, 9));
     }
 }
+
+mod snapshot_impl {
+    use super::*;
+    use exynos_snapshot::{tags, Decoder, Encoder, Snapshot, SnapshotError};
+
+    impl Snapshot for GlobalHistory {
+        fn save(&self, enc: &mut Encoder) {
+            enc.begin_section(tags::GLOBAL_HISTORY);
+            for w in self.words {
+                enc.u64(w);
+            }
+            enc.end_section();
+        }
+
+        fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+            dec.begin_section(tags::GLOBAL_HISTORY)?;
+            for w in &mut self.words {
+                *w = dec.u64()?;
+            }
+            dec.end_section()
+        }
+    }
+
+    impl Snapshot for PathHistory {
+        fn save(&self, enc: &mut Encoder) {
+            enc.begin_section(tags::PATH_HISTORY);
+            enc.bytes(&self.entries);
+            enc.usize(self.head);
+            enc.end_section();
+        }
+
+        fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+            dec.begin_section(tags::PATH_HISTORY)?;
+            for e in &mut self.entries {
+                *e = dec.u8()?;
+            }
+            let head = dec.usize()?;
+            if head >= MAX_PHIST {
+                return Err(SnapshotError::Corrupt { what: "path-history head out of range" });
+            }
+            self.head = head;
+            dec.end_section()
+        }
+    }
+}

@@ -497,3 +497,97 @@ mod tests {
         assert_eq!(u.built_bit(0x9999), None);
     }
 }
+
+mod snapshot_impl {
+    use super::*;
+    use exynos_snapshot::{tags, Decoder, Encoder, Snapshot, SnapshotError};
+
+    impl Snapshot for MicroBtb {
+        fn save(&self, enc: &mut Encoder) {
+            enc.begin_section(tags::UBTB);
+            enc.seq(self.nodes.len());
+            for n in &self.nodes {
+                enc.u64(n.pc);
+                enc.u64(n.taken_target);
+                enc.bool(n.is_uncond);
+                enc.u16(n.local_history);
+                enc.bool(n.saw_taken);
+                enc.bool(n.saw_not_taken);
+                enc.u64(n.lru);
+                enc.bool(n.built);
+            }
+            enc.seq(self.lhp.len());
+            for w in &self.lhp {
+                enc.i8(*w);
+            }
+            enc.seq(self.seed_filter.len());
+            for (a, b) in &self.seed_filter {
+                enc.u64(*a);
+                enc.u64(*b);
+            }
+            enc.u64(self.stamp);
+            enc.u32(self.streak);
+            enc.bool(self.locked);
+            enc.bool(self.disabled);
+            enc.u64(self.stats.locked_predictions);
+            enc.u64(self.stats.locks);
+            enc.u64(self.stats.unlocks);
+            enc.u64(self.stats.gated_cycles);
+            enc.end_section();
+        }
+
+        fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+            dec.begin_section(tags::UBTB)?;
+            let n = dec.seq(8)?;
+            // `allocate` bounds the pools separately (conditionals by the
+            // general pool, unconditionals by the whole arena), so the
+            // arena can legitimately hold up to total + general nodes.
+            let cap = self.cfg.total_nodes() + self.cfg.general_nodes;
+            if n > cap {
+                return Err(SnapshotError::Geometry {
+                    what: "ubtb nodes",
+                    expected: cap as u64,
+                    found: n as u64,
+                });
+            }
+            self.nodes.clear();
+            for _ in 0..n {
+                self.nodes.push(Node {
+                    pc: dec.u64()?,
+                    taken_target: dec.u64()?,
+                    is_uncond: dec.bool()?,
+                    local_history: dec.u16()?,
+                    saw_taken: dec.bool()?,
+                    saw_not_taken: dec.bool()?,
+                    lru: dec.u64()?,
+                    built: dec.bool()?,
+                });
+            }
+            let l = dec.seq(1)?;
+            if l != self.lhp.len() {
+                return Err(SnapshotError::Geometry {
+                    what: "ubtb loop-history table",
+                    expected: self.lhp.len() as u64,
+                    found: l as u64,
+                });
+            }
+            for w in &mut self.lhp {
+                *w = dec.i8()?;
+            }
+            let f = dec.seq(16)?;
+            self.seed_filter.clear();
+            for _ in 0..f {
+                self.seed_filter.push((dec.u64()?, dec.u64()?));
+            }
+            self.stamp = dec.u64()?;
+            self.streak = dec.u32()?;
+            self.locked = dec.bool()?;
+            self.disabled = dec.bool()?;
+            self.stats.locked_predictions = dec.u64()?;
+            self.stats.locks = dec.u64()?;
+            self.stats.unlocks = dec.u64()?;
+            self.stats.gated_cycles = dec.u64()?;
+            dec.end_section()
+        }
+    }
+}

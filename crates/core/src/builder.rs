@@ -1,0 +1,198 @@
+//! The one construction path for simulators.
+//!
+//! [`SimBuilder`] replaces the scattered "make a `CoreConfig`, call
+//! `Simulator::new`, then remember to call `attach_fault_injector` /
+//! `set_watchdog` / `set_strict_decode` in the right order" plumbing
+//! with a single fluent chain:
+//!
+//! ```
+//! use exynos_core::builder::SimBuilder;
+//! use exynos_core::config::Generation;
+//! use exynos_core::fault::FaultPlan;
+//!
+//! let sim = SimBuilder::generation(Generation::M6)
+//!     .threads(8)
+//!     .fault_profile(FaultPlan::chaos(7))
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(sim.config().gen, Generation::M6);
+//! ```
+//!
+//! The builder validates the configuration before constructing anything,
+//! so an impossible machine (zero-width decode, empty ROB) is a typed
+//! [`SimError`] instead of a downstream panic or a silent hang.
+
+use crate::config::{CoreConfig, Generation};
+use crate::error::SimError;
+use crate::fault::FaultPlan;
+use crate::sim::Simulator;
+use exynos_telemetry::{Telemetry, TelemetryConfig};
+
+/// Fluent simulator construction; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    cfg: CoreConfig,
+    fault: Option<FaultPlan>,
+    watchdog: Option<(u64, u32)>,
+    strict_decode: bool,
+    threads: Option<usize>,
+    telemetry: Option<TelemetryConfig>,
+}
+
+impl SimBuilder {
+    /// Start from the stock configuration of `gen` (Table I).
+    pub fn generation(gen: Generation) -> SimBuilder {
+        SimBuilder::config(CoreConfig::for_generation(gen))
+    }
+
+    /// Start from an explicit (possibly customized) configuration.
+    pub fn config(cfg: CoreConfig) -> SimBuilder {
+        SimBuilder {
+            cfg,
+            fault: None,
+            watchdog: None,
+            strict_decode: false,
+            threads: None,
+            telemetry: None,
+        }
+    }
+
+    /// Attach a deterministic fault-injection plan to the built simulator.
+    #[must_use]
+    pub fn fault_profile(mut self, plan: FaultPlan) -> SimBuilder {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Reconfigure the forward-progress watchdog (retirement-gap trigger
+    /// in cycles, degradation rungs before erroring out).
+    #[must_use]
+    pub fn watchdog(mut self, threshold: u64, max_recoveries: u32) -> SimBuilder {
+        self.watchdog = Some((threshold, max_recoveries));
+        self
+    }
+
+    /// Strict trace decode: malformed records end the run with a typed
+    /// error instead of being counted and skipped.
+    #[must_use]
+    pub fn strict_decode(mut self, strict: bool) -> SimBuilder {
+        self.strict_decode = strict;
+        self
+    }
+
+    /// Worker-thread budget carried to sweep helpers (the simulator
+    /// itself is single-threaded; population sweeps read this).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> SimBuilder {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Telemetry sink configuration for [`SimBuilder::build_instrumented`].
+    #[must_use]
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> SimBuilder {
+        self.telemetry = Some(cfg);
+        self
+    }
+
+    /// The thread budget, defaulting to 1 when unset.
+    pub fn thread_count(&self) -> usize {
+        self.threads.unwrap_or(1)
+    }
+
+    /// The configuration the built simulator will use.
+    pub fn config_ref(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Validate the configuration and construct the simulator.
+    pub fn build(self) -> Result<Simulator, SimError> {
+        self.validate()?;
+        let SimBuilder { cfg, fault, watchdog, strict_decode, .. } = self;
+        let mut sim = Simulator::construct(cfg);
+        if let Some(plan) = fault {
+            sim.attach_fault_injector(plan);
+        }
+        if let Some((threshold, rungs)) = watchdog {
+            sim.set_watchdog(threshold, rungs);
+        }
+        sim.set_strict_decode(strict_decode);
+        Ok(sim)
+    }
+
+    /// [`build`](SimBuilder::build) plus a [`Telemetry`] sink configured
+    /// by [`SimBuilder::telemetry`] (default configuration when unset).
+    pub fn build_instrumented(self) -> Result<(Simulator, Telemetry), SimError> {
+        let tel = Telemetry::new(self.telemetry.clone().unwrap_or_default());
+        Ok((self.build()?, tel))
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        let cfg = &self.cfg;
+        if cfg.width == 0 {
+            return Err(SimError::ResourceInvariant {
+                resource: "decode",
+                detail: "zero-wide machine".into(),
+            });
+        }
+        if cfg.rob == 0 {
+            return Err(SimError::ResourceInvariant {
+                resource: "rob",
+                detail: "zero-entry reorder buffer".into(),
+            });
+        }
+        // The decode-depth derivation subtracts 5 from the mispredict
+        // latency; anything at or below that is not a pipeline.
+        if cfg.lat.mispredict <= 5 {
+            return Err(SimError::ResourceInvariant {
+                resource: "pipeline",
+                detail: format!("mispredict latency {} too short", cfg.lat.mispredict),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_applies_every_option() {
+        let sim = SimBuilder::generation(Generation::M5)
+            .fault_profile(FaultPlan::chaos(3))
+            .watchdog(10_000, 2)
+            .strict_decode(true)
+            .threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(sim.config().gen, Generation::M5);
+        assert!(sim.fault_stats().is_some());
+    }
+
+    #[test]
+    fn builder_rejects_impossible_machines() {
+        let mut cfg = CoreConfig::m1();
+        cfg.width = 0;
+        assert!(matches!(
+            SimBuilder::config(cfg).build(),
+            Err(SimError::ResourceInvariant { resource: "decode", .. })
+        ));
+
+        let mut cfg = CoreConfig::m1();
+        cfg.rob = 0;
+        assert!(matches!(
+            SimBuilder::config(cfg).build(),
+            Err(SimError::ResourceInvariant { resource: "rob", .. })
+        ));
+    }
+
+    #[test]
+    fn thread_count_defaults_to_one() {
+        assert_eq!(SimBuilder::generation(Generation::M1).thread_count(), 1);
+        assert_eq!(
+            SimBuilder::generation(Generation::M1).threads(0).thread_count(),
+            1
+        );
+    }
+}

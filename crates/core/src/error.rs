@@ -105,6 +105,13 @@ pub enum SimError {
         /// Machine occupancy at the stall point.
         snapshot: OccupancySnapshot,
     },
+    /// A checkpoint image failed to decode (bad magic, unsupported format
+    /// version, truncation, geometry mismatch against the target
+    /// configuration, or corrupt field encoding).
+    SnapshotDecode {
+        /// Underlying decode error rendered as text.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -126,6 +133,9 @@ impl fmt::Display for SimError {
                      after {recoveries} recoveries ({snapshot})"
                 )
             }
+            SimError::SnapshotDecode { detail } => {
+                write!(f, "checkpoint image rejected: {detail}")
+            }
         }
     }
 }
@@ -139,6 +149,12 @@ impl From<PredictorError> for SimError {
             PredictorError::RasDepthInvariant { .. } => 0,
         };
         SimError::PredictorCorruption { unit: "branch", pc, detail: e.to_string() }
+    }
+}
+
+impl From<exynos_snapshot::SnapshotError> for SimError {
+    fn from(e: exynos_snapshot::SnapshotError) -> SimError {
+        SimError::SnapshotDecode { detail: e.to_string() }
     }
 }
 
@@ -177,6 +193,7 @@ mod tests {
                 recoveries: 3,
                 snapshot: snap,
             },
+            SimError::SnapshotDecode { detail: "bad magic".into() },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

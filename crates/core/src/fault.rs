@@ -276,3 +276,60 @@ mod tests {
         assert_eq!(inj.stats().stalls, 10);
     }
 }
+
+mod snapshot_impl {
+    use super::*;
+    use exynos_snapshot::{tags, Decoder, Encoder, Snapshot, SnapshotError};
+
+    impl Snapshot for FaultInjector {
+        fn save(&self, enc: &mut Encoder) {
+            enc.begin_section(tags::FAULT_INJECTOR);
+            enc.u64(self.plan.seed);
+            enc.u64(self.plan.corrupt_btb_target_every);
+            enc.u64(self.plan.corrupt_btb_tag_every);
+            enc.u64(self.plan.flip_shp_weight_every);
+            enc.u64(self.plan.truncate_ras_every);
+            enc.u64(self.plan.drop_prefetch_every);
+            enc.u64(self.plan.malform_inst_every);
+            enc.u64(self.plan.gap_inst_every);
+            enc.u64(self.plan.stall_every);
+            enc.u64(self.plan.stall_cycles);
+            enc.u64(self.rng);
+            enc.u64(self.step);
+            enc.u64(self.stats.btb_targets);
+            enc.u64(self.stats.btb_tags);
+            enc.u64(self.stats.shp_flips);
+            enc.u64(self.stats.ras_truncations);
+            enc.u64(self.stats.prefetch_drops);
+            enc.u64(self.stats.malformed);
+            enc.u64(self.stats.gaps);
+            enc.u64(self.stats.stalls);
+            enc.end_section();
+        }
+
+        fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+            dec.begin_section(tags::FAULT_INJECTOR)?;
+            self.plan.seed = dec.u64()?;
+            self.plan.corrupt_btb_target_every = dec.u64()?;
+            self.plan.corrupt_btb_tag_every = dec.u64()?;
+            self.plan.flip_shp_weight_every = dec.u64()?;
+            self.plan.truncate_ras_every = dec.u64()?;
+            self.plan.drop_prefetch_every = dec.u64()?;
+            self.plan.malform_inst_every = dec.u64()?;
+            self.plan.gap_inst_every = dec.u64()?;
+            self.plan.stall_every = dec.u64()?;
+            self.plan.stall_cycles = dec.u64()?;
+            self.rng = dec.u64()?;
+            self.step = dec.u64()?;
+            self.stats.btb_targets = dec.u64()?;
+            self.stats.btb_tags = dec.u64()?;
+            self.stats.shp_flips = dec.u64()?;
+            self.stats.ras_truncations = dec.u64()?;
+            self.stats.prefetch_drops = dec.u64()?;
+            self.stats.malformed = dec.u64()?;
+            self.stats.gaps = dec.u64()?;
+            self.stats.stalls = dec.u64()?;
+            dec.end_section()
+        }
+    }
+}

@@ -7,6 +7,9 @@
 //! * [`memsys`] — L1/L2/exclusive-L3/DRAM with all prefetchers (§VII–IX);
 //! * [`ports`] — execution-port scheduling;
 //! * [`sim`] — the out-of-order timing model and slice runner;
+//! * [`builder`] — [`SimBuilder`], the validated construction path, plus
+//!   checkpoint/resume via [`Simulator::checkpoint`] /
+//!   [`Simulator::resume`];
 //! * [`error`] — the typed failure model ([`SimError`], occupancy
 //!   snapshots) shared by every layer;
 //! * [`fault`] — the deterministic fault-injection harness.
@@ -14,12 +17,12 @@
 //! ## Example
 //!
 //! ```
-//! use exynos_core::config::CoreConfig;
-//! use exynos_core::sim::Simulator;
+//! use exynos_core::builder::SimBuilder;
+//! use exynos_core::config::Generation;
 //! use exynos_trace::gen::loops::{LoopNest, LoopNestParams};
 //! use exynos_trace::SlicePlan;
 //!
-//! let mut sim = Simulator::new(CoreConfig::m5());
+//! let mut sim = SimBuilder::generation(Generation::M5).build().unwrap();
 //! let mut gen = LoopNest::new(&LoopNestParams::default(), 0, 1);
 //! let result = sim
 //!     .run_slice(&mut gen, SlicePlan::new(2_000, 10_000))
@@ -29,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod config;
 pub mod error;
 pub mod fault;
@@ -37,6 +41,7 @@ pub mod observe;
 pub mod ports;
 pub mod sim;
 
+pub use builder::SimBuilder;
 pub use config::{CoreConfig, Generation};
 pub use error::{OccupancySnapshot, SimError};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};

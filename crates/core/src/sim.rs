@@ -177,7 +177,18 @@ pub struct Simulator {
 
 impl Simulator {
     /// Build a simulator for `cfg`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct through `exynos_core::builder::SimBuilder`, the one validated construction path"
+    )]
     pub fn new(cfg: CoreConfig) -> Simulator {
+        Simulator::construct(cfg)
+    }
+
+    /// Construction without validation — the builder's backend and the
+    /// resume path. Callers outside the crate go through
+    /// [`SimBuilder`](crate::builder::SimBuilder).
+    pub(crate) fn construct(cfg: CoreConfig) -> Simulator {
         let decode_depth = cfg.lat.mispredict as u64 - 5;
         Simulator {
             frontend: FrontEnd::new(cfg.frontend.clone()),
@@ -934,8 +945,276 @@ pub fn run_slice_on(
     cfg: CoreConfig,
     slice: &exynos_trace::SliceSpec,
 ) -> Result<SliceResult, SimError> {
-    let mut sim = Simulator::new(cfg);
+    let mut sim = Simulator::construct(cfg);
     let mut gen = slice.instantiate();
     let plan = slice.plan;
     sim.run_slice(&mut *gen, plan)
+}
+
+mod snapshot_impl {
+    use super::*;
+    use crate::config::Generation;
+    use exynos_snapshot::{tags, Decoder, Encoder, Snapshot, SnapshotError};
+
+    fn gen_to_u16(g: Generation) -> u16 {
+        match g {
+            Generation::M1 => 1,
+            Generation::M2 => 2,
+            Generation::M3 => 3,
+            Generation::M4 => 4,
+            Generation::M5 => 5,
+            Generation::M6 => 6,
+        }
+    }
+
+    fn gen_from_u16(v: u16) -> Result<Generation, SnapshotError> {
+        Ok(match v {
+            1 => Generation::M1,
+            2 => Generation::M2,
+            3 => Generation::M3,
+            4 => Generation::M4,
+            5 => Generation::M5,
+            6 => Generation::M6,
+            _ => return Err(SnapshotError::Corrupt { what: "generation tag" }),
+        })
+    }
+
+    impl Snapshot for Watchdog {
+        fn save(&self, enc: &mut Encoder) {
+            enc.begin_section(tags::WATCHDOG);
+            enc.u64(self.threshold);
+            enc.u32(self.max_recoveries);
+            enc.u32(self.recoveries);
+            enc.u32(self.progress_streak);
+            enc.end_section();
+        }
+
+        fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+            dec.begin_section(tags::WATCHDOG)?;
+            self.threshold = dec.u64()?;
+            self.max_recoveries = dec.u32()?;
+            self.recoveries = dec.u32()?;
+            self.progress_streak = dec.u32()?;
+            dec.end_section()
+        }
+    }
+
+    impl Snapshot for SimStats {
+        fn save(&self, enc: &mut Encoder) {
+            enc.begin_section(tags::SIM_STATS);
+            enc.u64(self.instructions);
+            enc.u64(self.last_retire);
+            enc.u64(self.loads);
+            enc.u64(self.uoc_supplied);
+            enc.u64(self.malformed_insts);
+            enc.u64(self.predictor_corruptions);
+            enc.u64(self.uoc_recoveries);
+            enc.u64(self.watchdog_events);
+            enc.u64(self.watchdog_recoveries);
+            enc.end_section();
+        }
+
+        fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+            dec.begin_section(tags::SIM_STATS)?;
+            self.instructions = dec.u64()?;
+            self.last_retire = dec.u64()?;
+            self.loads = dec.u64()?;
+            self.uoc_supplied = dec.u64()?;
+            self.malformed_insts = dec.u64()?;
+            self.predictor_corruptions = dec.u64()?;
+            self.uoc_recoveries = dec.u64()?;
+            self.watchdog_events = dec.u64()?;
+            self.watchdog_recoveries = dec.u64()?;
+            dec.end_section()
+        }
+    }
+
+    impl Snapshot for Simulator {
+        fn save(&self, enc: &mut Encoder) {
+            enc.begin_section(tags::SIM);
+            self.frontend.save(enc);
+            match &self.uoc {
+                Some(u) => {
+                    enc.u8(1);
+                    u.save(enc);
+                }
+                None => enc.u8(0),
+            }
+            self.memsys.save(enc);
+            self.ports.save(enc);
+            enc.u64(self.fetch_cycle);
+            enc.u32(self.fetch_slots);
+            enc.u64(self.cur_fetch_line);
+            for r in &self.reg_ready {
+                enc.u64(*r);
+            }
+            for b in &self.reg_by_load {
+                enc.bool(*b);
+            }
+            enc.seq(self.rob.len());
+            for c in &self.rob {
+                enc.u64(*c);
+            }
+            enc.seq(self.int_inflight.len());
+            for c in &self.int_inflight {
+                enc.u64(*c);
+            }
+            enc.seq(self.fp_inflight.len());
+            for c in &self.fp_inflight {
+                enc.u64(*c);
+            }
+            enc.u64(self.last_retire);
+            enc.u32(self.retire_in_cycle);
+            self.stats.save(enc);
+            match &self.injector {
+                Some(i) => {
+                    enc.u8(1);
+                    i.save(enc);
+                }
+                None => enc.u8(0),
+            }
+            self.watchdog.save(enc);
+            enc.bool(self.strict_decode);
+            enc.u32(self.consecutive_corruptions);
+            enc.end_section();
+        }
+
+        fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+            dec.begin_section(tags::SIM)?;
+            self.frontend.restore(dec)?;
+            let has_uoc = match dec.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(SnapshotError::Corrupt { what: "uoc presence flag" }),
+            };
+            match (&mut self.uoc, has_uoc) {
+                (Some(u), true) => u.restore(dec)?,
+                (None, false) => {}
+                (mine, _) => {
+                    return Err(SnapshotError::Geometry {
+                        what: "uoc presence",
+                        expected: u64::from(mine.is_some()),
+                        found: u64::from(has_uoc),
+                    })
+                }
+            }
+            self.memsys.restore(dec)?;
+            self.ports.restore(dec)?;
+            self.fetch_cycle = dec.u64()?;
+            self.fetch_slots = dec.u32()?;
+            self.cur_fetch_line = dec.u64()?;
+            for r in &mut self.reg_ready {
+                *r = dec.u64()?;
+            }
+            for b in &mut self.reg_by_load {
+                *b = dec.bool()?;
+            }
+            let nr = dec.seq(8)?;
+            if nr > self.rob_cap {
+                return Err(SnapshotError::Geometry {
+                    what: "rob occupancy",
+                    expected: self.rob_cap as u64,
+                    found: nr as u64,
+                });
+            }
+            self.rob.clear();
+            for _ in 0..nr {
+                self.rob.push_back(dec.u64()?);
+            }
+            let ni = dec.seq(8)?;
+            self.int_inflight.clear();
+            for _ in 0..ni {
+                self.int_inflight.push_back(dec.u64()?);
+            }
+            let nf = dec.seq(8)?;
+            self.fp_inflight.clear();
+            for _ in 0..nf {
+                self.fp_inflight.push_back(dec.u64()?);
+            }
+            self.last_retire = dec.u64()?;
+            self.retire_in_cycle = dec.u32()?;
+            self.stats.restore(dec)?;
+            let has_injector = match dec.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(SnapshotError::Corrupt { what: "injector presence flag" }),
+            };
+            if has_injector {
+                // The serialized image carries the full plan, so a fresh
+                // injector is a valid restore target regardless of what the
+                // target simulator had attached.
+                let mut inj = FaultInjector::new(FaultPlan::none());
+                inj.restore(dec)?;
+                self.injector = Some(inj);
+            } else {
+                self.injector = None;
+            }
+            self.watchdog.restore(dec)?;
+            self.strict_decode = dec.bool()?;
+            self.consecutive_corruptions = dec.u32()?;
+            dec.end_section()
+        }
+    }
+
+    impl Simulator {
+        /// Serialize the complete microarchitectural state into the
+        /// versioned checkpoint format (see DESIGN.md "Snapshot format").
+        /// The image is self-contained: it records the generation, the
+        /// fault-injection plan, and the watchdog configuration, so
+        /// [`Simulator::resume`] needs nothing but the bytes.
+        pub fn checkpoint(&self) -> Vec<u8> {
+            let mut enc = Encoder::with_header(gen_to_u16(self.cfg.gen));
+            self.save(&mut enc);
+            enc.finish()
+        }
+
+        /// Rebuild a simulator from a checkpoint image produced by
+        /// [`Simulator::checkpoint`]. The generation is read from the
+        /// image header and the stock configuration for that generation is
+        /// used; see [`Simulator::resume_with_config`] for customized
+        /// configurations.
+        pub fn resume(bytes: &[u8]) -> Result<Simulator, SimError> {
+            let mut dec = Decoder::new(bytes);
+            let meta = dec.header()?;
+            let gen = gen_from_u16(meta)?;
+            Simulator::resume_into(CoreConfig::for_generation(gen), dec)
+        }
+
+        /// [`resume`](Simulator::resume) against a caller-supplied
+        /// configuration (for non-stock geometries). The configuration
+        /// must match the one the checkpoint was taken from: every
+        /// geometry mismatch (table sizes, optional-component presence,
+        /// generation tag) is a typed [`SimError::SnapshotDecode`].
+        pub fn resume_with_config(cfg: CoreConfig, bytes: &[u8]) -> Result<Simulator, SimError> {
+            let mut dec = Decoder::new(bytes);
+            let meta = dec.header()?;
+            if meta != gen_to_u16(cfg.gen) {
+                return Err(SnapshotError::Geometry {
+                    what: "generation tag",
+                    expected: u64::from(gen_to_u16(cfg.gen)),
+                    found: u64::from(meta),
+                }
+                .into());
+            }
+            Simulator::resume_into(cfg, dec)
+        }
+
+        fn resume_into(cfg: CoreConfig, mut dec: Decoder<'_>) -> Result<Simulator, SimError> {
+            let mut sim = Simulator::construct(cfg);
+            sim.restore(&mut dec)?;
+            dec.finish()?;
+            Ok(sim)
+        }
+
+        /// Step the simulator through `n` instructions from `gen` without
+        /// measuring a detail window — the warm-up half of a
+        /// checkpoint-then-fork workflow.
+        pub fn run_warmup(&mut self, gen: &mut dyn TraceGen, n: u64) -> Result<(), SimError> {
+            for _ in 0..n {
+                let inst = gen.next_inst();
+                self.step(&inst)?;
+            }
+            Ok(())
+        }
+    }
 }

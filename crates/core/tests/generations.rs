@@ -1,6 +1,7 @@
 //! Cross-generation properties the paper's evaluation claims (Figs. 16–17,
 //! Tables I/IV): IPC grows every generation, load latency falls.
 
+use exynos_core::builder::SimBuilder;
 use exynos_core::config::CoreConfig;
 use exynos_core::sim::Simulator;
 use exynos_trace::{standard_suite, SlicePlan};
@@ -12,7 +13,7 @@ fn run_suite(cfg: &CoreConfig, max_slices: usize) -> (f64, f64) {
     let mut ipcs = Vec::new();
     let mut lats = Vec::new();
     for slice in suite.iter().take(max_slices) {
-        let mut sim = Simulator::new(cfg.clone());
+        let mut sim = SimBuilder::config(cfg.clone()).build().unwrap();
         let mut g = slice.instantiate();
         let r = sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000)).unwrap();
         ipcs.push(r.ipc);
@@ -70,7 +71,7 @@ fn high_ipc_workloads_unlocked_by_width() {
         .find(|s| s.name.starts_with("specfp/nest3"))
         .unwrap();
     let run = |cfg: CoreConfig| {
-        let mut sim = Simulator::new(cfg);
+        let mut sim = SimBuilder::config(cfg).build().unwrap();
         let mut g = nest.instantiate();
         sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000)).unwrap().ipc
     };
@@ -92,7 +93,7 @@ fn low_ipc_workloads_improved_by_memory_path() {
         .find(|s| s.name.starts_with("game/chase"))
         .unwrap();
     let run = |cfg: CoreConfig| {
-        let mut sim = Simulator::new(cfg);
+        let mut sim = SimBuilder::config(cfg).build().unwrap();
         let mut g = chase.instantiate();
         let r = sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000)).unwrap();
         (r.ipc, r.avg_load_latency)
@@ -107,7 +108,7 @@ fn low_ipc_workloads_improved_by_memory_path() {
 fn uoc_supplies_uops_on_m5_loop_kernels() {
     let suite = standard_suite(1);
     let nest = suite.iter().find(|s| s.name.starts_with("specfp/")).unwrap();
-    let mut sim = Simulator::new(CoreConfig::m5());
+    let mut sim = SimBuilder::config(CoreConfig::m5()).build().unwrap();
     let mut g = nest.instantiate();
     sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000)).unwrap();
     assert!(
@@ -116,7 +117,7 @@ fn uoc_supplies_uops_on_m5_loop_kernels() {
         sim.uoc_stats()
     );
     // M4 has no UOC.
-    let mut sim4 = Simulator::new(CoreConfig::m4());
+    let mut sim4 = SimBuilder::config(CoreConfig::m4()).build().unwrap();
     let mut g4 = nest.instantiate();
     sim4.run_slice(&mut *g4, SlicePlan::new(4_000, 25_000)).unwrap();
     assert_eq!(sim4.stats().uoc_supplied, 0);
@@ -127,7 +128,7 @@ fn deterministic_replay() {
     let suite = standard_suite(1);
     let s = &suite[5];
     let run = || {
-        let mut sim = Simulator::new(CoreConfig::m5());
+        let mut sim = SimBuilder::config(CoreConfig::m5()).build().unwrap();
         let mut g = s.instantiate();
         let r = sim.run_slice(&mut *g, SlicePlan::new(2_000, 10_000)).unwrap();
         (r.cycles, r.mpki.to_bits(), r.avg_load_latency.to_bits())

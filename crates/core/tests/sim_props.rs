@@ -1,6 +1,7 @@
 //! Property tests on the composed simulator: physical sanity of the
 //! timing model across arbitrary workloads and generations.
 
+use exynos_core::builder::SimBuilder;
 use exynos_core::config::CoreConfig;
 use exynos_core::sim::Simulator;
 use exynos_trace::{standard_suite, SlicePlan, TraceGen};
@@ -17,7 +18,7 @@ proptest! {
         let slice = &suite[slice_idx % suite.len()];
         let cfg = CoreConfig::all_generations()[gen_idx].clone();
         let width = cfg.width;
-        let mut sim = Simulator::new(cfg);
+        let mut sim = SimBuilder::config(cfg).build().unwrap();
         let mut gen = slice.spec.instantiate(slice.region, slice.seed ^ seed);
         let mut last_rt = 0u64;
         let mut touched = Vec::new();
@@ -50,7 +51,7 @@ proptest! {
         let slice = &suite[slice_idx % suite.len()];
         let cfg = CoreConfig::all_generations()[gen_idx].clone();
         let run = || {
-            let mut sim = Simulator::new(cfg.clone());
+            let mut sim = SimBuilder::config(cfg.clone()).build().unwrap();
             let mut gen = slice.instantiate();
             let r = sim.run_slice(&mut *gen, SlicePlan::new(500, 2_500)).unwrap();
             (r.cycles, r.mpki.to_bits())

@@ -640,3 +640,77 @@ mod tests {
         assert_eq!(c.occupancy(), 10);
     }
 }
+
+mod snapshot_impl {
+    use super::*;
+    use exynos_snapshot::{tags, Decoder, Encoder, Snapshot, SnapshotError};
+
+    fn save_meta(enc: &mut Encoder, m: &LineMeta) {
+        enc.bool(m.prefetched);
+        enc.bool(m.demand_hit);
+        enc.u8(m.reuse);
+        enc.bool(m.second_pass);
+    }
+
+    fn load_meta(dec: &mut Decoder<'_>) -> Result<LineMeta, SnapshotError> {
+        Ok(LineMeta {
+            prefetched: dec.bool()?,
+            demand_hit: dec.bool()?,
+            reuse: dec.u8()?,
+            second_pass: dec.bool()?,
+        })
+    }
+
+    impl Snapshot for Cache {
+        fn save(&self, enc: &mut Encoder) {
+            enc.begin_section(tags::CACHE);
+            enc.seq(self.entries.len());
+            for e in &self.entries {
+                enc.u64(e.tag_addr);
+                enc.u8(e.sector_valid);
+                enc.u8(e.sector_dirty);
+                for m in &e.meta {
+                    save_meta(enc, m);
+                }
+                enc.u8(e.rrpv);
+            }
+            enc.u64(self.stats.demand_hits);
+            enc.u64(self.stats.demand_misses);
+            enc.u64(self.stats.prefetch_hits);
+            enc.u64(self.stats.prefetch_misses);
+            enc.u64(self.stats.fills);
+            enc.u64(self.stats.evictions);
+            enc.u64(self.stats.useful_prefetch_hits);
+            enc.end_section();
+        }
+
+        fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+            dec.begin_section(tags::CACHE)?;
+            let n = dec.seq(1)?;
+            if n != self.entries.len() {
+                return Err(SnapshotError::Geometry {
+                    what: "cache tag array",
+                    expected: self.entries.len() as u64,
+                    found: n as u64,
+                });
+            }
+            for e in &mut self.entries {
+                e.tag_addr = dec.u64()?;
+                e.sector_valid = dec.u8()?;
+                e.sector_dirty = dec.u8()?;
+                for m in &mut e.meta {
+                    *m = load_meta(dec)?;
+                }
+                e.rrpv = dec.u8()?;
+            }
+            self.stats.demand_hits = dec.u64()?;
+            self.stats.demand_misses = dec.u64()?;
+            self.stats.prefetch_hits = dec.u64()?;
+            self.stats.prefetch_misses = dec.u64()?;
+            self.stats.fills = dec.u64()?;
+            self.stats.evictions = dec.u64()?;
+            self.stats.useful_prefetch_hits = dec.u64()?;
+            dec.end_section()
+        }
+    }
+}

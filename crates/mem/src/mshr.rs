@@ -138,3 +138,52 @@ mod tests {
         assert_eq!(m.occupancy(100), 0);
     }
 }
+
+impl MissBuffers {
+    /// Release every slot (as if all outstanding misses drained), keeping
+    /// cumulative statistics — the `stats() / clear() / snapshot` surface
+    /// shared by the stateful components.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = 0;
+        }
+    }
+}
+
+mod snapshot_impl {
+    use super::*;
+    use exynos_snapshot::{tags, Decoder, Encoder, Snapshot, SnapshotError};
+
+    impl Snapshot for MissBuffers {
+        fn save(&self, enc: &mut Encoder) {
+            enc.begin_section(tags::MSHR);
+            enc.seq(self.slots.len());
+            for s in &self.slots {
+                enc.u64(*s);
+            }
+            enc.usize(self.peak);
+            enc.u64(self.allocations);
+            enc.u64(self.rejections);
+            enc.end_section();
+        }
+
+        fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+            dec.begin_section(tags::MSHR)?;
+            let n = dec.seq(8)?;
+            if n != self.slots.len() {
+                return Err(SnapshotError::Geometry {
+                    what: "miss-buffer slots",
+                    expected: self.slots.len() as u64,
+                    found: n as u64,
+                });
+            }
+            for s in &mut self.slots {
+                *s = dec.u64()?;
+            }
+            self.peak = dec.usize()?;
+            self.allocations = dec.u64()?;
+            self.rejections = dec.u64()?;
+            dec.end_section()
+        }
+    }
+}

@@ -133,3 +133,48 @@ mod tests {
         assert!(b.on_l2_demand_miss(0x2000, false).is_some());
     }
 }
+
+impl BuddyPrefetcher {
+    /// Reset the usefulness score to its starting value, keeping cumulative
+    /// statistics.
+    pub fn clear(&mut self) {
+        self.score = 8;
+    }
+}
+
+mod snapshot_impl {
+    use super::*;
+    use exynos_snapshot::{tags, Decoder, Encoder, Snapshot, SnapshotError};
+
+    impl Snapshot for BuddyPrefetcher {
+        fn save(&self, enc: &mut Encoder) {
+            enc.begin_section(tags::BUDDY);
+            enc.i32(self.score);
+            enc.i32(self.min);
+            enc.i32(self.max);
+            enc.u64(self.stats.issued);
+            enc.u64(self.stats.suppressed);
+            enc.u64(self.stats.useful);
+            enc.u64(self.stats.wasted);
+            enc.end_section();
+        }
+
+        fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+            dec.begin_section(tags::BUDDY)?;
+            let score = dec.i32()?;
+            let min = dec.i32()?;
+            let max = dec.i32()?;
+            if min > max || score < min || score > max {
+                return Err(SnapshotError::Corrupt { what: "buddy score bounds" });
+            }
+            self.score = score;
+            self.min = min;
+            self.max = max;
+            self.stats.issued = dec.u64()?;
+            self.stats.suppressed = dec.u64()?;
+            self.stats.useful = dec.u64()?;
+            self.stats.wasted = dec.u64()?;
+            dec.end_section()
+        }
+    }
+}

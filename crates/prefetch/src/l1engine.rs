@@ -176,3 +176,84 @@ mod tests {
         assert_eq!(p.sms_stats().generations, 0);
     }
 }
+
+/// Aggregate statistics across the composed engine's three components,
+/// giving the `stats()` half of the uniform `stats() / clear() /
+/// snapshot` surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L1PrefetcherStats {
+    /// Multi-stride engine counters.
+    pub stride: crate::stride::StrideStats,
+    /// SMS counters (zeroes when the engine is absent, i.e. M1/M2).
+    pub sms: crate::sms::SmsStats,
+    /// Address re-order buffer counters.
+    pub reorder: crate::reorder::ReorderStats,
+}
+
+impl L1Prefetcher {
+    /// Accumulated statistics across all three components.
+    pub fn stats(&self) -> L1PrefetcherStats {
+        L1PrefetcherStats {
+            stride: self.stride_stats(),
+            sms: self.sms_stats(),
+            reorder: self.reorder_stats(),
+        }
+    }
+
+    /// Drop all trained prefetcher state (streams, signatures, in-flight
+    /// addresses), keeping cumulative statistics.
+    pub fn clear(&mut self) {
+        self.reorder.clear();
+        self.stride.clear();
+        if let Some(sms) = &mut self.sms {
+            sms.clear();
+        }
+        self.seq = 0;
+    }
+}
+
+mod snapshot_impl {
+    use super::*;
+    use exynos_snapshot::{tags, Decoder, Encoder, Snapshot, SnapshotError};
+
+    impl Snapshot for L1Prefetcher {
+        fn save(&self, enc: &mut Encoder) {
+            enc.begin_section(tags::L1_PREFETCHER);
+            self.reorder.save(enc);
+            self.stride.save(enc);
+            match &self.sms {
+                Some(sms) => {
+                    enc.u8(1);
+                    sms.save(enc);
+                }
+                None => enc.u8(0),
+            }
+            enc.u64(self.seq);
+            enc.end_section();
+        }
+
+        fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+            dec.begin_section(tags::L1_PREFETCHER)?;
+            self.reorder.restore(dec)?;
+            self.stride.restore(dec)?;
+            let has_sms = match dec.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(SnapshotError::Corrupt { what: "sms presence flag" }),
+            };
+            match (&mut self.sms, has_sms) {
+                (Some(sms), true) => sms.restore(dec)?,
+                (None, false) => {}
+                (mine, _) => {
+                    return Err(SnapshotError::Geometry {
+                        what: "sms presence",
+                        expected: u64::from(mine.is_some()),
+                        found: u64::from(has_sms),
+                    })
+                }
+            }
+            self.seq = dec.u64()?;
+            dec.end_section()
+        }
+    }
+}

@@ -353,3 +353,112 @@ mod tests {
         assert_eq!(p.mode(), ConfMode::High, "balanced accuracy must not demote");
     }
 }
+
+impl StandalonePrefetcher {
+    /// Drop trained page streams and the duplicate filter, keeping
+    /// cumulative statistics.
+    pub fn clear(&mut self) {
+        self.streams.clear();
+        self.filter.clear();
+        self.mode = ConfMode::Low;
+        self.score = 0;
+        self.recent_stride = 0;
+        self.stamp = 0;
+    }
+}
+
+mod snapshot_impl {
+    use super::*;
+    use exynos_snapshot::{tags, Decoder, Encoder, Snapshot, SnapshotError};
+
+    fn mode_to_u8(m: ConfMode) -> u8 {
+        match m {
+            ConfMode::Low => 0,
+            ConfMode::High => 1,
+        }
+    }
+
+    fn mode_from_u8(v: u8) -> Result<ConfMode, SnapshotError> {
+        match v {
+            0 => Ok(ConfMode::Low),
+            1 => Ok(ConfMode::High),
+            _ => Err(SnapshotError::Corrupt { what: "standalone confidence mode" }),
+        }
+    }
+
+    impl Snapshot for StandalonePrefetcher {
+        fn save(&self, enc: &mut Encoder) {
+            enc.begin_section(tags::STANDALONE);
+            enc.seq(self.streams.len());
+            for s in &self.streams {
+                enc.u64(s.page);
+                enc.i64(s.last_line);
+                enc.i64(s.stride);
+                enc.u32(s.confirmations);
+                enc.u64(s.lru);
+            }
+            enc.u8(mode_to_u8(self.mode));
+            enc.i32(self.score);
+            enc.seq(self.filter.len());
+            for l in &self.filter {
+                enc.u64(*l);
+            }
+            enc.i64(self.recent_stride);
+            enc.u64(self.stamp);
+            enc.u64(self.stats.trained);
+            enc.u64(self.stats.phantoms);
+            enc.u64(self.stats.phantom_hits);
+            enc.u64(self.stats.issued);
+            enc.u64(self.stats.promotions);
+            enc.u64(self.stats.demotions);
+            enc.u64(self.stats.page_crossings);
+            enc.end_section();
+        }
+
+        fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+            dec.begin_section(tags::STANDALONE)?;
+            let n = dec.seq(36)?;
+            if n > self.cfg.streams {
+                return Err(SnapshotError::Geometry {
+                    what: "standalone page streams",
+                    expected: self.cfg.streams as u64,
+                    found: n as u64,
+                });
+            }
+            self.streams.clear();
+            for _ in 0..n {
+                self.streams.push(PageStream {
+                    page: dec.u64()?,
+                    last_line: dec.i64()?,
+                    stride: dec.i64()?,
+                    confirmations: dec.u32()?,
+                    lru: dec.u64()?,
+                });
+            }
+            self.mode = mode_from_u8(dec.u8()?)?;
+            self.score = dec.i32()?;
+            let nf = dec.seq(8)?;
+            if nf > self.cfg.filter_depth {
+                return Err(SnapshotError::Geometry {
+                    what: "standalone duplicate filter",
+                    expected: self.cfg.filter_depth as u64,
+                    found: nf as u64,
+                });
+            }
+            self.filter.clear();
+            for _ in 0..nf {
+                self.filter.push_back(dec.u64()?);
+            }
+            self.recent_stride = dec.i64()?;
+            self.stamp = dec.u64()?;
+            self.stats.trained = dec.u64()?;
+            self.stats.phantoms = dec.u64()?;
+            self.stats.phantom_hits = dec.u64()?;
+            self.stats.issued = dec.u64()?;
+            self.stats.promotions = dec.u64()?;
+            self.stats.demotions = dec.u64()?;
+            self.stats.page_crossings = dec.u64()?;
+            dec.end_section()
+        }
+    }
+}

@@ -492,3 +492,128 @@ mod tests {
         assert!(e.stats().skip_aheads >= 1);
     }
 }
+
+impl MultiStrideEngine {
+    /// Drop every trained stream, keeping cumulative statistics.
+    pub fn clear(&mut self) {
+        self.streams.clear();
+        self.stamp = 0;
+    }
+}
+
+mod snapshot_impl {
+    use super::*;
+    use exynos_snapshot::{tags, Decoder, Encoder, Snapshot, SnapshotError};
+
+    fn save_stream(enc: &mut Encoder, s: &Stream) {
+        enc.i64(s.last_line);
+        enc.seq(s.deltas.len());
+        for d in &s.deltas {
+            enc.i64(*d);
+        }
+        match &s.pattern {
+            Some((period, phase)) => {
+                enc.u8(1);
+                enc.seq(period.len());
+                for d in period {
+                    enc.i64(*d);
+                }
+                enc.usize(*phase);
+            }
+            None => enc.u8(0),
+        }
+        enc.i64(s.frontier);
+        enc.usize(s.frontier_phase);
+        enc.u32(s.ahead);
+        s.degree.save(enc);
+        enc.seq(s.queue.len());
+        for l in &s.queue {
+            enc.i64(*l);
+        }
+        enc.seq(s.expected.len());
+        for l in &s.expected {
+            enc.i64(*l);
+        }
+        enc.u64(s.lru);
+    }
+
+    fn load_stream(dec: &mut Decoder<'_>) -> Result<Stream, SnapshotError> {
+        let mut s = Stream::new(0, 0);
+        s.last_line = dec.i64()?;
+        let nd = dec.seq(8)?;
+        s.deltas.clear();
+        for _ in 0..nd {
+            s.deltas.push_back(dec.i64()?);
+        }
+        s.pattern = match dec.u8()? {
+            0 => None,
+            1 => {
+                let np = dec.seq(8)?;
+                let mut period = Vec::with_capacity(np);
+                for _ in 0..np {
+                    period.push(dec.i64()?);
+                }
+                Some((period, dec.usize()?))
+            }
+            _ => return Err(SnapshotError::Corrupt { what: "stride pattern flag" }),
+        };
+        s.frontier = dec.i64()?;
+        s.frontier_phase = dec.usize()?;
+        s.ahead = dec.u32()?;
+        s.degree.restore(dec)?;
+        let nq = dec.seq(8)?;
+        s.queue.clear();
+        for _ in 0..nq {
+            s.queue.push_back(dec.i64()?);
+        }
+        let ne = dec.seq(8)?;
+        s.expected.clear();
+        for _ in 0..ne {
+            s.expected.push_back(dec.i64()?);
+        }
+        s.lru = dec.u64()?;
+        Ok(s)
+    }
+
+    impl Snapshot for MultiStrideEngine {
+        fn save(&self, enc: &mut Encoder) {
+            enc.begin_section(tags::STRIDE);
+            enc.seq(self.streams.len());
+            for s in &self.streams {
+                save_stream(enc, s);
+            }
+            enc.u64(self.stamp);
+            enc.u64(self.stats.trained);
+            enc.u64(self.stats.issued);
+            enc.u64(self.stats.confirms);
+            enc.u64(self.stats.locks);
+            enc.u64(self.stats.unlocks);
+            enc.u64(self.stats.skip_aheads);
+            enc.end_section();
+        }
+
+        fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+            dec.begin_section(tags::STRIDE)?;
+            let n = dec.seq(32)?;
+            if n > self.cfg.streams {
+                return Err(SnapshotError::Geometry {
+                    what: "stride streams",
+                    expected: self.cfg.streams as u64,
+                    found: n as u64,
+                });
+            }
+            self.streams.clear();
+            for _ in 0..n {
+                self.streams.push(load_stream(dec)?);
+            }
+            self.stamp = dec.u64()?;
+            self.stats.trained = dec.u64()?;
+            self.stats.issued = dec.u64()?;
+            self.stats.confirms = dec.u64()?;
+            self.stats.locks = dec.u64()?;
+            self.stats.unlocks = dec.u64()?;
+            self.stats.skip_aheads = dec.u64()?;
+            dec.end_section()
+        }
+    }
+}

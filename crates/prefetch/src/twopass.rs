@@ -251,3 +251,83 @@ mod tests {
         assert_eq!(c.stats().dropped, 1);
     }
 }
+
+impl TwoPassController {
+    /// Drop pending fills and reset the adaptive mode, keeping cumulative
+    /// statistics.
+    pub fn clear(&mut self) {
+        self.pending.clear();
+        self.mode = PassMode::TwoPass;
+        self.l2_hit_score = 0;
+    }
+}
+
+mod snapshot_impl {
+    use super::*;
+    use exynos_snapshot::{tags, Decoder, Encoder, Snapshot, SnapshotError};
+
+    fn mode_to_u8(m: PassMode) -> u8 {
+        match m {
+            PassMode::TwoPass => 0,
+            PassMode::OnePass => 1,
+        }
+    }
+
+    fn mode_from_u8(v: u8) -> Result<PassMode, SnapshotError> {
+        match v {
+            0 => Ok(PassMode::TwoPass),
+            1 => Ok(PassMode::OnePass),
+            _ => Err(SnapshotError::Corrupt { what: "two-pass mode" }),
+        }
+    }
+
+    impl Snapshot for TwoPassController {
+        fn save(&self, enc: &mut Encoder) {
+            enc.begin_section(tags::TWOPASS);
+            enc.u8(mode_to_u8(self.mode));
+            enc.seq(self.pending.len());
+            for p in &self.pending {
+                enc.u64(p.line);
+                enc.u64(p.ready_at);
+            }
+            enc.i32(self.l2_hit_score);
+            enc.u64(self.stats.first_passes);
+            enc.u64(self.stats.first_pass_l2_hits);
+            enc.u64(self.stats.second_passes);
+            enc.u64(self.stats.one_passes);
+            enc.u64(self.stats.to_one_pass);
+            enc.u64(self.stats.to_two_pass);
+            enc.u64(self.stats.dropped);
+            enc.end_section();
+        }
+
+        fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+            dec.begin_section(tags::TWOPASS)?;
+            self.mode = mode_from_u8(dec.u8()?)?;
+            let n = dec.seq(16)?;
+            if n > self.queue_depth {
+                return Err(SnapshotError::Geometry {
+                    what: "two-pass pending fills",
+                    expected: self.queue_depth as u64,
+                    found: n as u64,
+                });
+            }
+            self.pending.clear();
+            for _ in 0..n {
+                self.pending.push_back(PendingFill {
+                    line: dec.u64()?,
+                    ready_at: dec.u64()?,
+                });
+            }
+            self.l2_hit_score = dec.i32()?;
+            self.stats.first_passes = dec.u64()?;
+            self.stats.first_pass_l2_hits = dec.u64()?;
+            self.stats.second_passes = dec.u64()?;
+            self.stats.one_passes = dec.u64()?;
+            self.stats.to_one_pass = dec.u64()?;
+            self.stats.to_two_pass = dec.u64()?;
+            self.stats.dropped = dec.u64()?;
+            dec.end_section()
+        }
+    }
+}

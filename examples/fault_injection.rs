@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release --example fault_injection`
 
+use exynos::core::builder::SimBuilder;
 use exynos::core::config::CoreConfig;
 use exynos::core::sim::Simulator;
 use exynos::trace::gen::markov::{MarkovBranches, MarkovParams};
@@ -15,7 +16,7 @@ fn main() {
     println!("== chaos injection across generations (seed 0xC0FFEE) ==");
     for (i, cfg) in CoreConfig::all_generations().into_iter().enumerate() {
         let name = cfg.gen;
-        let mut sim = Simulator::new(cfg);
+        let mut sim = SimBuilder::config(cfg).build().unwrap();
         sim.attach_fault_injector(FaultPlan::chaos(0xC0FFEE + i as u64));
         let mut gen = MarkovBranches::new(&MarkovParams::default(), 90, 7 + i as u64);
         match sim.run_slice(&mut gen, SlicePlan::new(2_000, 40_000)) {
@@ -41,7 +42,7 @@ fn main() {
     let mut plan = FaultPlan::none();
     plan.stall_every = 50;
     plan.stall_cycles = 80_000;
-    let mut sim = Simulator::new(CoreConfig::m5());
+    let mut sim = SimBuilder::config(CoreConfig::m5()).build().unwrap();
     sim.attach_fault_injector(plan);
     let mut gen = MarkovBranches::new(&MarkovParams::default(), 91, 11);
     match sim.run_slice(&mut gen, SlicePlan::new(0, 10_000)) {
@@ -56,7 +57,7 @@ fn main() {
 
     println!("\n== determinism: same seed, same outcome ==");
     let fingerprint = |seed: u64| {
-        let mut sim = Simulator::new(CoreConfig::m4());
+        let mut sim = SimBuilder::config(CoreConfig::m4()).build().unwrap();
         sim.attach_fault_injector(FaultPlan::chaos(seed));
         let mut gen = MarkovBranches::new(&MarkovParams::default(), 92, 13);
         let r = sim.run_slice(&mut gen, SlicePlan::new(1_000, 20_000));

@@ -6,6 +6,7 @@
 //! cargo run --release --example generation_sweep
 //! ```
 
+use exynos::core::builder::SimBuilder;
 use exynos::core::config::CoreConfig;
 use exynos::core::sim::Simulator;
 use exynos::trace::{standard_suite, SlicePlan};
@@ -24,7 +25,7 @@ fn main() {
         let mut mpki = 0.0;
         let mut lat = 0.0;
         for slice in &slices {
-            let mut sim = Simulator::new(cfg.clone());
+            let mut sim = SimBuilder::config(cfg.clone()).build().unwrap();
             let mut gen = slice.instantiate();
             let r = sim.run_slice(&mut *gen, SlicePlan::new(4_000, 25_000)).expect("clean example slice");
             ipc += r.ipc;

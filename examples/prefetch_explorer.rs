@@ -8,6 +8,7 @@
 //! cargo run --release --example prefetch_explorer
 //! ```
 
+use exynos::core::builder::SimBuilder;
 use exynos::core::config::CoreConfig;
 use exynos::core::sim::Simulator;
 use exynos::trace::gen::pointer_chase::{PointerChase, PointerChaseParams};
@@ -17,7 +18,7 @@ use exynos::trace::SlicePlan;
 
 fn main() {
     println!("=== Multi-stride engine on the paper's +2x2,+5x1 stream (M3) ===\n");
-    let mut sim = Simulator::new(CoreConfig::m3());
+    let mut sim = SimBuilder::config(CoreConfig::m3()).build().unwrap();
     let mut gen = MultiStride::new(&MultiStrideParams::default(), 0, 1);
     let r = sim.run_slice(&mut gen, SlicePlan::new(5_000, 50_000)).expect("clean example slice");
     let st = sim.memsys().l1_prefetcher().stride_stats();
@@ -31,7 +32,7 @@ fn main() {
         r.avg_load_latency);
 
     println!("\n=== SMS engine on irregular region signatures (M3) ===\n");
-    let mut sim = Simulator::new(CoreConfig::m3());
+    let mut sim = SimBuilder::config(CoreConfig::m3()).build().unwrap();
     let mut gen = SpatialRegions::new(&SpatialParams::default(), 1, 2);
     let r = sim.run_slice(&mut gen, SlicePlan::new(10_000, 50_000)).expect("clean example slice");
     let sms = sim.memsys().l1_prefetcher().sms_stats();
@@ -46,7 +47,7 @@ fn main() {
     println!("\n=== M1 (stride only) vs M3 (+SMS) on the same spatial workload ===\n");
     for cfg in [CoreConfig::m1(), CoreConfig::m3()] {
         let name = cfg.gen;
-        let mut sim = Simulator::new(cfg);
+        let mut sim = SimBuilder::config(cfg).build().unwrap();
         let mut gen = SpatialRegions::new(&SpatialParams::default(), 1, 2);
         let r = sim.run_slice(&mut gen, SlicePlan::new(10_000, 50_000)).expect("clean example slice");
         println!(
@@ -56,7 +57,7 @@ fn main() {
     }
 
     println!("\n=== Standalone L2/L3 prefetcher on a unit-stride stream (M5) ===\n");
-    let mut sim = Simulator::new(CoreConfig::m5());
+    let mut sim = SimBuilder::config(CoreConfig::m5()).build().unwrap();
     let mut gen = MultiStride::new(
         &MultiStrideParams {
             components: vec![StrideComponent { stride: 1, repeat: 1 }],
@@ -70,7 +71,7 @@ fn main() {
     println!("standalone: {:?}", sim.memsys().standalone_stats());
 
     println!("\n=== Speculative DRAM reads on a cache-hostile pointer chase (M5) ===\n");
-    let mut sim = Simulator::new(CoreConfig::m5());
+    let mut sim = SimBuilder::config(CoreConfig::m5()).build().unwrap();
     let mut gen = PointerChase::new(
         &PointerChaseParams {
             working_set: 64 << 20,

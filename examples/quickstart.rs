@@ -5,6 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use exynos::core::builder::SimBuilder;
 use exynos::core::config::CoreConfig;
 use exynos::core::sim::Simulator;
 use exynos::trace::gen::loops::{LoopNest, LoopNestParams};
@@ -13,7 +14,7 @@ use exynos::trace::SlicePlan;
 fn main() {
     // An M5 core (7nm generation: ZAT/ZOT front end, UOC, standalone
     // prefetcher, speculative DRAM reads).
-    let mut sim = Simulator::new(CoreConfig::m5());
+    let mut sim = SimBuilder::config(CoreConfig::m5()).build().unwrap();
 
     // A small, predictable loop kernel — the kind of code the µBTB locks
     // onto and the UOC then supplies without the instruction cache.

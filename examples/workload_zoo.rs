@@ -6,6 +6,7 @@
 //! cargo run --release --example workload_zoo [M1..M6]
 //! ```
 
+use exynos::core::builder::SimBuilder;
 use exynos::core::config::{CoreConfig, Generation};
 use exynos::core::sim::Simulator;
 use exynos::trace::{standard_suite, SlicePlan};
@@ -27,7 +28,7 @@ fn main() {
         "DRAM/kI"
     );
     for slice in standard_suite(1) {
-        let mut sim = Simulator::new(cfg.clone());
+        let mut sim = SimBuilder::config(cfg.clone()).build().unwrap();
         let mut g = slice.instantiate();
         let r = sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000)).expect("clean example slice");
         let l1 = 100.0 * r.mem.l1_hits as f64 / r.mem.loads.max(1) as f64;

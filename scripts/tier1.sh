@@ -26,11 +26,28 @@ cargo run --release -q -p exynos-bench --bin harness -- metrics --quick 2>/dev/n
   | python3 scripts/check_telemetry_schema.py
 
 # Bench smoke: the quick-mode reference sweep must run end to end and
-# leave a well-formed BENCH_sweep.json at the repo root.
+# leave a well-formed BENCH_sweep.json at the repo root. The warm-start
+# keys assert the checkpoint-forked sweep reproduced the cold results.
 cargo run --release -q -p exynos-bench --bin harness -- bench --quick
 test -s BENCH_sweep.json
 if command -v jq >/dev/null 2>&1; then
   jq -e '.schema and .serial.steps_per_sec > 0 and .parallel.steps_per_sec > 0 and .bit_identical == true' BENCH_sweep.json >/dev/null
+  jq -e '.warm.pool_build_s > 0 and .warm.parallel_steps_per_sec > 0 and .warm_equals_cold == true' BENCH_sweep.json >/dev/null
 else
   python3 -m json.tool BENCH_sweep.json >/dev/null
 fi
+
+# Checkpoint round-trip smoke: a resume from an on-disk image must emit
+# byte-identical telemetry to the run that wrote it.
+CKPT_DIR="$(mktemp -d)"
+trap 'rm -rf "$CKPT_DIR"' EXIT
+cargo run --release -q -p exynos-bench --bin harness -- checkpoint "$CKPT_DIR/warm.ckpt" --quick 2>/dev/null > "$CKPT_DIR/a.jsonl"
+cargo run --release -q -p exynos-bench --bin harness -- resume "$CKPT_DIR/warm.ckpt" --quick 2>/dev/null > "$CKPT_DIR/b.jsonl"
+test -s "$CKPT_DIR/a.jsonl"
+cmp "$CKPT_DIR/a.jsonl" "$CKPT_DIR/b.jsonl"
+
+# Format-version gate: the snapshot wire version and the documented one
+# must move together (bump both or neither).
+CODE_VER="$(sed -n 's/^pub const FORMAT_VERSION: u16 = \([0-9]*\);$/\1/p' crates/snapshot/src/lib.rs)"
+test -n "$CODE_VER"
+grep -q "format version: $CODE_VER" DESIGN.md

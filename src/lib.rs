@@ -26,12 +26,12 @@
 //! ## Quickstart
 //!
 //! ```
-//! use exynos::core::config::CoreConfig;
-//! use exynos::core::sim::Simulator;
+//! use exynos::core::builder::SimBuilder;
+//! use exynos::core::config::Generation;
 //! use exynos::trace::gen::loops::{LoopNest, LoopNestParams};
 //! use exynos::trace::SlicePlan;
 //!
-//! let mut sim = Simulator::new(CoreConfig::m5());
+//! let mut sim = SimBuilder::generation(Generation::M5).build().unwrap();
 //! let mut workload = LoopNest::new(&LoopNestParams::default(), 0, 1);
 //! let result = sim
 //!     .run_slice(&mut workload, SlicePlan::new(2_000, 10_000))

@@ -1,5 +1,6 @@
 //! End-to-end integration tests spanning every crate through the facade.
 
+use exynos::core::builder::SimBuilder;
 use exynos::core::config::CoreConfig;
 use exynos::core::sim::Simulator;
 use exynos::secure::context::ContextId;
@@ -12,7 +13,7 @@ fn whole_suite_smoke_on_m1_and_m6() {
     // sane metrics on the first and last generations.
     for cfg in [CoreConfig::m1(), CoreConfig::m6()] {
         for slice in standard_suite(1) {
-            let mut sim = Simulator::new(cfg.clone());
+            let mut sim = SimBuilder::config(cfg.clone()).build().unwrap();
             let mut gen = slice.instantiate();
             let r = sim.run_slice(&mut *gen, SlicePlan::new(1_000, 6_000)).unwrap();
             assert!(r.ipc > 0.0 && r.ipc <= cfg.width as f64 + 1e-9,
@@ -31,7 +32,7 @@ fn all_suite_kinds_have_distinct_behaviour_profiles() {
     let suite = standard_suite(1);
     let run = |kind: SuiteKind| -> f64 {
         let slice = suite.iter().find(|s| s.suite == kind).unwrap();
-        let mut sim = Simulator::new(CoreConfig::m3());
+        let mut sim = SimBuilder::config(CoreConfig::m3()).build().unwrap();
         let mut gen = slice.instantiate();
         sim.run_slice(&mut *gen, SlicePlan::new(2_000, 12_000)).unwrap().ipc
     };
@@ -47,7 +48,7 @@ fn context_switch_scrambles_predictor_state_end_to_end() {
     // CONTEXT_HASH), and confirm return/indirect mispredicts spike — the
     // §V property observed through the full simulator.
     let mk = || WebWorkload::new(&WebParams::default(), 60, 3);
-    let mut sim = Simulator::new(CoreConfig::m4()); // M4 productized CSV2
+    let mut sim = SimBuilder::config(CoreConfig::m4()).build().unwrap(); // M4 productized CSV2
     let mut gen = mk();
     sim.run_slice(&mut gen, SlicePlan::new(0, 60_000)).unwrap();
     let before = sim.frontend().stats().return_mispredicts
@@ -74,7 +75,7 @@ fn mpki_and_ipc_improve_together_on_branchy_code() {
         .find(|s| s.name.starts_with("specint/mk2"))
         .unwrap();
     let run = |cfg: CoreConfig| {
-        let mut sim = Simulator::new(cfg);
+        let mut sim = SimBuilder::config(cfg).build().unwrap();
         let mut gen = slice.instantiate();
         let r = sim.run_slice(&mut *gen, SlicePlan::new(4_000, 25_000)).unwrap();
         (r.mpki, r.ipc)

@@ -2,6 +2,7 @@
 //! switches, predictor-hostile inputs, seeded micro-architectural fault
 //! injection, and the forward-progress watchdog through the full stack.
 
+use exynos::core::builder::SimBuilder;
 use exynos::core::config::CoreConfig;
 use exynos::core::fault::FaultPlan;
 use exynos::core::sim::Simulator;
@@ -23,7 +24,7 @@ fn phase_mix_gaps_are_survived_and_counted() {
         Box::new(MarkovBranches::new(&MarkovParams::default(), 202, 3)),
     ];
     let mut mix = PhaseMix::new(children, 500);
-    let mut sim = Simulator::new(CoreConfig::m5());
+    let mut sim = SimBuilder::config(CoreConfig::m5()).build().unwrap();
     let r = sim.run_slice(&mut mix, SlicePlan::new(2_000, 30_000)).unwrap();
     let gaps = sim.frontend().stats().trace_gaps;
     assert!(gaps >= 30, "phase switches must register as trace gaps: {gaps}");
@@ -34,7 +35,7 @@ fn phase_mix_gaps_are_survived_and_counted() {
 fn rapid_context_switches_never_wedge_the_pipeline() {
     // Re-keying every few thousand instructions (CEASER-style rotation,
     // §V) must degrade gracefully, not break the simulator.
-    let mut sim = Simulator::new(CoreConfig::m5());
+    let mut sim = SimBuilder::config(CoreConfig::m5()).build().unwrap();
     let mut gen = MarkovBranches::new(&MarkovParams::default(), 203, 5);
     let mut last = 0;
     for round in 0..20u16 {
@@ -57,7 +58,7 @@ fn flushing_switches_cost_more_than_rekeying() {
     // End-to-end §V tradeoff: flushing every predictor at each switch
     // yields strictly more mispredicts than CONTEXT_HASH re-keying.
     let run = |flush: bool| -> u64 {
-        let mut sim = Simulator::new(CoreConfig::m4());
+        let mut sim = SimBuilder::config(CoreConfig::m4()).build().unwrap();
         let mut gen = MarkovBranches::new(&MarkovParams::default(), 204, 7);
         for round in 0..8u16 {
             if flush {
@@ -87,7 +88,7 @@ fn parity_branches_stay_hard_on_every_generation() {
     // MPKI curves.
     for cfg in [CoreConfig::m1(), CoreConfig::m6()] {
         let name = cfg.gen;
-        let mut sim = Simulator::new(cfg);
+        let mut sim = SimBuilder::config(cfg).build().unwrap();
         let mut gen = MarkovBranches::new(
             &MarkovParams {
                 sites: 32,
@@ -113,7 +114,7 @@ fn parity_branches_stay_hard_on_every_generation() {
 fn degenerate_workloads_do_not_break_the_model() {
     // Single-line spin (every instruction the same branch).
     use exynos::trace::{BranchInfo, BranchKind, Inst, Reg};
-    let mut sim = Simulator::new(CoreConfig::m6());
+    let mut sim = SimBuilder::config(CoreConfig::m6()).build().unwrap();
     let spin = Inst::branch(
         0x4000_0000,
         BranchInfo {
@@ -142,7 +143,7 @@ fn seeded_chaos_injection_survives_every_generation() {
     // and an Ok run must report sane IPC despite the corruption.
     for (i, cfg) in CoreConfig::all_generations().into_iter().enumerate() {
         let name = cfg.gen;
-        let mut sim = Simulator::new(cfg);
+        let mut sim = SimBuilder::config(cfg).build().unwrap();
         sim.attach_fault_injector(FaultPlan::chaos(0xC0FFEE + i as u64));
         let mut gen = MarkovBranches::new(&MarkovParams::default(), 210, 11 + i as u64);
         match sim.run_slice(&mut gen, SlicePlan::new(2_000, 40_000)) {
@@ -166,7 +167,7 @@ fn seeded_chaos_injection_survives_every_generation() {
 fn chaos_injection_is_deterministic() {
     // Same seed → bit-identical outcome, including the injected faults.
     let run = || {
-        let mut sim = Simulator::new(CoreConfig::m5());
+        let mut sim = SimBuilder::config(CoreConfig::m5()).build().unwrap();
         sim.attach_fault_injector(FaultPlan::chaos(42));
         let mut gen = MarkovBranches::new(&MarkovParams::default(), 211, 13);
         let r = sim.run_slice(&mut gen, SlicePlan::new(1_000, 20_000));
@@ -185,7 +186,7 @@ fn chaos_injection_is_deterministic() {
 fn malformed_records_are_counted_and_skipped() {
     let mut plan = FaultPlan::none();
     plan.malform_inst_every = 100;
-    let mut sim = Simulator::new(CoreConfig::m3());
+    let mut sim = SimBuilder::config(CoreConfig::m3()).build().unwrap();
     sim.attach_fault_injector(plan);
     let mut gen = MultiStride::new(&MultiStrideParams::default(), 212, 17);
     let r = sim
@@ -199,7 +200,7 @@ fn malformed_records_are_counted_and_skipped() {
 fn strict_decode_surfaces_malformed_records_as_typed_errors() {
     let mut plan = FaultPlan::none();
     plan.malform_inst_every = 500;
-    let mut sim = Simulator::new(CoreConfig::m3());
+    let mut sim = SimBuilder::config(CoreConfig::m3()).build().unwrap();
     sim.attach_fault_injector(plan);
     sim.set_strict_decode(true);
     let mut gen = MultiStride::new(&MultiStrideParams::default(), 212, 17);
@@ -223,7 +224,7 @@ fn watchdog_detects_wedged_retirement_with_occupancy_snapshot() {
     let mut plan = FaultPlan::none();
     plan.stall_every = 50;
     plan.stall_cycles = 80_000;
-    let mut sim = Simulator::new(CoreConfig::m5());
+    let mut sim = SimBuilder::config(CoreConfig::m5()).build().unwrap();
     sim.attach_fault_injector(plan);
     let mut gen = MarkovBranches::new(&MarkovParams::default(), 213, 19);
     let err = sim
@@ -250,7 +251,7 @@ fn watchdog_recoveries_decay_with_sustained_progress() {
     let mut plan = FaultPlan::none();
     plan.stall_every = 2_000;
     plan.stall_cycles = 80_000;
-    let mut sim = Simulator::new(CoreConfig::m5());
+    let mut sim = SimBuilder::config(CoreConfig::m5()).build().unwrap();
     sim.attach_fault_injector(plan);
     let mut gen = MarkovBranches::new(&MarkovParams::default(), 214, 23);
     sim.run_slice(&mut gen, SlicePlan::new(0, 20_000))
@@ -263,7 +264,7 @@ fn watchdog_recoveries_decay_with_sustained_progress() {
 fn watchdog_threshold_is_configurable() {
     // A tiny threshold and zero recovery budget: the first legitimate
     // long-latency event already errors out — proving the knob works.
-    let mut sim = Simulator::new(CoreConfig::m1());
+    let mut sim = SimBuilder::config(CoreConfig::m1()).build().unwrap();
     sim.set_watchdog(10, 0);
     let mut gen = PointerChase::new(&PointerChaseParams::default(), 215, 29);
     let err = sim.run_slice(&mut gen, SlicePlan::new(0, 50_000));

@@ -12,6 +12,7 @@
 //! `cargo test -p exynos-telemetry --no-default-features` run covers the
 //! disabled mode's ZST guarantees.
 
+use exynos::core::builder::SimBuilder;
 use exynos::core::config::CoreConfig;
 use exynos::core::sim::{SimStats, Simulator};
 use exynos::telemetry::{Telemetry, TelemetryConfig};
@@ -23,7 +24,7 @@ fn small_tel() -> Telemetry {
 }
 
 fn run_instrumented(cfg: CoreConfig, seed: u64) -> (Simulator, Telemetry) {
-    let mut sim = Simulator::new(cfg);
+    let mut sim = SimBuilder::config(cfg).build().unwrap();
     let mut tel = small_tel();
     let mut gen = LoopNest::new(&LoopNestParams::default(), 7, seed);
     sim.run_slice_with(&mut gen, SlicePlan::new(2_000, 10_000), &mut tel)
@@ -47,7 +48,7 @@ fn assert_stats_bits_equal(a: &SimStats, b: &SimStats) {
 
 #[test]
 fn telemetry_does_not_change_results() {
-    let mut plain = Simulator::new(CoreConfig::m6());
+    let mut plain = SimBuilder::config(CoreConfig::m6()).build().unwrap();
     let mut gen = LoopNest::new(&LoopNestParams::default(), 7, 42);
     let r_plain = plain
         .run_slice(&mut gen, SlicePlan::new(2_000, 10_000))
@@ -58,7 +59,7 @@ fn telemetry_does_not_change_results() {
     assert_stats_bits_equal(&plain.stats(), &instrumented.stats());
     // Every derived f64 must match bit for bit, not approximately.
     let mut i_gen = LoopNest::new(&LoopNestParams::default(), 7, 42);
-    let mut i_sim = Simulator::new(CoreConfig::m6());
+    let mut i_sim = SimBuilder::config(CoreConfig::m6()).build().unwrap();
     let mut tel = small_tel();
     let r_instr = i_sim
         .run_slice_with(&mut i_gen, SlicePlan::new(2_000, 10_000), &mut tel)
@@ -149,7 +150,7 @@ fn epoch_series_grows_with_run_length() {
 
 #[test]
 fn bounded_ring_counts_drops() {
-    let mut sim = Simulator::new(CoreConfig::m6());
+    let mut sim = SimBuilder::config(CoreConfig::m6()).build().unwrap();
     let mut tel = Telemetry::new(TelemetryConfig { epoch_len: 1_000, event_capacity: 8 });
     let mut gen = LoopNest::new(&LoopNestParams::default(), 7, 5);
     sim.run_slice_with(&mut gen, SlicePlan::new(2_000, 10_000), &mut tel)
