@@ -117,6 +117,12 @@ impl WarmPool {
     pub fn bytes(&self) -> usize {
         self.images.iter().map(Vec::len).sum()
     }
+
+    /// Borrow job `i`'s checkpoint image (job order: generation-major,
+    /// slice-minor).
+    pub fn image(&self, i: usize) -> &[u8] {
+        &self.images[i]
+    }
 }
 
 /// Warm one simulator per (generation, slice) job for `warmup`
@@ -134,6 +140,34 @@ pub fn build_warm_pool(scale: usize, warmup: u64, threads: usize) -> WarmPool {
         sim.checkpoint()
     });
     WarmPool { images, scale, warmup }
+}
+
+/// Fallible, cancellable [`build_warm_pool`]: every warming simulator
+/// carries `cancel`, so a deadline or an explicit cancel surfaces as a
+/// typed [`SimError`](exynos_core::SimError) instead of a panic. The
+/// service tier builds its shared pools through this path; the images
+/// are bit-identical to [`build_warm_pool`]'s (the cancel token is
+/// runtime-only state and never reaches a checkpoint).
+pub fn try_build_warm_pool(
+    scale: usize,
+    warmup: u64,
+    threads: usize,
+    cancel: &exynos_core::cancel::CancelToken,
+) -> Result<WarmPool, exynos_core::SimError> {
+    let suite = standard_suite(scale);
+    let gens = CoreConfig::all_generations();
+    let per_gen = suite.len();
+    let images = crate::sweep::run_indexed(gens.len() * per_gen, threads, |i| {
+        let cfg = &gens[i / per_gen];
+        let slice = &suite[i % per_gen];
+        let mut sim = SimBuilder::config(cfg.clone()).cancel_token(cancel.clone()).build()?;
+        let mut gen = slice.instantiate();
+        sim.run_warmup(&mut *gen, warmup)?;
+        Ok(sim.checkpoint())
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, exynos_core::SimError>>()?;
+    Ok(WarmPool { images, scale, warmup })
 }
 
 /// [`run_population_with_threads`], but forking every job from its

@@ -8,4 +8,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod service_runner;
 pub mod sweep;

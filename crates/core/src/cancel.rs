@@ -1,0 +1,109 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between the code
+//! driving a simulation and the code that may need to stop it (a service
+//! worker enforcing a deadline, a test harness killing a job). The step
+//! loop polls the token every [`CANCEL_POLL_PERIOD`] instructions — often
+//! enough that a deadline is honoured within microseconds of wall time,
+//! rarely enough that the hot path pays one relaxed atomic load per
+//! poll window.
+//!
+//! Cancellation is *cooperative*: nothing is torn down asynchronously.
+//! When the poll observes a cancelled token the step returns
+//! [`SimError::Cancelled`](crate::error::SimError::Cancelled) and the
+//! simulator is left in a consistent (checkpointable) state.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How often (in instructions) the step loop polls its token. A power of
+/// two so the check compiles to a mask test.
+pub const CANCEL_POLL_PERIOD: u64 = 256;
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Mutex<Option<Instant>>,
+}
+
+/// Shared cancellation flag plus an optional wall-clock deadline.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token with no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](CancelToken::cancel) has been called (does not
+    /// consider the deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Arm (or re-arm) the wall-clock deadline.
+    pub fn set_deadline(&self, at: Instant) {
+        if let Ok(mut d) = self.inner.deadline.lock() {
+            *d = Some(at);
+        }
+    }
+
+    /// Whether an armed deadline has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        match self.inner.deadline.lock() {
+            Ok(d) => matches!(*d, Some(at) if Instant::now() >= at),
+            Err(_) => false,
+        }
+    }
+
+    /// The poll the step loop performs: cancelled flag or expired
+    /// deadline. Returns `Some(true)` when stopping because the deadline
+    /// passed, `Some(false)` for an explicit cancel, `None` to continue.
+    pub fn should_stop(&self) -> Option<bool> {
+        if self.is_cancelled() {
+            return Some(false);
+        }
+        if self.deadline_exceeded() {
+            return Some(true);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(a.should_stop().is_none());
+        b.cancel();
+        assert!(a.is_cancelled());
+        assert_eq!(a.should_stop(), Some(false));
+    }
+
+    #[test]
+    fn deadline_trips_after_expiry() {
+        let t = CancelToken::new();
+        t.set_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(t.should_stop().is_none());
+        t.set_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.deadline_exceeded());
+        assert_eq!(t.should_stop(), Some(true));
+        // An explicit cancel takes precedence in the report.
+        t.cancel();
+        assert_eq!(t.should_stop(), Some(false));
+    }
+}

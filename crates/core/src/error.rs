@@ -112,6 +112,59 @@ pub enum SimError {
         /// Underlying decode error rendered as text.
         detail: String,
     },
+    /// A construction-time parameter was out of range. Raised by
+    /// [`SimBuilder`](crate::builder::SimBuilder) validation (fault
+    /// probabilities outside `[0, 1]`, inconsistent stall knobs, a
+    /// zero-cycle watchdog threshold) and by service-layer job specs.
+    Config {
+        /// Which parameter was rejected.
+        param: &'static str,
+        /// Why it was rejected, including the offending value.
+        detail: String,
+    },
+    /// The run was stopped by a [`CancelToken`](crate::cancel::CancelToken)
+    /// before completing — either an explicit cancel or an expired
+    /// deadline. The simulator remains consistent and checkpointable.
+    Cancelled {
+        /// Instructions retired before the cancellation was observed.
+        instructions: u64,
+        /// `true` when the stop came from an expired deadline rather
+        /// than an explicit cancel call.
+        deadline: bool,
+    },
+}
+
+impl SimError {
+    /// Whether a fresh attempt of the same run could plausibly succeed.
+    ///
+    /// Transient-by-nature failures — predictor-state corruption (the
+    /// soft-error model), watchdog-exhausted stalls, and resource
+    /// invariant trips — are worth retrying; a malformed trace record,
+    /// a rejected checkpoint image, a bad configuration, or an explicit
+    /// cancellation will fail identically every time.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SimError::PredictorCorruption { .. }
+                | SimError::ForwardProgressStall { .. }
+                | SimError::ResourceInvariant { .. }
+        )
+    }
+
+    /// Stable machine-readable label for the variant, used by the
+    /// service protocol and journal.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::MalformedInst { .. } => "malformed_inst",
+            SimError::ResourceInvariant { .. } => "resource_invariant",
+            SimError::PredictorCorruption { .. } => "predictor_corruption",
+            SimError::ForwardProgressStall { .. } => "forward_progress_stall",
+            SimError::SnapshotDecode { .. } => "snapshot_decode",
+            SimError::Config { .. } => "config",
+            SimError::Cancelled { deadline: true, .. } => "deadline",
+            SimError::Cancelled { deadline: false, .. } => "cancelled",
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -135,6 +188,13 @@ impl fmt::Display for SimError {
             }
             SimError::SnapshotDecode { detail } => {
                 write!(f, "checkpoint image rejected: {detail}")
+            }
+            SimError::Config { param, detail } => {
+                write!(f, "invalid configuration for {param}: {detail}")
+            }
+            SimError::Cancelled { instructions, deadline } => {
+                let why = if *deadline { "deadline expired" } else { "cancelled" };
+                write!(f, "run {why} after {instructions} instructions")
             }
         }
     }
@@ -194,10 +254,60 @@ mod tests {
                 snapshot: snap,
             },
             SimError::SnapshotDecode { detail: "bad magic".into() },
+            SimError::Config { param: "fault.rate", detail: "1.5 not in [0,1]".into() },
+            SimError::Cancelled { instructions: 512, deadline: true },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn retryability_partitions_the_variants() {
+        let snap = OccupancySnapshot {
+            rob: 0,
+            rob_capacity: 1,
+            int_inflight: 0,
+            fp_inflight: 0,
+            mshr_occupancy: 0,
+            mshr_capacity: 1,
+            uoc_mode: None,
+            uoc_occupancy: 0,
+            fetch_cycle: 0,
+            last_retire: 0,
+        };
+        let retryable = [
+            SimError::PredictorCorruption { unit: "branch", pc: 0, detail: String::new() },
+            SimError::ResourceInvariant { resource: "mab", detail: String::new() },
+            SimError::ForwardProgressStall {
+                cycle: 0,
+                stalled_cycles: 0,
+                recoveries: 0,
+                snapshot: snap,
+            },
+        ];
+        let terminal = [
+            SimError::MalformedInst { pc: 0, kind: InstKind::Load, reason: "" },
+            SimError::SnapshotDecode { detail: String::new() },
+            SimError::Config { param: "x", detail: String::new() },
+            SimError::Cancelled { instructions: 0, deadline: false },
+        ];
+        for e in retryable {
+            assert!(e.is_retryable(), "{e}");
+        }
+        for e in terminal {
+            assert!(!e.is_retryable(), "{e}");
+        }
+    }
+
+    #[test]
+    fn kind_labels_distinguish_deadline_from_cancel() {
+        assert_eq!(SimError::Cancelled { instructions: 0, deadline: true }.kind(), "deadline");
+        assert_eq!(SimError::Cancelled { instructions: 0, deadline: false }.kind(), "cancelled");
+        assert_eq!(
+            SimError::Config { param: "x", detail: String::new() }.kind(),
+            "config"
+        );
     }
 
     #[test]

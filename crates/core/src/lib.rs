@@ -12,7 +12,9 @@
 //!   [`Simulator::resume`];
 //! * [`error`] — the typed failure model ([`SimError`], occupancy
 //!   snapshots) shared by every layer;
-//! * [`fault`] — the deterministic fault-injection harness.
+//! * [`fault`] — the deterministic fault-injection harness;
+//! * [`cancel`] — cooperative cancellation tokens (deadlines) polled by
+//!   the step loop.
 //!
 //! ## Example
 //!
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod cancel;
 pub mod config;
 pub mod error;
 pub mod fault;
@@ -42,8 +45,9 @@ pub mod ports;
 pub mod sim;
 
 pub use builder::SimBuilder;
+pub use cancel::CancelToken;
 pub use config::{CoreConfig, Generation};
 pub use error::{OccupancySnapshot, SimError};
-pub use fault::{FaultInjector, FaultPlan, FaultStats};
+pub use fault::{FaultInjector, FaultPlan, FaultRates, FaultStats};
 pub use memsys::{MemStats, MemSystem};
 pub use sim::{run_slice_on, SimStats, Simulator, SliceResult};

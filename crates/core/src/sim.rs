@@ -18,6 +18,7 @@
 //! limitation); the Table I mispredict penalty plus resolution delay
 //! provides the redirect cost.
 
+use crate::cancel::CancelToken;
 use crate::config::CoreConfig;
 use crate::error::{OccupancySnapshot, SimError};
 use crate::fault::{FaultFiring, FaultInjector, FaultPlan, FaultStats};
@@ -173,6 +174,9 @@ pub struct Simulator {
     watchdog: Watchdog,
     strict_decode: bool,
     consecutive_corruptions: u32,
+    // Runtime attachment, never serialized: a resumed simulator starts
+    // with no token and the driving layer re-attaches its own.
+    cancel: Option<CancelToken>,
 }
 
 impl Simulator {
@@ -218,6 +222,7 @@ impl Simulator {
             watchdog: Watchdog::default(),
             strict_decode: false,
             consecutive_corruptions: 0,
+            cancel: None,
             cfg,
         }
     }
@@ -240,6 +245,20 @@ impl Simulator {
     pub fn set_watchdog(&mut self, threshold: u64, max_recoveries: u32) {
         self.watchdog.threshold = threshold.max(1);
         self.watchdog.max_recoveries = max_recoveries;
+    }
+
+    /// Attach a cooperative cancellation token. The step loop polls it
+    /// every [`CANCEL_POLL_PERIOD`](crate::cancel::CANCEL_POLL_PERIOD)
+    /// instructions; a cancelled token (or expired deadline) ends the
+    /// run with [`SimError::Cancelled`], leaving the simulator
+    /// consistent and checkpointable.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Detach the cancellation token, if any.
+    pub fn clear_cancel_token(&mut self) {
+        self.cancel = None;
     }
 
     /// In strict mode a malformed trace record ends the run with
@@ -397,6 +416,19 @@ impl Simulator {
     }
 
     fn step_impl(&mut self, inst: &Inst, tel: Option<&mut Telemetry>) -> Result<u64, SimError> {
+        // Cooperative cancellation: one relaxed-load poll per
+        // CANCEL_POLL_PERIOD instructions keeps deadline enforcement off
+        // the per-step critical path.
+        if let Some(tok) = &self.cancel {
+            if self.stats.instructions & (crate::cancel::CANCEL_POLL_PERIOD - 1) == 0 {
+                if let Some(deadline) = tok.should_stop() {
+                    return Err(SimError::Cancelled {
+                        instructions: self.stats.instructions,
+                        deadline,
+                    });
+                }
+            }
+        }
         // Snapshot stat counters so post-step deltas become events. Only
         // paid when a sink is attached AND the telemetry feature is on.
         let probe = match tel {

@@ -1,0 +1,175 @@
+//! Per-configuration circuit breaker.
+//!
+//! A job spec whose runs repeatedly exhaust the watchdog's degradation
+//! ladder is burning a worker for the full deadline every time it is
+//! submitted. After `trip_threshold` *consecutive* watchdog-class final
+//! failures of the same [`config key`](crate::job::JobSpec::config_key),
+//! the breaker opens: further submissions of that configuration are
+//! refused with a typed `Quarantined` response, costing microseconds
+//! instead of a wedged worker.
+//!
+//! The breaker half-opens on service progress rather than wall time
+//! (nothing in this stack consults a clock it doesn't have to): once
+//! `cooldown_jobs` jobs of *any* configuration complete after the trip,
+//! the next submission of the quarantined key is admitted as a probe.
+//! A successful probe closes the breaker; a watchdog failure re-opens
+//! it for another cooldown.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    consecutive_watchdog: u32,
+    /// `Some(completion count at trip)` while open.
+    tripped_at: Option<u64>,
+    /// A probe is in flight; further submissions stay refused.
+    probing: bool,
+}
+
+/// Why a submission was refused by the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quarantined {
+    /// Config key that is quarantined.
+    pub key: u64,
+    /// Consecutive watchdog failures that opened the breaker.
+    pub failures: u32,
+}
+
+/// The breaker itself; one per engine.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    trip_threshold: u32,
+    cooldown_jobs: u64,
+    completions: AtomicU64,
+    entries: Mutex<HashMap<u64, Entry>>,
+}
+
+fn lock(m: &Mutex<HashMap<u64, Entry>>) -> std::sync::MutexGuard<'_, HashMap<u64, Entry>> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl CircuitBreaker {
+    /// A breaker opening after `trip_threshold` consecutive watchdog
+    /// failures and half-opening after `cooldown_jobs` completions.
+    pub fn new(trip_threshold: u32, cooldown_jobs: u64) -> CircuitBreaker {
+        CircuitBreaker {
+            trip_threshold: trip_threshold.max(1),
+            cooldown_jobs,
+            completions: AtomicU64::new(0),
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Admission check at submission time.
+    pub fn admit(&self, key: u64) -> Result<(), Quarantined> {
+        let mut entries = lock(&self.entries);
+        let Some(e) = entries.get_mut(&key) else { return Ok(()) };
+        let Some(tripped_at) = e.tripped_at else { return Ok(()) };
+        if e.probing {
+            return Err(Quarantined { key, failures: e.consecutive_watchdog });
+        }
+        let now = self.completions.load(Ordering::Acquire);
+        if now.saturating_sub(tripped_at) >= self.cooldown_jobs {
+            // Half-open: admit exactly one probe.
+            e.probing = true;
+            return Ok(());
+        }
+        Err(Quarantined { key, failures: e.consecutive_watchdog })
+    }
+
+    /// A job of `key` completed successfully: close the breaker for it
+    /// and advance the global completion clock.
+    pub fn record_success(&self, key: u64) {
+        lock(&self.entries).remove(&key);
+        self.completions.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// A job of `key` ended with a watchdog-class final failure.
+    pub fn record_watchdog_failure(&self, key: u64) {
+        let mut entries = lock(&self.entries);
+        let e = entries.entry(key).or_default();
+        e.consecutive_watchdog += 1;
+        e.probing = false;
+        if e.consecutive_watchdog >= self.trip_threshold {
+            e.tripped_at = Some(self.completions.load(Ordering::Acquire));
+        }
+        drop(entries);
+        self.completions.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// A job of `key` ended with a non-watchdog final failure: breaks
+    /// the consecutive-watchdog streak but never trips the breaker.
+    pub fn record_other_failure(&self, key: u64) {
+        let mut entries = lock(&self.entries);
+        if let Some(e) = entries.get_mut(&key) {
+            if e.tripped_at.is_none() {
+                entries.remove(&key);
+            } else {
+                // Still quarantined; a failed probe of a different error
+                // class keeps the breaker open.
+                e.probing = false;
+            }
+        }
+        drop(entries);
+        self.completions.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Currently quarantined configuration count.
+    pub fn open_count(&self) -> usize {
+        lock(&self.entries).values().filter(|e| e.tripped_at.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_consecutive_watchdog_failures() {
+        let b = CircuitBreaker::new(3, 2);
+        assert!(b.admit(9).is_ok());
+        b.record_watchdog_failure(9);
+        b.record_watchdog_failure(9);
+        assert!(b.admit(9).is_ok(), "below threshold");
+        b.record_watchdog_failure(9);
+        let q = b.admit(9).unwrap_err();
+        assert_eq!(q.failures, 3);
+        assert_eq!(b.open_count(), 1);
+        // Other keys are unaffected.
+        assert!(b.admit(10).is_ok());
+    }
+
+    #[test]
+    fn success_breaks_the_streak() {
+        let b = CircuitBreaker::new(2, 1);
+        b.record_watchdog_failure(5);
+        b.record_success(5);
+        b.record_watchdog_failure(5);
+        assert!(b.admit(5).is_ok(), "streak reset by success");
+    }
+
+    #[test]
+    fn half_open_probe_closes_or_reopens() {
+        let b = CircuitBreaker::new(1, 2);
+        b.record_watchdog_failure(7);
+        assert!(b.admit(7).is_err(), "open immediately");
+        // Service-wide progress reaches the cooldown.
+        b.record_success(1);
+        b.record_success(2);
+        assert!(b.admit(7).is_ok(), "half-open admits one probe");
+        assert!(b.admit(7).is_err(), "only one probe at a time");
+        // Probe fails with a watchdog error: re-opens for a new cooldown.
+        b.record_watchdog_failure(7);
+        assert!(b.admit(7).is_err());
+        b.record_success(1);
+        b.record_success(2);
+        assert!(b.admit(7).is_ok());
+        // This probe succeeds: fully closed.
+        b.record_success(7);
+        assert!(b.admit(7).is_ok());
+        assert!(b.admit(7).is_ok());
+        assert_eq!(b.open_count(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # exynos-service — sweep-as-a-service with a robustness envelope
+//!
+//! The ROADMAP's "millions of users, heavy traffic" north star needs
+//! more than a fast simulator: it needs a job tier that *degrades
+//! gracefully*. This crate is that tier, std-only (hand-rolled JSON, no
+//! new dependencies), built from the repo's own robustness primitives:
+//!
+//! * [`job`] — deterministic job specs (sweep / metrics / trace /
+//!   checkpoint), the [`JobRunner`](job::JobRunner) contract, canonical
+//!   encoding shared by protocol, journal, and circuit-breaker key;
+//! * [`queue`] — bounded admission with typed `Overloaded` shedding;
+//! * [`breaker`] — per-configuration quarantine for specs that
+//!   repeatedly exhaust the watchdog ladder;
+//! * [`engine`] — workers on top of the queue, per-job deadlines via
+//!   [`CancelToken`](exynos_core::cancel::CancelToken) (polled in the
+//!   core step loop), retry with exponential backoff for retryable
+//!   [`SimError`](exynos_core::error::SimError)s, a write-ahead job
+//!   journal ([`exynos_snapshot::journal`]) for crash recovery, and
+//!   graceful drain;
+//! * [`protocol`] / [`socket`] — the line/JSON wire format over a unix
+//!   domain socket, plus the one-shot client used by `harness call`;
+//! * [`json`] — the minimal parser/emitter backing all of the above.
+//!
+//! The engine's ops surface is the telemetry
+//! [`MetricsRegistry`](exynos_telemetry::MetricsRegistry) (queue depth,
+//! retries, sheds, deadline misses, breaker state); a plain-atomics
+//! counter snapshot remains available when telemetry is compiled out.
+//!
+//! Everything a job does is deterministic — no wall clock reaches a
+//! payload — which is what upgrades the journal from audit log to
+//! recovery mechanism: replaying an incomplete job after `kill -9`
+//! produces a byte-identical result.
+
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod engine;
+pub mod job;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod socket;
+
+pub use engine::{Engine, JobStatus, ServiceConfig, SubmitError};
+pub use job::{JobId, JobKind, JobRunner, JobSpec, JobState};

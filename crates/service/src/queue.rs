@@ -1,0 +1,115 @@
+//! Bounded MPMC job queue with load shedding.
+//!
+//! Backpressure is a *typed response*, not an unbounded buffer: when the
+//! queue is at capacity, [`BoundedQueue::try_push`] refuses and the
+//! engine answers the client with `Overloaded` and the current depth.
+//! Retries of already-admitted jobs re-enter through
+//! [`BoundedQueue::push_force`] — admission control happens once, at
+//! submission, so a retry can never be shed by traffic that arrived
+//! after it.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// FIFO queue refusing pushes beyond `capacity`.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    items: Mutex<VecDeque<T>>,
+    ready: Condvar,
+}
+
+/// The queue was full; carries the depth observed at rejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// Items queued when the push was refused.
+    pub depth: usize,
+}
+
+fn lock<'a, T>(m: &'a Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'a, VecDeque<T>> {
+    // A poisoned queue mutex means a worker panicked mid-push/pop; the
+    // queue itself (a VecDeque of ids) is still structurally sound.
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            capacity: capacity.max(1),
+            items: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admission-controlled push: refuses when full.
+    pub fn try_push(&self, item: T) -> Result<(), QueueFull> {
+        let mut q = lock(&self.items);
+        if q.len() >= self.capacity {
+            return Err(QueueFull { depth: q.len() });
+        }
+        q.push_back(item);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Capacity-exempt push for retries and journal recovery.
+    pub fn push_force(&self, item: T) {
+        lock(&self.items).push_back(item);
+        self.ready.notify_one();
+    }
+
+    /// Pop the oldest item, waiting up to `timeout` for one to arrive.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut q = lock(&self.items);
+        if let Some(item) = q.pop_front() {
+            return Some(item);
+        }
+        let mut q = match self.ready.wait_timeout(q, timeout) {
+            Ok((guard, _)) => guard,
+            Err(poisoned) => poisoned.into_inner().0,
+        };
+        q.pop_front()
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        lock(&self.items).len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheds_at_capacity_but_force_push_bypasses() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(QueueFull { depth: 2 }));
+        q.push_force(4);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(2));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(4));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn pop_wakes_on_cross_thread_push() {
+        let q = std::sync::Arc::new(BoundedQueue::new(4));
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push_force(42);
+        assert_eq!(t.join().ok().flatten(), Some(42));
+    }
+}

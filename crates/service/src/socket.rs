@@ -1,0 +1,90 @@
+//! Unix-domain-socket transport: the serve loop and a one-shot client.
+//!
+//! The listener runs non-blocking so the accept loop can interleave
+//! shutdown polling; each accepted connection gets a blocking
+//! thread-per-connection handler (connection counts here are ops
+//! tooling, not end-user traffic). When a client issues `shutdown`, the
+//! accept loop stops accepting, drains the engine (bounded), removes
+//! the socket file, and returns.
+
+use crate::engine::Engine;
+use crate::protocol;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a graceful drain may take before workers are stopped anyway.
+pub const DRAIN_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Serve `engine` on a unix socket at `path` until a client requests
+/// shutdown. Replaces any stale socket file at `path`.
+pub fn serve(engine: Engine, path: &Path) -> std::io::Result<bool> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let engine = Arc::new(engine);
+    loop {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let _ = handle_conn(&engine, stream);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if engine.shutdown_requested() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(path);
+                return Err(e);
+            }
+        }
+    }
+    let drained = engine.drain(DRAIN_TIMEOUT);
+    let _ = std::fs::remove_file(path);
+    Ok(drained)
+}
+
+fn handle_conn(engine: &Engine, stream: UnixStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut resp = protocol::handle_line(engine, &line);
+        resp.push('\n');
+        writer.write_all(resp.as_bytes())?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// One-shot client: connect, send one request line, read one response
+/// line. `timeout` bounds both the connect-side I/O waits.
+pub fn call(path: &Path, request: &str, timeout: Duration) -> std::io::Result<String> {
+    let stream = UnixStream::connect(path)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(request.trim().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if line.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection without responding",
+        ));
+    }
+    Ok(line.trim_end().to_owned())
+}

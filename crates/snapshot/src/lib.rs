@@ -40,6 +40,8 @@ pub const MAGIC: u32 = 0x5359_5845;
 /// Current encoder format version. Decoders accept exactly this version.
 pub const FORMAT_VERSION: u16 = 1;
 
+pub mod journal;
+
 /// The central registry of per-component section tags. Tags are grouped
 /// by crate so a hex dump localizes a decode failure to a subsystem.
 pub mod tags {

@@ -33,6 +33,9 @@ test -s BENCH_sweep.json
 if command -v jq >/dev/null 2>&1; then
   jq -e '.schema and .serial.steps_per_sec > 0 and .parallel.steps_per_sec > 0 and .bit_identical == true' BENCH_sweep.json >/dev/null
   jq -e '.warm.pool_build_s > 0 and .warm.parallel_steps_per_sec > 0 and .warm_equals_cold == true' BENCH_sweep.json >/dev/null
+  # The comparison pass must record its mode honestly: a host without
+  # real parallelism runs (and labels) a serial fallback.
+  jq -e '(.mode == "parallel" and .threads > 1) or (.mode == "serial-fallback" and .threads == 1)' BENCH_sweep.json >/dev/null
 else
   python3 -m json.tool BENCH_sweep.json >/dev/null
 fi
@@ -40,11 +43,83 @@ fi
 # Checkpoint round-trip smoke: a resume from an on-disk image must emit
 # byte-identical telemetry to the run that wrote it.
 CKPT_DIR="$(mktemp -d)"
-trap 'rm -rf "$CKPT_DIR"' EXIT
+SVC_DIR="$(mktemp -d)"
+SERVER_PID=0
+# (kill -9 0 would signal the whole process group, so guard the pid.)
+trap 'if [ "$SERVER_PID" != 0 ]; then kill -9 "$SERVER_PID" 2>/dev/null || true; fi; rm -rf "$CKPT_DIR" "$SVC_DIR"' EXIT
 cargo run --release -q -p exynos-bench --bin harness -- checkpoint "$CKPT_DIR/warm.ckpt" --quick 2>/dev/null > "$CKPT_DIR/a.jsonl"
 cargo run --release -q -p exynos-bench --bin harness -- resume "$CKPT_DIR/warm.ckpt" --quick 2>/dev/null > "$CKPT_DIR/b.jsonl"
 test -s "$CKPT_DIR/a.jsonl"
 cmp "$CKPT_DIR/a.jsonl" "$CKPT_DIR/b.jsonl"
+
+# Service smoke: start the resilient job tier, run a job through the
+# wire protocol, kill -9 the server mid-job, restart it on the same
+# journal, and verify the recovered result is byte-identical to an
+# uninterrupted run of the same spec. Then shut down gracefully.
+HARNESS=target/release/harness
+SOCK="$SVC_DIR/svc.sock"
+WAL="$SVC_DIR/jobs.wal"
+
+svc_call() { "$HARNESS" call "$1" --socket "$SOCK"; }
+svc_field() { python3 -c "import json,sys; print(json.load(sys.stdin)[\"$1\"])"; }
+
+svc_wait_up() {
+  for _ in $(seq 1 100); do
+    if svc_call '{"cmd":"ping"}' >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "tier1: service did not come up on $SOCK" >&2
+  return 1
+}
+
+svc_wait_terminal() { # job id, timeout seconds
+  local id="$1" tries=$(( $2 * 10 )) state=""
+  for _ in $(seq 1 "$tries"); do
+    state="$(svc_call "{\"cmd\":\"status\",\"id\":$id}" | svc_field state)"
+    case "$state" in completed|failed) echo "$state"; return 0 ;; esac
+    sleep 0.1
+  done
+  echo "tier1: job $id hung (last state: $state)" >&2
+  return 1
+}
+
+"$HARNESS" serve --socket "$SOCK" --journal "$WAL" --workers 2 --queue 8 \
+  2>"$SVC_DIR/server_a.log" &
+SERVER_PID=$!
+svc_wait_up
+
+# A quick job end to end over the socket.
+QUICK_ID="$(svc_call '{"cmd":"submit","job":{"kind":"checkpoint","gen":"m6","warmup":2000}}' | svc_field id)"
+test "$(svc_wait_terminal "$QUICK_ID" 60)" = completed
+
+# A longer sweep, then kill -9 mid-job. (If the job wins the race and
+# completes first, the restart serves the journaled result — the
+# byte-identity check below holds either way.)
+SWEEP_JOB='{"cmd":"submit","job":{"kind":"sweep","scale":1,"warmup":20000,"detail":10000,"threads":1}}'
+VICTIM_ID="$(svc_call "$SWEEP_JOB" | svc_field id)"
+sleep 0.4
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+
+# Restart on the same journal: the victim job must finish and match a
+# fresh, uninterrupted run of the identical spec byte for byte.
+"$HARNESS" serve --socket "$SOCK" --journal "$WAL" --workers 2 --queue 8 \
+  2>"$SVC_DIR/server_b.log" &
+SERVER_PID=$!
+svc_wait_up
+test "$(svc_wait_terminal "$VICTIM_ID" 120)" = completed
+svc_call "{\"cmd\":\"result\",\"id\":$VICTIM_ID}" | svc_field payload > "$SVC_DIR/recovered.json"
+FRESH_ID="$(svc_call "$SWEEP_JOB" | svc_field id)"
+test "$(svc_wait_terminal "$FRESH_ID" 120)" = completed
+svc_call "{\"cmd\":\"result\",\"id\":$FRESH_ID}" | svc_field payload > "$SVC_DIR/fresh.json"
+test -s "$SVC_DIR/recovered.json"
+cmp "$SVC_DIR/recovered.json" "$SVC_DIR/fresh.json"
+
+# Graceful shutdown drains and removes the socket.
+svc_call '{"cmd":"shutdown"}' >/dev/null
+wait "$SERVER_PID"
+SERVER_PID=0
+test ! -e "$SOCK"
 
 # Format-version gate: the snapshot wire version and the documented one
 # must move together (bump both or neither).

@@ -21,7 +21,11 @@
 //! * [`telemetry`] — the metrics registry, epoch time-series and pipeline
 //!   event trace behind `Simulator::run_slice_with` and the harness's
 //!   `metrics`/`trace` subcommands (compiles to no-ops without the
-//!   `telemetry` feature).
+//!   `telemetry` feature);
+//! * [`service`] — the resilient sweep-as-a-service job tier behind
+//!   `harness serve`: deadlines, retry/backoff, backpressure, circuit
+//!   breaking and write-ahead-journal crash recovery (see DESIGN.md,
+//!   "Service tier & failure model").
 //!
 //! ## Quickstart
 //!
@@ -48,6 +52,7 @@ pub use exynos_dram as dram;
 pub use exynos_mem as mem;
 pub use exynos_prefetch as prefetch;
 pub use exynos_secure as secure;
+pub use exynos_service as service;
 pub use exynos_telemetry as telemetry;
 pub use exynos_trace as trace;
 pub use exynos_uoc as uoc;

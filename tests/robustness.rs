@@ -5,7 +5,6 @@
 use exynos::core::builder::SimBuilder;
 use exynos::core::config::CoreConfig;
 use exynos::core::fault::FaultPlan;
-use exynos::core::sim::Simulator;
 use exynos::core::SimError;
 use exynos::secure::context::ContextId;
 use exynos::trace::gen::markov::{MarkovBranches, MarkovMode, MarkovParams};
@@ -258,6 +257,75 @@ fn watchdog_recoveries_decay_with_sustained_progress() {
         .expect("isolated stalls must never abort the run");
     assert_eq!(sim.stats().watchdog_events, 10, "one event per firing");
     assert_eq!(sim.stats().watchdog_recoveries, 10, "every event recovered");
+}
+
+#[test]
+fn watchdog_ladder_fires_in_order_on_every_generation() {
+    // Soak the full degradation ladder across m1–m6: under a sustained
+    // retirement wedge the rungs must fire in escalation order (flush
+    // predictors → also demote the UOC to FilterMode → also re-key the
+    // context cipher), the fourth event must surface the typed error,
+    // and with the wedge removed the same simulator must resume forward
+    // progress. No panics anywhere.
+    use exynos::telemetry::{PipelineEvent, Telemetry, TelemetryConfig};
+
+    for (i, cfg) in CoreConfig::all_generations().into_iter().enumerate() {
+        let name = cfg.gen;
+        let has_uoc = cfg.uoc.is_some();
+        let mut plan = FaultPlan::none();
+        plan.stall_every = 50;
+        plan.stall_cycles = 80_000;
+        let mut sim = SimBuilder::config(cfg).build().unwrap();
+        sim.attach_fault_injector(plan);
+        let mut gen = MarkovBranches::new(&MarkovParams::default(), 216, 31 + i as u64);
+        let mut tel = Telemetry::new(TelemetryConfig { epoch_len: 5_000, event_capacity: 1 << 14 });
+        let err = sim
+            .run_slice_with(&mut gen, SlicePlan::new(0, 10_000), &mut tel)
+            .expect_err("a persistent wedge must exhaust the ladder");
+        match err {
+            SimError::ForwardProgressStall { recoveries, .. } => {
+                assert_eq!(recoveries, 3, "{name}: full ladder spent before erroring");
+            }
+            other => panic!("{name}: wrong error: {other}"),
+        }
+        assert_eq!(sim.stats().watchdog_events, 4, "{name}: 3 recovered + 1 fatal");
+        assert_eq!(sim.stats().watchdog_recoveries, 3, "{name}");
+        if Telemetry::ACTIVE {
+            // The trip events record which rung each recovery applied;
+            // they must appear exactly once each, in escalation order.
+            let mut rungs = Vec::new();
+            tel.events().for_each(&mut |r| {
+                if let PipelineEvent::WatchdogTrip { rung, .. } = r.event {
+                    rungs.push(rung);
+                }
+            });
+            assert_eq!(rungs, vec![0, 1, 2], "{name}: ladder order");
+        }
+        if has_uoc {
+            // Rung 1 demoted the UOC: its state loss is visible as zero
+            // further supply only after demotion, which the soak can't
+            // observe mid-run — but the demotion must not have broken
+            // the machine; checked by the resume below.
+            assert!(name == exynos::Generation::M5 || name == exynos::Generation::M6);
+        }
+
+        // Remove the wedge, grant fresh recovery budget (the operator
+        // move the service tier automates), and keep going on the SAME
+        // simulator. Completions stalled before the error are still in
+        // flight, so the ladder may fire a few residual times — but it
+        // must recover them all and the run must retire every
+        // instruction without erroring.
+        sim.attach_fault_injector(FaultPlan::none());
+        sim.set_watchdog(50_000, 10);
+        let before = sim.stats().instructions;
+        let r = sim
+            .run_slice(&mut gen, SlicePlan::new(0, 5_000))
+            .unwrap_or_else(|e| panic!("{name}: progress must resume after the wedge clears: {e}"));
+        assert!(r.ipc > 0.0, "{name}: resumed IPC {}", r.ipc);
+        assert_eq!(sim.stats().instructions, before + 5_000, "{name}: forward progress");
+        let residual = sim.stats().watchdog_events - 4;
+        assert!(residual <= 4, "{name}: only inflight wedges may still trip: {residual}");
+    }
 }
 
 #[test]
