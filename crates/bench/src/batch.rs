@@ -1,0 +1,224 @@
+//! Batched lockstep sweep engine.
+//!
+//! A population sweep runs every generation (M1..M6) over the *same*
+//! workload slice, and trace generators are pure functions of
+//! `(SliceSpec, seed)` — so all members of one (slice) group consume an
+//! identical instruction stream. The scalar engine regenerates that
+//! stream once per member; a [`PopulationBatch`] decodes each chunk of
+//! records **once** and steps every member over the shared slice of
+//! decoded records, amortizing generation/decode across the group.
+//!
+//! Correctness is anchored on a simple identity: simulators share no
+//! mutable state, and feeding each member the exact record sequence it
+//! would have generated itself — in chunk-major, member-minor order —
+//! performs the very same `Simulator::step` calls the scalar path does,
+//! in the same per-member order. Results are therefore **bit-identical**
+//! to the scalar engine for any member count and chunk size; the
+//! `batch_determinism` integration test and the `bench` subcommand's
+//! hard gate both assert it.
+//!
+//! The lockstep invariant also makes the members' *architectural*
+//! predictor inputs (global/path history) identical at every step, which
+//! is what the structure-of-arrays probe paths in the component crates
+//! exploit: [`exynos_branch::shp::predict_batch`] computes one row-index
+//! set per SHP geometry group and reuses it for every member's
+//! dot-product. [`PopulationBatch::probe`] bundles those batch probes.
+
+use exynos_branch::btb::BtbEntry;
+use exynos_branch::shp::ShpPrediction;
+use exynos_branch::ubtb::UbtbPrediction;
+use exynos_core::batch::{InstChunk, CHUNK_LEN};
+use exynos_core::sim::{Simulator, SliceMeasure, SliceResult};
+use exynos_core::SimError;
+use exynos_trace::{SlicePlan, TraceGen};
+
+/// A same-trace group of simulators advanced in lockstep over one shared
+/// decoded record stream.
+#[derive(Debug, Default)]
+pub struct PopulationBatch {
+    members: Vec<Simulator>,
+    chunk: InstChunk,
+}
+
+impl PopulationBatch {
+    /// An empty batch; add members with [`PopulationBatch::push`].
+    pub fn new() -> PopulationBatch {
+        PopulationBatch { members: Vec::new(), chunk: InstChunk::new() }
+    }
+
+    /// Add a member. Members must all be fed the same trace — the caller
+    /// guarantees they belong to the same (slice, seed) group.
+    pub fn push(&mut self, sim: Simulator) {
+        self.members.push(sim);
+    }
+
+    /// Number of members (the batch width).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the batch has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Borrow the members, in insertion order.
+    pub fn members(&self) -> &[Simulator] {
+        &self.members
+    }
+
+    /// Take the members back out, in insertion order.
+    pub fn into_members(self) -> Vec<Simulator> {
+        self.members
+    }
+
+    /// Advance every member `n` instructions in lockstep: refill the
+    /// shared chunk from `gen` (at most [`CHUNK_LEN`] records), then run
+    /// each member over the decoded slice. Per member this performs
+    /// exactly the `step` sequence a private generator would have.
+    pub fn run_lockstep(&mut self, gen: &mut dyn TraceGen, n: u64) -> Result<(), SimError> {
+        let mut rem = n;
+        while rem > 0 {
+            let take = rem.min(CHUNK_LEN as u64) as usize;
+            self.chunk.refill(gen, take);
+            for sim in &mut self.members {
+                sim.run_block(self.chunk.as_slice())?;
+            }
+            rem -= take as u64;
+        }
+        Ok(())
+    }
+
+    /// Lockstep equivalent of every member running
+    /// `run_slice(own_gen, plan)` over a freshly seeded copy of the same
+    /// generator: warmup in lockstep, snapshot each member's measurement
+    /// baseline, detail in lockstep, then derive one [`SliceResult`] per
+    /// member (member order). Bit-identical to the scalar path.
+    pub fn run_slice_lockstep(
+        &mut self,
+        gen: &mut dyn TraceGen,
+        plan: SlicePlan,
+    ) -> Result<Vec<SliceResult>, SimError> {
+        self.run_lockstep(gen, plan.warmup)?;
+        let measures: Vec<SliceMeasure> =
+            self.members.iter().map(Simulator::measure_begin).collect();
+        self.run_lockstep(gen, plan.detail)?;
+        Ok(self
+            .members
+            .iter()
+            .zip(&measures)
+            .map(|(s, m)| s.measure_end(m))
+            .collect())
+    }
+
+    /// One batched, read-only probe of every member's hot predictor and
+    /// cache state at (`pc`, `addr`): SHP direction (neutral bias),
+    /// BTB hierarchy, µBTB, L1D tag array and µOC block array, each
+    /// through its structure-of-arrays `*_batch` path. Results land in
+    /// `out` in member order; `out`'s buffers are reused across calls.
+    pub fn probe(&self, pc: u64, addr: u64, out: &mut BatchProbe) {
+        let shps: Vec<&exynos_branch::shp::Shp> =
+            self.members.iter().map(|s| s.frontend().shp()).collect();
+        out.biases.clear();
+        out.biases.resize(shps.len(), 0);
+        match self.members.first() {
+            // Lockstep members carry identical architectural history, so
+            // the group shares the lead member's.
+            Some(lead) => {
+                let (ghist, phist) = lead.frontend().histories();
+                exynos_branch::shp::predict_batch(&shps, pc, &out.biases, ghist, phist, &mut out.shp);
+            }
+            None => out.shp.clear(),
+        }
+        let btbs: Vec<&exynos_branch::btb::BtbHierarchy> =
+            self.members.iter().map(|s| s.frontend().btb()).collect();
+        exynos_branch::btb::BtbHierarchy::probe_batch(&btbs, pc, &mut out.btb);
+        let ubtbs: Vec<&exynos_branch::ubtb::MicroBtb> =
+            self.members.iter().map(|s| s.frontend().ubtb()).collect();
+        exynos_branch::ubtb::MicroBtb::probe_batch(&ubtbs, pc, &mut out.ubtb);
+        let l1ds: Vec<&exynos_mem::Cache> =
+            self.members.iter().map(|s| s.memsys().l1d()).collect();
+        exynos_mem::Cache::probe_batch(&l1ds, addr, &mut out.l1d);
+        let uocs: Vec<Option<&exynos_uoc::Uoc>> = self.members.iter().map(|s| s.uoc()).collect();
+        exynos_uoc::Uoc::probe_batch(&uocs, pc, &mut out.uoc);
+    }
+}
+
+/// One batched probe outcome across every member, member order. The
+/// vectors are scratch buffers reused across [`PopulationBatch::probe`]
+/// calls.
+#[derive(Debug, Default)]
+pub struct BatchProbe {
+    /// SHP direction prediction per member (probed with a neutral bias).
+    pub shp: Vec<ShpPrediction>,
+    /// BTB hierarchy hit per member.
+    pub btb: Vec<Option<BtbEntry>>,
+    /// µBTB prediction per member.
+    pub ubtb: Vec<UbtbPrediction>,
+    /// L1D tag-array hit per member.
+    pub l1d: Vec<bool>,
+    /// µOC block presence per member (false for pre-M5 members).
+    pub uoc: Vec<bool>,
+    biases: Vec<i8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::must;
+    use exynos_core::builder::SimBuilder;
+    use exynos_core::config::CoreConfig;
+    use exynos_trace::standard_suite;
+
+    #[test]
+    fn lockstep_matches_scalar_across_generations() {
+        let suite = standard_suite(1);
+        let slice = &suite[0];
+        let plan = SlicePlan::new(700, 900);
+        let gens = CoreConfig::all_generations();
+        let mut batch = PopulationBatch::new();
+        for cfg in &gens {
+            batch.push(must(SimBuilder::config(cfg.clone()).build()));
+        }
+        let mut shared = slice.instantiate();
+        let batched = must(batch.run_slice_lockstep(&mut *shared, plan));
+        for (cfg, b) in gens.iter().zip(&batched) {
+            let mut sim = must(SimBuilder::config(cfg.clone()).build());
+            let mut gen = slice.instantiate();
+            let scalar = must(sim.run_slice(&mut *gen, plan));
+            assert_eq!(format!("{scalar:?}"), format!("{b:?}"), "{}", cfg.gen.name());
+        }
+    }
+
+    #[test]
+    fn probe_covers_every_member() {
+        let gens = CoreConfig::all_generations();
+        let mut batch = PopulationBatch::new();
+        for cfg in &gens {
+            batch.push(must(SimBuilder::config(cfg.clone()).build()));
+        }
+        let suite = standard_suite(1);
+        let mut gen = suite[0].instantiate();
+        must(batch.run_lockstep(&mut *gen, 2_000));
+        let mut probe = BatchProbe::default();
+        batch.probe(0x4000, 0x8000, &mut probe);
+        assert_eq!(probe.shp.len(), 6);
+        assert_eq!(probe.btb.len(), 6);
+        assert_eq!(probe.ubtb.len(), 6);
+        assert_eq!(probe.l1d.len(), 6);
+        assert_eq!(probe.uoc.len(), 6);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut batch = PopulationBatch::new();
+        assert!(batch.is_empty());
+        let suite = standard_suite(1);
+        let mut gen = suite[0].instantiate();
+        let out = must(batch.run_slice_lockstep(&mut *gen, SlicePlan::new(100, 100)));
+        assert!(out.is_empty());
+        let mut probe = BatchProbe::default();
+        batch.probe(0x4000, 0x8000, &mut probe);
+        assert!(probe.shp.is_empty());
+    }
+}

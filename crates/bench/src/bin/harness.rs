@@ -212,7 +212,7 @@ fn main() {
             "# running population sweep (scale {scale}; {} slices x 6 generations; {sweep_threads} threads)...",
             exynos_trace::standard_suite(scale).len()
         );
-        let pop = exp::run_population_with_threads(scale, 5_000, 30_000, sweep_threads);
+        let pop = exp::run_population_batched(scale, 5_000, 30_000, sweep_threads);
         if let Some(path) = &csv_path {
             let mut out = String::from("slice,generation,ipc,mpki,load_latency\n");
             for r in &pop {
@@ -758,45 +758,30 @@ fn bench(quick: bool, threads: Option<usize>) {
         "host parallelism: {host_parallelism}; comparison pass runs {mode} ({bench_threads} threads)"
     );
 
-    let t0 = Instant::now();
-    let serial = exp::run_population_with_threads(scale, warmup, detail, 1);
-    let serial_s = t0.elapsed().as_secs_f64();
+    // The serial-vs-batched comparison is a ratio gate, and the two
+    // engines differ by a single-digit percentage — comparable to this
+    // class of host's run-to-run drift (frequency scaling, page-cache
+    // state). Interleave the passes and keep each engine's best wall
+    // time: noise only ever adds time, so min-of-N estimates true cost.
+    const RATIO_REPS: usize = 3;
+    let mut serial_s = f64::INFINITY;
+    let mut batched_s = f64::INFINITY;
+    let mut serial = Vec::new();
+    let mut batched = Vec::new();
+    for _ in 0..RATIO_REPS {
+        let t = Instant::now();
+        serial = exp::run_population_with_threads(scale, warmup, detail, 1);
+        serial_s = serial_s.min(t.elapsed().as_secs_f64());
+        // Batched lockstep engine: one job per slice, all six
+        // generations advanced over a single shared generator, so the
+        // trace is produced once per group instead of once per member.
+        let t = Instant::now();
+        batched = exp::run_population_batched(scale, warmup, detail, bench_threads);
+        batched_s = batched_s.min(t.elapsed().as_secs_f64());
+    }
     let t1 = Instant::now();
     let parallel = exp::run_population_with_threads(scale, warmup, detail, bench_threads);
     let parallel_s = t1.elapsed().as_secs_f64();
-
-    let bit_identical = serial.len() == parallel.len()
-        && serial.iter().zip(&parallel).all(|(a, b)| {
-            a.name == b.name
-                && a.gen == b.gen
-                && a.ipc.to_bits() == b.ipc.to_bits()
-                && a.mpki.to_bits() == b.mpki.to_bits()
-                && a.load_latency.to_bits() == b.load_latency.to_bits()
-        });
-    let speedup = serial_s / parallel_s.max(1e-9);
-    let rate = |secs: f64| steps as f64 / secs.max(1e-9);
-    println!("serial   : {serial_s:>8.3} s   {:>12.0} steps/s", rate(serial_s));
-    println!(
-        "parallel : {parallel_s:>8.3} s   {:>12.0} steps/s   ({speedup:.2}x, {bench_threads} threads)",
-        rate(parallel_s)
-    );
-    println!("bit-identical results: {bit_identical}");
-    if !bit_identical {
-        eprintln!("harness: parallel sweep diverged from the serial baseline");
-        std::process::exit(1);
-    }
-
-    // Warm-start path: checkpoint every job once after warmup, then fork
-    // the pool for each sweep so repeated sweeps pay the warmup once.
-    let t2 = Instant::now();
-    let pool = exp::build_warm_pool(scale, warmup, bench_threads);
-    let pool_s = t2.elapsed().as_secs_f64();
-    let t3 = Instant::now();
-    let warm_serial = exp::run_population_warm(&pool, detail, 1);
-    let warm_serial_s = t3.elapsed().as_secs_f64();
-    let t4 = Instant::now();
-    let warm_parallel = exp::run_population_warm(&pool, detail, bench_threads);
-    let warm_parallel_s = t4.elapsed().as_secs_f64();
 
     let records_equal = |a: &[exp::SliceRecord], b: &[exp::SliceRecord]| {
         a.len() == b.len()
@@ -808,10 +793,50 @@ fn bench(quick: bool, threads: Option<usize>) {
                     && x.load_latency.to_bits() == y.load_latency.to_bits()
             })
     };
+    let bit_identical = records_equal(&serial, &parallel) && records_equal(&serial, &batched);
+    let speedup = serial_s / parallel_s.max(1e-9);
+    let batched_speedup = serial_s / batched_s.max(1e-9);
+    let rate = |secs: f64| steps as f64 / secs.max(1e-9);
+    println!(
+        "serial   : {serial_s:>8.3} s   {:>12.0} steps/s   (best of {RATIO_REPS})",
+        rate(serial_s)
+    );
+    println!(
+        "parallel : {parallel_s:>8.3} s   {:>12.0} steps/s   ({speedup:.2}x, {bench_threads} threads)",
+        rate(parallel_s)
+    );
+    println!(
+        "batched  : {batched_s:>8.3} s   {:>12.0} steps/s   ({batched_speedup:.2}x vs serial, width 6, best of {RATIO_REPS})",
+        rate(batched_s)
+    );
+    println!("bit-identical results: {bit_identical}");
+    if !bit_identical {
+        eprintln!("harness: parallel/batched sweep diverged from the serial baseline");
+        std::process::exit(1);
+    }
+
+    // Warm-start path: checkpoint every job once after warmup, then fork
+    // the pool for each sweep so repeated sweeps pay the warmup once.
+    let t2 = Instant::now();
+    let pool = exp::build_warm_pool(scale, warmup, bench_threads);
+    let pool_s = t2.elapsed().as_secs_f64();
+    let t3 = Instant::now();
+    let (warm_serial, wt_serial) = exp::run_population_warm_timed(&pool, detail, 1);
+    let warm_serial_s = t3.elapsed().as_secs_f64();
+    let t4 = Instant::now();
+    let (warm_parallel, wt_parallel) = exp::run_population_warm_timed(&pool, detail, bench_threads);
+    let warm_parallel_s = t4.elapsed().as_secs_f64();
+
     let warm_equals_cold =
         records_equal(&serial, &warm_serial) && records_equal(&serial, &warm_parallel);
-    let detail_steps = detail * jobs as u64;
-    let warm_rate = |secs: f64| detail_steps as f64 / secs.max(1e-9);
+    // Warm throughput over the steps actually executed: a warm sweep
+    // steps only the detail window, and its wall clock also pays image
+    // decode plus the generator fast-forward. Dividing detail steps by
+    // the whole wall mixes those denominators (and once under-reported
+    // warm throughput ~4x), so the honest rate is stepped instructions
+    // over stepping time alone; prep is reported separately.
+    let warm_rate =
+        |t: &exp::WarmTiming| t.stepped_insts as f64 / t.stepping_s.max(1e-9);
     let warm_speedup = parallel_s / warm_parallel_s.max(1e-9);
     println!(
         "warm pool: {pool_s:>7.3} s to checkpoint {} jobs ({} warmup steps each, {:.1} MiB)",
@@ -820,12 +845,16 @@ fn bench(quick: bool, threads: Option<usize>) {
         pool.bytes() as f64 / (1024.0 * 1024.0)
     );
     println!(
-        "warm serial   : {warm_serial_s:>8.3} s   {:>12.0} steps/s",
-        warm_rate(warm_serial_s)
+        "warm serial   : {warm_serial_s:>8.3} s wall (prep {:.3} s + stepping {:.3} s)   {:>12.0} steps/s post-resume",
+        wt_serial.prep_s,
+        wt_serial.stepping_s,
+        warm_rate(&wt_serial)
     );
     println!(
-        "warm parallel : {warm_parallel_s:>8.3} s   {:>12.0} steps/s   ({warm_speedup:.2}x vs cold parallel)",
-        warm_rate(warm_parallel_s)
+        "warm parallel : {warm_parallel_s:>8.3} s wall (prep {:.3} s + stepping {:.3} s)   {:>12.0} steps/s post-resume   ({warm_speedup:.2}x vs cold parallel)",
+        wt_parallel.prep_s,
+        wt_parallel.stepping_s,
+        warm_rate(&wt_parallel)
     );
     println!("warm results equal cold: {warm_equals_cold}");
     if !warm_equals_cold {
@@ -834,12 +863,18 @@ fn bench(quick: bool, threads: Option<usize>) {
     }
 
     let json = format!(
-        "{{\n  \"schema\": 1,\n  \"quick\": {quick},\n  \"scale\": {scale},\n  \"slices\": {slices},\n  \"generations\": 6,\n  \"jobs\": {jobs},\n  \"steps_per_job\": {},\n  \"total_steps\": {steps},\n  \"threads\": {bench_threads},\n  \"mode\": \"{mode}\",\n  \"available_parallelism\": {host_parallelism},\n  \"serial\": {{ \"wall_s\": {serial_s:.6}, \"steps_per_sec\": {:.0} }},\n  \"parallel\": {{ \"wall_s\": {parallel_s:.6}, \"steps_per_sec\": {:.0} }},\n  \"speedup\": {speedup:.4},\n  \"warm\": {{\n    \"pool_build_s\": {pool_s:.6},\n    \"serial_wall_s\": {warm_serial_s:.6},\n    \"parallel_wall_s\": {warm_parallel_s:.6},\n    \"serial_steps_per_sec\": {:.0},\n    \"parallel_steps_per_sec\": {:.0}\n  }},\n  \"warm_speedup\": {warm_speedup:.4},\n  \"warm_equals_cold\": {warm_equals_cold},\n  \"bit_identical\": {bit_identical}\n}}\n",
+        "{{\n  \"schema\": 1,\n  \"quick\": {quick},\n  \"scale\": {scale},\n  \"slices\": {slices},\n  \"generations\": 6,\n  \"jobs\": {jobs},\n  \"steps_per_job\": {},\n  \"total_steps\": {steps},\n  \"threads\": {bench_threads},\n  \"mode\": \"{mode}\",\n  \"available_parallelism\": {host_parallelism},\n  \"serial\": {{ \"wall_s\": {serial_s:.6}, \"steps_per_sec\": {:.0} }},\n  \"parallel\": {{ \"wall_s\": {parallel_s:.6}, \"steps_per_sec\": {:.0} }},\n  \"speedup\": {speedup:.4},\n  \"batched\": {{ \"wall_s\": {batched_s:.6}, \"steps_per_sec\": {:.0}, \"width\": 6 }},\n  \"batched_speedup\": {batched_speedup:.4},\n  \"warm\": {{\n    \"pool_build_s\": {pool_s:.6},\n    \"serial_wall_s\": {warm_serial_s:.6},\n    \"parallel_wall_s\": {warm_parallel_s:.6},\n    \"stepped_insts\": {},\n    \"serial_prep_s\": {:.6},\n    \"serial_stepping_s\": {:.6},\n    \"parallel_prep_s\": {:.6},\n    \"parallel_stepping_s\": {:.6},\n    \"serial_steps_per_sec\": {:.0},\n    \"parallel_steps_per_sec\": {:.0}\n  }},\n  \"warm_speedup\": {warm_speedup:.4},\n  \"warm_equals_cold\": {warm_equals_cold},\n  \"bit_identical\": {bit_identical}\n}}\n",
         warmup + detail,
         rate(serial_s),
         rate(parallel_s),
-        warm_rate(warm_serial_s),
-        warm_rate(warm_parallel_s),
+        rate(batched_s),
+        wt_parallel.stepped_insts,
+        wt_serial.prep_s,
+        wt_serial.stepping_s,
+        wt_parallel.prep_s,
+        wt_parallel.stepping_s,
+        warm_rate(&wt_serial),
+        warm_rate(&wt_parallel),
     );
     match std::fs::write("BENCH_sweep.json", &json) {
         Ok(()) => println!("wrote BENCH_sweep.json"),

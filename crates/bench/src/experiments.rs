@@ -43,19 +43,21 @@ pub struct SliceRecord {
 
 /// Run the full suite (at `scale`) across all six generations with the
 /// given windows, on [`crate::sweep::default_threads`] worker threads.
-/// This is the engine behind Figs. 9, 16 and 17.
+/// This is the engine behind Figs. 9, 16 and 17; it routes through the
+/// batched lockstep engine ([`run_population_batched`]), which is
+/// bit-identical to the scalar reference.
 pub fn run_population(scale: usize, warmup: u64, detail: u64) -> Vec<SliceRecord> {
-    run_population_with_threads(scale, warmup, detail, crate::sweep::default_threads())
+    run_population_batched(scale, warmup, detail, crate::sweep::default_threads())
 }
 
-/// [`run_population`] with an explicit worker-thread count.
+/// The scalar reference engine, with an explicit worker-thread count.
 ///
 /// Every (generation, slice) pair is an independent job — its own
 /// `Simulator` built from an owned config and a freshly seeded generator
 /// — so the jobs run on the work-stealing executor and are re-assembled
 /// in catalog order (generation-major, slice-minor), exactly the order
 /// the old serial nested loop produced. Output is bit-identical for any
-/// `threads`.
+/// `threads`, and the batched engine is gated against this path.
 pub fn run_population_with_threads(
     scale: usize,
     warmup: u64,
@@ -79,6 +81,54 @@ pub fn run_population_with_threads(
             load_latency: r.avg_load_latency,
         }
     })
+}
+
+/// [`run_population`] through the batched lockstep engine: one job per
+/// *slice*, each advancing all six generations over a single shared
+/// generator (see [`crate::batch::PopulationBatch`]). Whenever the
+/// catalog groups >= 2 members on the same slice — always, with six
+/// generations — the trace is generated once per group instead of once
+/// per member. Records are re-assembled into catalog order
+/// (generation-major, slice-minor), bit-identical to
+/// [`run_population_with_threads`] at the same windows.
+pub fn run_population_batched(
+    scale: usize,
+    warmup: u64,
+    detail: u64,
+    threads: usize,
+) -> Vec<SliceRecord> {
+    let suite = standard_suite(scale);
+    let gens = CoreConfig::all_generations();
+    let per_gen = suite.len();
+    if gens.len() < 2 {
+        return run_population_with_threads(scale, warmup, detail, threads);
+    }
+    let per_slice: Vec<Vec<SliceRecord>> = crate::sweep::run_indexed(per_gen, threads, |s| {
+        let slice = &suite[s];
+        let mut batch = crate::batch::PopulationBatch::new();
+        for cfg in &gens {
+            batch.push(must(SimBuilder::config(cfg.clone()).build()));
+        }
+        let mut gen = slice.instantiate();
+        let results = must(batch.run_slice_lockstep(&mut *gen, SlicePlan::new(warmup, detail)));
+        gens.iter()
+            .zip(&results)
+            .map(|(cfg, r)| SliceRecord {
+                name: slice.name.clone(),
+                gen: cfg.gen.name(),
+                ipc: r.ipc,
+                mpki: r.mpki,
+                load_latency: r.avg_load_latency,
+            })
+            .collect()
+    });
+    let mut out = Vec::with_capacity(gens.len() * per_gen);
+    for g in 0..gens.len() {
+        for s in 0..per_gen {
+            out.push(per_slice[s][g].clone());
+        }
+    }
+    out
 }
 
 /// A pool of warmed checkpoint images, one per (generation, slice) job
@@ -157,23 +207,30 @@ pub fn try_build_warm_pool(
     let suite = standard_suite(scale);
     let gens = CoreConfig::all_generations();
     let per_gen = suite.len();
-    let images = crate::sweep::run_indexed(gens.len() * per_gen, threads, |i| {
+    let images = crate::sweep::run_indexed_result(gens.len() * per_gen, threads, |i| {
         let cfg = &gens[i / per_gen];
         let slice = &suite[i % per_gen];
         let mut sim = SimBuilder::config(cfg.clone()).cancel_token(cancel.clone()).build()?;
         let mut gen = slice.instantiate();
         sim.run_warmup(&mut *gen, warmup)?;
         Ok(sim.checkpoint())
-    })
-    .into_iter()
-    .collect::<Result<Vec<_>, exynos_core::SimError>>()?;
+    })?;
     Ok(WarmPool { images, scale, warmup })
 }
 
-/// [`run_population_with_threads`], but forking every job from its
-/// warmed image in `pool` instead of re-running the warmup. Results are
+/// [`run_population`], but forking every job from its warmed image in
+/// `pool` instead of re-running the warmup. Routes through the batched
+/// lockstep engine ([`run_population_warm_batched`]); results are
 /// bit-identical to the cold path at the same (scale, warmup, detail).
 pub fn run_population_warm(pool: &WarmPool, detail: u64, threads: usize) -> Vec<SliceRecord> {
+    run_population_warm_batched(pool, detail, threads)
+}
+
+/// The scalar warm reference: one job per (generation, slice), each
+/// resuming its own image and fast-forwarding its own generator.
+/// Bit-identical to the cold scalar path; the batched warm engine is
+/// gated against this one.
+pub fn run_population_warm_scalar(pool: &WarmPool, detail: u64, threads: usize) -> Vec<SliceRecord> {
     let suite = standard_suite(pool.scale);
     let gens = CoreConfig::all_generations();
     let per_gen = suite.len();
@@ -198,6 +255,117 @@ pub fn run_population_warm(pool: &WarmPool, detail: u64, threads: usize) -> Vec<
             mpki: r.mpki,
             load_latency: r.avg_load_latency,
         }
+    })
+}
+
+/// Wall-clock decomposition of a warm sweep, split at the measurement
+/// boundary the reported throughput must respect: `prep_s` covers image
+/// decode plus the shared generator fast-forward (work the warm pool
+/// exists to make cheap, but which executes no simulator steps), and
+/// `stepping_s` covers only post-resume detail stepping —
+/// `stepped_insts / stepping_s` is the honest warm steps/s. With
+/// `threads > 1` the two times are summed across workers (aggregate
+/// worker-seconds, not wall).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WarmTiming {
+    /// Seconds spent resuming images and fast-forwarding generators.
+    pub prep_s: f64,
+    /// Seconds spent executing post-resume detail steps.
+    pub stepping_s: f64,
+    /// Instructions actually executed after resume.
+    pub stepped_insts: u64,
+}
+
+/// [`run_population_warm`] exposing where the time went; the records are
+/// identical, the [`WarmTiming`] feeds the `bench` subcommand's warm
+/// throughput accounting.
+pub fn run_population_warm_timed(
+    pool: &WarmPool,
+    detail: u64,
+    threads: usize,
+) -> (Vec<SliceRecord>, WarmTiming) {
+    let per_slice = run_warm_slice_groups(pool, detail, threads);
+    let gens = CoreConfig::all_generations();
+    let per_gen = per_slice.len();
+    let mut timing = WarmTiming::default();
+    for (_, t) in &per_slice {
+        timing.prep_s += t.prep_s;
+        timing.stepping_s += t.stepping_s;
+        timing.stepped_insts += t.stepped_insts;
+    }
+    let mut out = Vec::with_capacity(gens.len() * per_gen);
+    for g in 0..gens.len() {
+        for (records, _) in &per_slice {
+            out.push(records[g].clone());
+        }
+    }
+    (out, timing)
+}
+
+/// [`run_population_warm_scalar`] through the batched lockstep engine:
+/// one job per slice, resuming all six generations' images and sharing a
+/// single generator fast-forward (every image consumed exactly the pool
+/// warmup, so one fast-forwarded stream serves the whole group).
+/// Bit-identical to the scalar warm path.
+pub fn run_population_warm_batched(
+    pool: &WarmPool,
+    detail: u64,
+    threads: usize,
+) -> Vec<SliceRecord> {
+    run_population_warm_timed(pool, detail, threads).0
+}
+
+/// One warm lockstep job per slice, returning each slice group's records
+/// (generation order) plus its timing split.
+fn run_warm_slice_groups(
+    pool: &WarmPool,
+    detail: u64,
+    threads: usize,
+) -> Vec<(Vec<SliceRecord>, WarmTiming)> {
+    let suite = standard_suite(pool.scale);
+    let gens = CoreConfig::all_generations();
+    let per_gen = suite.len();
+    crate::sweep::run_indexed(per_gen, threads, |s| {
+        let slice = &suite[s];
+        let t0 = std::time::Instant::now();
+        let mut batch = crate::batch::PopulationBatch::new();
+        for (g, cfg) in gens.iter().enumerate() {
+            let i = g * per_gen + s;
+            match Simulator::resume_with_config(cfg.clone(), pool.image(i)) {
+                Ok(sim) => {
+                    assert_eq!(
+                        sim.stats().instructions,
+                        pool.warmup,
+                        "warm image {i} consumed a different warmup than the pool records"
+                    );
+                    batch.push(sim);
+                }
+                Err(e) => panic!("warm pool image {i} failed to resume: {e}"),
+            }
+        }
+        // One shared fast-forward for the whole group: every member
+        // consumed exactly `pool.warmup` generator records.
+        let mut gen = slice.instantiate();
+        for _ in 0..pool.warmup {
+            let _ = gen.next_inst();
+        }
+        let prep_s = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let results = must(batch.run_slice_lockstep(&mut *gen, SlicePlan::new(0, detail)));
+        let stepping_s = t1.elapsed().as_secs_f64();
+        let records: Vec<SliceRecord> = gens
+            .iter()
+            .zip(&results)
+            .map(|(cfg, r)| SliceRecord {
+                name: slice.name.clone(),
+                gen: cfg.gen.name(),
+                ipc: r.ipc,
+                mpki: r.mpki,
+                load_latency: r.avg_load_latency,
+            })
+            .collect();
+        let stepped_insts = results.iter().map(|r| r.instructions).sum();
+        (records, WarmTiming { prep_s, stepping_s, stepped_insts })
     })
 }
 
@@ -665,6 +833,24 @@ pub struct Ablation {
     pub without_feature: f64,
 }
 
+/// Run a with/without config pair as a two-member lockstep batch over
+/// one shared generator — the ablation battery's grouping: both members
+/// sit on the same (generation family, trace), so the trace is generated
+/// once per pair. Returns (with, without), bit-identical to running each
+/// member over its own freshly seeded copy of the generator.
+fn ablation_pair(
+    with_cfg: CoreConfig,
+    without_cfg: CoreConfig,
+    gen: &mut dyn exynos_trace::TraceGen,
+    plan: SlicePlan,
+) -> (exynos_core::sim::SliceResult, exynos_core::sim::SliceResult) {
+    let mut batch = crate::batch::PopulationBatch::new();
+    batch.push(must(SimBuilder::config(with_cfg).build()));
+    batch.push(must(SimBuilder::config(without_cfg).build()));
+    let r = must(batch.run_slice_lockstep(gen, plan));
+    (r[0].clone(), r[1].clone())
+}
+
 fn frontend_mpki(cfg: &FrontendConfig, mk: &MarkovParams, insts: u64) -> f64 {
     let mut fe = FrontEnd::new(cfg.clone());
     let mut gen = MarkovBranches::new(mk, 97, 3);
@@ -793,88 +979,105 @@ pub fn ablations_with_threads(threads: usize) -> Vec<Ablation> {
     // Speculative DRAM read (§IX): avg load latency on a pointer chase.
     // Measured with early page activate off — the two features overlap
     // (both hide the leading edge of a DRAM access), so each is ablated
-    // in isolation.
+    // in isolation. The with/without pair runs as one lockstep batch over
+    // a shared chase.
     battery.push(Box::new(|| {
-        let lat = |spec: bool| {
-            let mut cfg = CoreConfig::m5();
-            cfg.spec_read = spec;
-            cfg.dram.early_activate = false;
-            let mut sim = must(SimBuilder::config(cfg).build());
-            let mut gen = exynos_trace::gen::pointer_chase::PointerChase::new(
-                &exynos_trace::gen::pointer_chase::PointerChaseParams {
-                    working_set: 64 << 20,
-                    chains: 4,
-                    ..Default::default()
-                },
-                98,
-                4,
-            );
-            must(sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000))).avg_load_latency
-        };
-        Ablation { name: "speculative DRAM read", metric: "avg load lat", with_feature: lat(true), without_feature: lat(false) }
+        let mut with_cfg = CoreConfig::m5();
+        with_cfg.spec_read = true;
+        with_cfg.dram.early_activate = false;
+        let mut without_cfg = with_cfg.clone();
+        without_cfg.spec_read = false;
+        let mut gen = exynos_trace::gen::pointer_chase::PointerChase::new(
+            &exynos_trace::gen::pointer_chase::PointerChaseParams {
+                working_set: 64 << 20,
+                chains: 4,
+                ..Default::default()
+            },
+            98,
+            4,
+        );
+        let (w, wo) = ablation_pair(with_cfg, without_cfg, &mut gen, SlicePlan::new(5_000, 40_000));
+        Ablation {
+            name: "speculative DRAM read",
+            metric: "avg load lat",
+            with_feature: w.avg_load_latency,
+            without_feature: wo.avg_load_latency,
+        }
     }));
 
     // Data fast path (§IX, M4): avg load latency on a DRAM-bound chase.
     battery.push(Box::new(|| {
-        let lat = |fast: bool| {
-            let mut cfg = CoreConfig::m4();
-            cfg.dram.fast_path = fast;
-            let mut sim = must(SimBuilder::config(cfg).build());
-            let mut gen = exynos_trace::gen::pointer_chase::PointerChase::new(
-                &exynos_trace::gen::pointer_chase::PointerChaseParams {
-                    working_set: 64 << 20,
-                    chains: 2,
-                    ..Default::default()
-                },
-                99,
-                4,
-            );
-            must(sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000))).avg_load_latency
-        };
-        Ablation { name: "DRAM data fast path", metric: "avg load lat", with_feature: lat(true), without_feature: lat(false) }
+        let mut with_cfg = CoreConfig::m4();
+        with_cfg.dram.fast_path = true;
+        let mut without_cfg = with_cfg.clone();
+        without_cfg.dram.fast_path = false;
+        let mut gen = exynos_trace::gen::pointer_chase::PointerChase::new(
+            &exynos_trace::gen::pointer_chase::PointerChaseParams {
+                working_set: 64 << 20,
+                chains: 2,
+                ..Default::default()
+            },
+            99,
+            4,
+        );
+        let (w, wo) = ablation_pair(with_cfg, without_cfg, &mut gen, SlicePlan::new(5_000, 40_000));
+        Ablation {
+            name: "DRAM data fast path",
+            metric: "avg load lat",
+            with_feature: w.avg_load_latency,
+            without_feature: wo.avg_load_latency,
+        }
     }));
 
     // Early page activate (§IX, M5).
     battery.push(Box::new(|| {
-        let lat = |early: bool| {
-            let mut cfg = CoreConfig::m5();
-            cfg.dram.early_activate = early;
-            let mut sim = must(SimBuilder::config(cfg).build());
-            let mut gen = exynos_trace::gen::pointer_chase::PointerChase::new(
-                &exynos_trace::gen::pointer_chase::PointerChaseParams {
-                    working_set: 64 << 20,
-                    chains: 2,
-                    ..Default::default()
-                },
-                100,
-                4,
-            );
-            must(sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000))).avg_load_latency
-        };
-        Ablation { name: "early page activate", metric: "avg load lat", with_feature: lat(true), without_feature: lat(false) }
+        let mut with_cfg = CoreConfig::m5();
+        with_cfg.dram.early_activate = true;
+        let mut without_cfg = with_cfg.clone();
+        without_cfg.dram.early_activate = false;
+        let mut gen = exynos_trace::gen::pointer_chase::PointerChase::new(
+            &exynos_trace::gen::pointer_chase::PointerChaseParams {
+                working_set: 64 << 20,
+                chains: 2,
+                ..Default::default()
+            },
+            100,
+            4,
+        );
+        let (w, wo) = ablation_pair(with_cfg, without_cfg, &mut gen, SlicePlan::new(5_000, 40_000));
+        Ablation {
+            name: "early page activate",
+            metric: "avg load lat",
+            with_feature: w.avg_load_latency,
+            without_feature: wo.avg_load_latency,
+        }
     }));
 
     // Buddy prefetcher (§VIII.B, M4): IPC on a 128 B-correlated workload.
     battery.push(Box::new(|| {
-        let ipc = |buddy: bool| {
-            let mut cfg = CoreConfig::m4();
-            cfg.buddy = buddy;
-            let mut sim = must(SimBuilder::config(cfg).build());
-            // Spatial payloads touch the second sector of each chased line's
-            // 128 B granule.
-            let mut gen = exynos_trace::gen::pointer_chase::PointerChase::new(
-                &exynos_trace::gen::pointer_chase::PointerChaseParams {
-                    working_set: 32 << 20,
-                    chains: 4,
-                    spatial_payload: true,
-                    ..Default::default()
-                },
-                101,
-                4,
-            );
-            must(sim.run_slice(&mut gen, SlicePlan::new(5_000, 40_000))).ipc
-        };
-        Ablation { name: "Buddy prefetcher", metric: "IPC (higher=better)", with_feature: ipc(true), without_feature: ipc(false) }
+        let mut with_cfg = CoreConfig::m4();
+        with_cfg.buddy = true;
+        let mut without_cfg = with_cfg.clone();
+        without_cfg.buddy = false;
+        // Spatial payloads touch the second sector of each chased line's
+        // 128 B granule.
+        let mut gen = exynos_trace::gen::pointer_chase::PointerChase::new(
+            &exynos_trace::gen::pointer_chase::PointerChaseParams {
+                working_set: 32 << 20,
+                chains: 4,
+                spatial_payload: true,
+                ..Default::default()
+            },
+            101,
+            4,
+        );
+        let (w, wo) = ablation_pair(with_cfg, without_cfg, &mut gen, SlicePlan::new(5_000, 40_000));
+        Ablation {
+            name: "Buddy prefetcher",
+            metric: "IPC (higher=better)",
+            with_feature: w.ipc,
+            without_feature: wo.ipc,
+        }
     }));
 
     // Standalone prefetcher (§VIII.C, M5): it observes "a global view of
@@ -882,29 +1085,31 @@ pub fn ablations_with_threads(threads: usize) -> Vec<Ablation> {
     // unlike the L1 engines, it covers the *instruction* stream. Measure
     // IPC on a straight-line code loop far larger than the L1I.
     battery.push(Box::new(|| {
-        let ipc = |standalone: bool| {
-            let mut cfg = CoreConfig::m5();
-            if !standalone {
-                cfg.standalone = None;
-            }
-            let mut sim = must(SimBuilder::config(cfg).build());
-            // ~700 KB of code walked sequentially: every line is an L1I
-            // miss; only an L2-level prefetcher can stay ahead of fetch.
-            let mut gen = MarkovBranches::new(
-                &MarkovParams {
-                    sites: 20_000,
-                    history_depth: 4,
-                    noise: 0.0,
-                    work_between: 4,
-                    load_frac: 0.0,
-                    ..Default::default()
-                },
-                102,
-                4,
-            );
-            must(sim.run_slice(&mut gen, SlicePlan::new(10_000, 60_000))).ipc
-        };
-        Ablation { name: "standalone L2/L3 prefetcher", metric: "IPC (higher=better)", with_feature: ipc(true), without_feature: ipc(false) }
+        let with_cfg = CoreConfig::m5();
+        let mut without_cfg = with_cfg.clone();
+        without_cfg.standalone = None;
+        // ~700 KB of code walked sequentially: every line is an L1I
+        // miss; only an L2-level prefetcher can stay ahead of fetch.
+        let mut gen = MarkovBranches::new(
+            &MarkovParams {
+                sites: 20_000,
+                history_depth: 4,
+                noise: 0.0,
+                work_between: 4,
+                load_frac: 0.0,
+                ..Default::default()
+            },
+            102,
+            4,
+        );
+        let (w, wo) =
+            ablation_pair(with_cfg, without_cfg, &mut gen, SlicePlan::new(10_000, 60_000));
+        Ablation {
+            name: "standalone L2/L3 prefetcher",
+            metric: "IPC (higher=better)",
+            with_feature: w.ipc,
+            without_feature: wo.ipc,
+        }
     }));
 
     crate::sweep::run_indexed(battery.len(), threads, |i| battery[i]())

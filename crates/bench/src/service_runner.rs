@@ -93,20 +93,21 @@ impl BenchRunner {
         let gens = CoreConfig::all_generations();
         let per_gen = suite.len();
         let jobs = gens.len() * per_gen;
-        let results: Vec<Result<SliceRecord, SimError>> = if spec.has_overrides() {
+        let records: Vec<SliceRecord> = if spec.has_overrides() {
             // Cold path: each simulator starts from reset with the
-            // spec's injectors attached.
-            sweep::run_indexed(jobs, threads, |i| {
+            // spec's injectors attached. A failure (cancel, deadline,
+            // injected fault) short-circuits the remaining jobs.
+            sweep::run_indexed_result(jobs, threads, |i| {
                 let cfg = &gens[i / per_gen];
                 let slice = &suite[i % per_gen];
                 let mut sim = build_sim(cfg.clone(), spec, cancel)?;
                 let mut gen = slice.instantiate();
                 let r = sim.run_slice(&mut *gen, SlicePlan::new(warmup, detail))?;
                 Ok(record(slice.name.clone(), cfg.gen.name(), &r))
-            })
+            })?
         } else {
             let pool = self.pool(scale, warmup, cancel)?;
-            sweep::run_indexed(jobs, threads, |i| {
+            sweep::run_indexed_result(jobs, threads, |i| {
                 let cfg = &gens[i / per_gen];
                 let slice = &suite[i % per_gen];
                 let mut sim = Simulator::resume_with_config(cfg.clone(), pool.image(i))?;
@@ -119,9 +120,8 @@ impl BenchRunner {
                 }
                 let r = sim.run_slice(&mut *gen, SlicePlan::new(0, detail))?;
                 Ok(record(slice.name.clone(), cfg.gen.name(), &r))
-            })
+            })?
         };
-        let records = results.into_iter().collect::<Result<Vec<_>, SimError>>()?;
         Ok(sweep_payload(scale, warmup, detail, &records))
     }
 

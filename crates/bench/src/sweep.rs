@@ -17,7 +17,7 @@
 //!
 //! No external dependencies: `std::thread::scope` + `AtomicUsize` only.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Number of worker threads to use by default: the host's available
 /// parallelism, or 1 if it cannot be queried.
@@ -97,6 +97,98 @@ where
         .collect()
 }
 
+/// Fallible [`run_indexed`]: every job returns `Result<T, SimError>`,
+/// and the sweep **short-circuits** on the first failure — workers stop
+/// claiming new jobs once any job has erred, so a cancelled or poisoned
+/// sweep does not burn the remaining cores on doomed work.
+///
+/// On success the results come back in job-index order, identical to
+/// [`run_indexed`]. On failure the error with the lowest job index among
+/// those actually observed is returned (with `threads <= 1` that is
+/// exactly the first failing index; with more threads a later job may
+/// fail first and suppress earlier indices that were never claimed).
+pub fn run_indexed_result<T, F>(
+    jobs: usize,
+    threads: usize,
+    job: F,
+) -> Result<Vec<T>, exynos_core::SimError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, exynos_core::SimError> + Sync,
+{
+    if jobs == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = threads.max(1).min(jobs);
+    if threads == 1 {
+        let mut out = Vec::with_capacity(jobs);
+        for i in 0..jobs {
+            out.push(job(i)?);
+        }
+        return Ok(out);
+    }
+
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let per_thread: Vec<Vec<(usize, Result<T, exynos_core::SimError>)>> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut claimed = Vec::new();
+                        while !failed.load(Ordering::Relaxed) {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs {
+                                break;
+                            }
+                            let r = job(i);
+                            if r.is_err() {
+                                failed.store(true, Ordering::Relaxed);
+                            }
+                            claimed.push((i, r));
+                        }
+                        claimed
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect()
+        });
+
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+    slots.resize_with(jobs, || None);
+    let mut first_err: Option<(usize, exynos_core::SimError)> = None;
+    for (i, r) in per_thread.into_iter().flatten() {
+        match r {
+            Ok(v) => slots[i] = Some(v),
+            Err(e) => {
+                if first_err.as_ref().map_or(true, |(j, _)| i < *j) {
+                    first_err = Some((i, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| match v {
+            Some(v) => Ok(v),
+            // Every index was claimed exactly once and none erred, so
+            // every slot is filled; reaching here means the executor
+            // itself broke.
+            None => panic!("sweep executor lost the result of job {i}"),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +239,50 @@ mod tests {
     #[test]
     fn default_threads_is_at_least_one() {
         assert!(default_threads() >= 1);
+    }
+
+    fn boom(i: usize) -> exynos_core::SimError {
+        exynos_core::SimError::Config { param: "test.job", detail: format!("job {i} failed") }
+    }
+
+    #[test]
+    fn result_sweep_matches_infallible_on_success() {
+        for threads in [1, 2, 8] {
+            let out = run_indexed_result(50, threads, |i| Ok(i * 3)).unwrap();
+            assert_eq!(out, (0..50).map(|i| i * 3).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn result_sweep_serial_returns_first_error_and_short_circuits() {
+        let calls = AtomicU64::new(0);
+        let err = run_indexed_result(100, 1, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if i >= 7 { Err(boom(i)) } else { Ok(i) }
+        })
+        .unwrap_err();
+        assert!(format!("{err}").contains("job 7 failed"), "got {err}");
+        assert_eq!(calls.load(Ordering::Relaxed), 8, "jobs after the failure must not run");
+    }
+
+    #[test]
+    fn result_sweep_parallel_stops_claiming_after_a_failure() {
+        let calls = AtomicU64::new(0);
+        let err = run_indexed_result(10_000, 4, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if i == 3 { Err(boom(i)) } else { Ok(i) }
+        })
+        .unwrap_err();
+        assert!(matches!(err, exynos_core::SimError::Config { .. }), "got {err}");
+        assert!(
+            calls.load(Ordering::Relaxed) < 10_000,
+            "workers kept claiming jobs after the sweep failed"
+        );
+    }
+
+    #[test]
+    fn result_sweep_empty_job_set() {
+        let out: Result<Vec<u32>, _> = run_indexed_result(0, 8, |_| unreachable!());
+        assert!(out.unwrap().is_empty());
     }
 }

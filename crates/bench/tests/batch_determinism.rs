@@ -1,0 +1,207 @@
+//! The batched lockstep engine's hard correctness gate: for every batch
+//! width, member mix, fault plan and warm-fork shape, stepping N members
+//! over one shared decoded stream must produce **byte-equal stats** to
+//! each member running alone over its own freshly seeded generator.
+//!
+//! Stats are compared through their `Debug` rendering of the full
+//! [`SliceResult`] — instructions, cycles, IPC/MPKI/latency floats and
+//! the embedded frontend/memory stat blocks — so any divergence in any
+//! counter fails, not just the three headline floats.
+
+use exynos_bench::batch::PopulationBatch;
+use exynos_bench::experiments as exp;
+use exynos_core::builder::SimBuilder;
+use exynos_core::config::CoreConfig;
+use exynos_core::fault::FaultPlan;
+use exynos_core::sim::Simulator;
+use exynos_trace::{standard_suite, SlicePlan};
+
+/// A stall-injection fault plan: deterministic pipeline perturbation
+/// with no error paths, so scalar and batched runs stay comparable.
+fn stall_plan() -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    plan.stall_every = 257;
+    plan.stall_cycles = 9;
+    plan
+}
+
+/// Build one simulator for generation-index `g` (cycling m1..m6), with
+/// or without the stall fault plan attached.
+fn member(g: usize, faults: bool) -> Simulator {
+    let gens = CoreConfig::all_generations();
+    let cfg = gens[g % gens.len()].clone();
+    let mut b = SimBuilder::config(cfg);
+    if faults {
+        b = b.fault_profile(stall_plan());
+    }
+    match b.build() {
+        Ok(sim) => sim,
+        Err(e) => panic!("member {g} failed to build: {e}"),
+    }
+}
+
+/// Byte-equal digest of a slice result: the full Debug rendering.
+fn digest(r: &exynos_core::sim::SliceResult) -> String {
+    format!("{r:?}")
+}
+
+/// Scalar reference for one member: a private simulator and a private,
+/// freshly seeded generator.
+fn scalar_reference(g: usize, faults: bool, slice_idx: usize, plan: SlicePlan) -> String {
+    let suite = standard_suite(1);
+    let mut sim = member(g, faults);
+    let mut gen = suite[slice_idx].instantiate();
+    digest(&exp::must(sim.run_slice(&mut *gen, plan)))
+}
+
+fn assert_width_matches(width: usize, faults: bool, slice_idx: usize, plan: SlicePlan) {
+    let suite = standard_suite(1);
+    let mut batch = PopulationBatch::new();
+    for g in 0..width {
+        batch.push(member(g, faults));
+    }
+    let mut shared = suite[slice_idx].instantiate();
+    let results = exp::must(batch.run_slice_lockstep(&mut *shared, plan));
+    assert_eq!(results.len(), width);
+    for (g, r) in results.iter().enumerate() {
+        assert_eq!(
+            scalar_reference(g, faults, slice_idx, plan),
+            digest(r),
+            "width {width} member {g} (faults: {faults}) diverged from scalar"
+        );
+    }
+}
+
+#[test]
+fn widths_1_2_7_16_match_scalar() {
+    let plan = SlicePlan::new(400, 600);
+    for width in [1usize, 2, 7, 16] {
+        assert_width_matches(width, false, 0, plan);
+    }
+}
+
+#[test]
+fn widths_match_scalar_under_fault_injection() {
+    let plan = SlicePlan::new(400, 600);
+    for width in [1usize, 2, 7, 16] {
+        assert_width_matches(width, true, 1, plan);
+    }
+}
+
+#[test]
+fn all_six_generations_match_on_every_suite_family() {
+    // One slice per suite family keeps the runtime bounded while still
+    // covering every generator kind the catalog uses.
+    let suite = standard_suite(1);
+    let mut seen = Vec::new();
+    let plan = SlicePlan::new(300, 500);
+    for (idx, slice) in suite.iter().enumerate() {
+        if seen.contains(&slice.suite) {
+            continue;
+        }
+        seen.push(slice.suite);
+        assert_width_matches(6, false, idx, plan);
+    }
+}
+
+#[test]
+fn batched_population_is_bit_identical_to_scalar_engine() {
+    let scalar = exp::run_population_with_threads(1, 500, 800, 1);
+    let batched = exp::run_population_batched(1, 500, 800, 1);
+    assert_eq!(scalar.len(), batched.len());
+    for (a, b) in scalar.iter().zip(&batched) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.gen, b.gen);
+        assert_eq!(a.ipc.to_bits(), b.ipc.to_bits(), "{}/{}", a.name, a.gen);
+        assert_eq!(a.mpki.to_bits(), b.mpki.to_bits(), "{}/{}", a.name, a.gen);
+        assert_eq!(a.load_latency.to_bits(), b.load_latency.to_bits(), "{}/{}", a.name, a.gen);
+    }
+}
+
+#[test]
+fn warm_batches_forked_from_one_snapshot_match_scalar_forks() {
+    let suite = standard_suite(1);
+    let slice = &suite[2];
+    let warmup = 1_500u64;
+    let detail = 900u64;
+    // One warmed snapshot, forked into a width-4 batch.
+    let image = {
+        let mut sim = member(3, false);
+        let mut gen = slice.instantiate();
+        exp::must(sim.run_warmup(&mut *gen, warmup));
+        sim.checkpoint()
+    };
+    let resume = || match Simulator::resume(&image) {
+        Ok(sim) => sim,
+        Err(e) => panic!("snapshot failed to resume: {e}"),
+    };
+    let mut batch = PopulationBatch::new();
+    for _ in 0..4 {
+        batch.push(resume());
+    }
+    let mut shared = slice.instantiate();
+    for _ in 0..warmup {
+        let _ = shared.next_inst();
+    }
+    let batched = exp::must(batch.run_slice_lockstep(&mut *shared, SlicePlan::new(0, detail)));
+    // Scalar forks: each resumes the same image with a private stream.
+    for (m, b) in batched.iter().enumerate() {
+        let mut sim = resume();
+        let mut gen = slice.instantiate();
+        for _ in 0..warmup {
+            let _ = gen.next_inst();
+        }
+        let scalar = exp::must(sim.run_slice(&mut *gen, SlicePlan::new(0, detail)));
+        assert_eq!(digest(&scalar), digest(b), "warm fork member {m} diverged");
+    }
+}
+
+#[test]
+fn warm_population_batched_matches_scalar_warm_and_cold() {
+    let (scale, warmup, detail) = (1, 1_000u64, 700u64);
+    let pool = exp::build_warm_pool(scale, warmup, 1);
+    let cold = exp::run_population_with_threads(scale, warmup, detail, 1);
+    let warm_scalar = exp::run_population_warm_scalar(&pool, detail, 1);
+    let warm_batched = exp::run_population_warm(&pool, detail, 1);
+    for (label, warm) in [("scalar", &warm_scalar), ("batched", &warm_batched)] {
+        assert_eq!(cold.len(), warm.len());
+        for (a, b) in cold.iter().zip(warm.iter()) {
+            assert_eq!(a.name, b.name, "warm {label}");
+            assert_eq!(a.gen, b.gen, "warm {label}");
+            assert_eq!(a.ipc.to_bits(), b.ipc.to_bits(), "warm {label} {}/{}", a.name, a.gen);
+            assert_eq!(a.mpki.to_bits(), b.mpki.to_bits(), "warm {label} {}/{}", a.name, a.gen);
+            assert_eq!(
+                a.load_latency.to_bits(),
+                b.load_latency.to_bits(),
+                "warm {label} {}/{}",
+                a.name,
+                a.gen
+            );
+        }
+    }
+}
+
+/// With the telemetry feature on, an instrumented scalar run must still
+/// match the (uninstrumented) batched path — sampling is observation,
+/// not perturbation.
+#[cfg(feature = "telemetry")]
+#[test]
+fn telemetry_instrumented_scalar_matches_batched() {
+    use exynos_telemetry::{Telemetry, TelemetryConfig};
+    let suite = standard_suite(1);
+    let slice = &suite[0];
+    let plan = SlicePlan::new(400, 600);
+    let mut batch = PopulationBatch::new();
+    for g in 0..6 {
+        batch.push(member(g, false));
+    }
+    let mut shared = slice.instantiate();
+    let batched = exp::must(batch.run_slice_lockstep(&mut *shared, plan));
+    for (g, b) in batched.iter().enumerate() {
+        let mut sim = member(g, false);
+        let mut gen = slice.instantiate();
+        let mut tel = Telemetry::new(TelemetryConfig { epoch_len: 250, event_capacity: 1 << 12 });
+        let scalar = exp::must(sim.run_slice_with(&mut *gen, plan, &mut tel));
+        assert_eq!(digest(&scalar), digest(b), "instrumented member {g} diverged");
+    }
+}

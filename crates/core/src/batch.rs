@@ -1,0 +1,93 @@
+//! Shared decoded-trace chunks for batched lockstep sweeps.
+//!
+//! Population sweeps run the *same* trace slice against many
+//! configurations (the paper's §II design-space methodology). The trace
+//! generators are pure functions of `(SliceSpec, seed)`, so every member
+//! of such a group consumes an identical instruction stream — yet the
+//! serial per-member loop regenerates it once per member. An
+//! [`InstChunk`] decodes a block of records once and lets N simulators
+//! step over the shared slice ([`Simulator::run_block`]), amortizing
+//! generation cost across the whole group.
+//!
+//! Chunked lockstep preserves bit-identity by construction: simulators
+//! share no mutable state, and each member sees the exact record
+//! sequence it would have seen stepping its own generator. The chunk is
+//! a reusable buffer — one allocation per group, refilled in place.
+//!
+//! [`Simulator::run_block`]: crate::sim::Simulator::run_block
+
+use exynos_trace::{Inst, TraceGen};
+
+/// Records decoded per [`InstChunk::refill`] call. The dominant cost of
+/// small chunks is not the bookkeeping but the *member switch*: each
+/// simulator's hot predictor state (SHP weights, BTB/µBTB tag+target
+/// arrays, cache tags) is evicted by the other members' tables between
+/// its turns, so members must step long contiguous runs to keep
+/// scalar-like locality. 8 Ki records gives each member thousands of
+/// contiguous steps per switch (a typical warmup or detail window is a
+/// handful of chunks) while the buffer itself stays well under a MiB,
+/// so it remains cache-resident across the member loop.
+pub const CHUNK_LEN: usize = 8 * 1024;
+
+/// A reusable buffer of decoded trace records shared by every member of
+/// a lockstep batch.
+#[derive(Debug, Default)]
+pub struct InstChunk {
+    buf: Vec<Inst>,
+}
+
+impl InstChunk {
+    /// An empty chunk with capacity for [`CHUNK_LEN`] records.
+    pub fn new() -> InstChunk {
+        InstChunk { buf: Vec::with_capacity(CHUNK_LEN) }
+    }
+
+    /// Discard the current contents and decode up to `n` records from
+    /// `gen`. Returns the freshly decoded block.
+    pub fn refill(&mut self, gen: &mut dyn TraceGen, n: usize) -> &[Inst] {
+        self.buf.clear();
+        self.buf.reserve(n);
+        for _ in 0..n {
+            self.buf.push(gen.next_inst());
+        }
+        &self.buf
+    }
+
+    /// The decoded records currently in the buffer.
+    pub fn as_slice(&self) -> &[Inst] {
+        &self.buf
+    }
+
+    /// Records currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when the buffer holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exynos_trace::gen::loops::{LoopNest, LoopNestParams};
+
+    #[test]
+    fn refill_matches_direct_generation() {
+        let params = LoopNestParams::default();
+        let mut a = LoopNest::new(&params, 0, 7);
+        let mut b = LoopNest::new(&params, 0, 7);
+        let mut chunk = InstChunk::new();
+        let block = chunk.refill(&mut a, 100);
+        assert_eq!(block.len(), 100);
+        for inst in block {
+            assert_eq!(inst.pc, b.next_inst().pc);
+        }
+        // Refilling reuses the buffer and replaces the contents.
+        let block = chunk.refill(&mut a, 5);
+        assert_eq!(block.len(), 5);
+        assert_eq!(block[0].pc, b.next_inst().pc);
+    }
+}

@@ -7,6 +7,8 @@
 //! * [`memsys`] — L1/L2/exclusive-L3/DRAM with all prefetchers (§VII–IX);
 //! * [`ports`] — execution-port scheduling;
 //! * [`sim`] — the out-of-order timing model and slice runner;
+//! * [`batch`] — shared decoded-trace chunks for batched lockstep
+//!   sweeps ([`InstChunk`]);
 //! * [`builder`] — [`SimBuilder`], the validated construction path, plus
 //!   checkpoint/resume via [`Simulator::checkpoint`] /
 //!   [`Simulator::resume`];
@@ -34,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod builder;
 pub mod cancel;
 pub mod config;
@@ -50,4 +53,5 @@ pub use config::{CoreConfig, Generation};
 pub use error::{OccupancySnapshot, SimError};
 pub use fault::{FaultInjector, FaultPlan, FaultRates, FaultStats};
 pub use memsys::{MemStats, MemSystem};
-pub use sim::{run_slice_on, SimStats, Simulator, SliceResult};
+pub use batch::{InstChunk, CHUNK_LEN};
+pub use sim::{run_slice_on, SimStats, Simulator, SliceMeasure, SliceResult};

@@ -120,6 +120,19 @@ fn branch_class(kind: Option<BranchKind>) -> BranchClass {
     }
 }
 
+/// Measurement baseline captured at the start of a detail window by
+/// [`Simulator::measure_begin`]. The batched lockstep engine and the
+/// scalar [`Simulator::run_slice`] path both derive their
+/// [`SliceResult`]s through this one pair of helpers, so batched stats
+/// are byte-equal to serial stats by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct SliceMeasure {
+    start_insts: u64,
+    start_cycle: u64,
+    fe0: FrontendStats,
+    mem0: MemStats,
+}
+
 /// Results of one measured slice.
 #[derive(Debug, Clone)]
 pub struct SliceResult {
@@ -291,6 +304,13 @@ impl Simulator {
     /// Memory-system access (stats).
     pub fn memsys(&self) -> &MemSystem {
         &self.memsys
+    }
+
+    /// UOC access (`None` on generations without one). Read-only: batch
+    /// probe paths peek at block state without perturbing the mode
+    /// machine.
+    pub fn uoc(&self) -> Option<&Uoc> {
+        self.uoc.as_ref()
     }
 
     /// UOC statistics (zeroes when the generation has no UOC).
@@ -879,10 +899,7 @@ impl Simulator {
                 }
             }
         }
-        let start_insts = self.stats.instructions;
-        let start_cycle = self.stats.last_retire;
-        let fe0 = *self.frontend.stats();
-        let mem0 = self.memsys.stats();
+        let measure = self.measure_begin();
         for _ in 0..plan.detail {
             let inst = gen.next_inst();
             match tel.as_deref_mut() {
@@ -895,15 +912,33 @@ impl Simulator {
                 }
             }
         }
-        let instructions = self.stats.instructions - start_insts;
-        let cycles = (self.stats.last_retire - start_cycle).max(1);
+        Ok(self.measure_end(&measure))
+    }
+
+    /// Snapshot the counters a detail window is measured against. Pair
+    /// with [`Simulator::measure_end`]; the scalar slice runner and the
+    /// batched lockstep engine share this math.
+    pub fn measure_begin(&self) -> SliceMeasure {
+        SliceMeasure {
+            start_insts: self.stats.instructions,
+            start_cycle: self.stats.last_retire,
+            fe0: *self.frontend.stats(),
+            mem0: self.memsys.stats(),
+        }
+    }
+
+    /// Derive the [`SliceResult`] for everything stepped since the
+    /// paired [`Simulator::measure_begin`].
+    pub fn measure_end(&self, m: &SliceMeasure) -> SliceResult {
+        let instructions = self.stats.instructions - m.start_insts;
+        let cycles = (self.stats.last_retire - m.start_cycle).max(1);
         let fe1 = *self.frontend.stats();
         let mem1 = self.memsys.stats();
-        let mpki = (fe1.total_mispredicts() - fe0.total_mispredicts()) as f64 * 1000.0
+        let mpki = (fe1.total_mispredicts() - m.fe0.total_mispredicts()) as f64 * 1000.0
             / instructions.max(1) as f64;
-        let lat_num = mem1.total_load_latency - mem0.total_load_latency;
-        let lat_den = (mem1.loads - mem0.loads).max(1);
-        Ok(SliceResult {
+        let lat_num = mem1.total_load_latency - m.mem0.total_load_latency;
+        let lat_den = (mem1.loads - m.mem0.loads).max(1);
+        SliceResult {
             instructions,
             cycles,
             ipc: instructions as f64 / cycles as f64,
@@ -911,7 +946,19 @@ impl Simulator {
             avg_load_latency: lat_num as f64 / lat_den as f64,
             frontend: fe1,
             mem: mem1,
-        })
+        }
+    }
+
+    /// Step every record of a decoded block in order — the per-member
+    /// inner loop of the batched lockstep engine. Equivalent to calling
+    /// [`Simulator::step`] once per record, so a batch that feeds each
+    /// member the same chunk sequence it would have generated itself
+    /// produces byte-identical state.
+    pub fn run_block(&mut self, block: &[Inst]) -> Result<(), SimError> {
+        for inst in block {
+            self.step(inst)?;
+        }
+        Ok(())
     }
 
     /// Close the current epoch if the instruction count says it is due.

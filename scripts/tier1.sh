@@ -33,6 +33,12 @@ test -s BENCH_sweep.json
 if command -v jq >/dev/null 2>&1; then
   jq -e '.schema and .serial.steps_per_sec > 0 and .parallel.steps_per_sec > 0 and .bit_identical == true' BENCH_sweep.json >/dev/null
   jq -e '.warm.pool_build_s > 0 and .warm.parallel_steps_per_sec > 0 and .warm_equals_cold == true' BENCH_sweep.json >/dev/null
+  # The warm rate must be computed over post-resume stepping only (the
+  # prep split is recorded alongside it), and the batched lockstep
+  # engine must beat the scalar serial baseline while staying
+  # bit-identical (asserted by .bit_identical above, which covers it).
+  jq -e '.warm.stepped_insts > 0 and .warm.parallel_stepping_s > 0' BENCH_sweep.json >/dev/null
+  jq -e '.batched.steps_per_sec > 0 and .batched.width >= 2 and .batched_speedup >= 1.0' BENCH_sweep.json >/dev/null
   # The comparison pass must record its mode honestly: a host without
   # real parallelism runs (and labels) a serial fallback.
   jq -e '(.mode == "parallel" and .threads > 1) or (.mode == "serial-fallback" and .threads == 1)' BENCH_sweep.json >/dev/null
