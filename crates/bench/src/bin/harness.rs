@@ -10,7 +10,8 @@
 //!
 //! Subcommands: table1 table2 table3 table4 fig1 fig4 fig5 fig7 fig8 fig9
 //! fig10 fig14 fig15 fig16 fig17 uoc btb_ablation branchstats ablations
-//! security_policies bench metrics trace checkpoint resume serve call all
+//! security_policies bench metrics trace checkpoint resume serve call
+//! spans all
 //!
 //! Sweep-as-a-service (see DESIGN.md, "Service tier & failure model"):
 //!
@@ -19,6 +20,19 @@
 //! cargo run --release -p exynos-bench --bin harness -- call '{"cmd":"submit","job":{"kind":"sweep"}}' --socket /tmp/ex.sock
 //! cargo run --release -p exynos-bench --bin harness -- call '{"cmd":"result","id":1}' --socket /tmp/ex.sock
 //! cargo run --release -p exynos-bench --bin harness -- call '{"cmd":"shutdown"}' --socket /tmp/ex.sock
+//! ```
+//!
+//! Service observability (see DESIGN.md, "Span tracing & flight
+//! recorder"): `spans ID` prints a served job's span tree as JSONL,
+//! `spans` with no id prints the per-stage latency quantiles, and
+//! `call metrics --prom` prints the ops registry in Prometheus text
+//! exposition format. `serve --postmortem-dir DIR` makes the flight
+//! recorder write post-mortem dumps there.
+//!
+//! ```text
+//! cargo run --release -p exynos-bench --bin harness -- spans 1 --socket /tmp/ex.sock
+//! cargo run --release -p exynos-bench --bin harness -- spans --socket /tmp/ex.sock
+//! cargo run --release -p exynos-bench --bin harness -- call metrics --prom --socket /tmp/ex.sock
 //! ```
 //!
 //! Checkpoint round trip (byte-identical telemetry across the two runs):
@@ -48,6 +62,7 @@ const SUBCOMMANDS: &[&str] = &[
     "all", "table1", "table2", "table3", "table4", "fig1", "fig4", "fig5", "fig7", "fig8", "fig9",
     "fig10", "fig14", "fig15", "fig16", "fig17", "uoc", "btb_ablation", "branchstats", "ablations",
     "security_policies", "bench", "metrics", "trace", "checkpoint", "resume", "serve", "call",
+    "spans",
 ];
 
 fn usage_error(msg: &str) -> ! {
@@ -56,9 +71,11 @@ fn usage_error(msg: &str) -> ! {
         "usage: harness [SUBCOMMAND] [FILE] [--scale N] [--csv PATH] [--threads N] [--epoch N] [--quick]"
     );
     eprintln!("               [--socket PATH] [--journal PATH] [--workers N] [--queue N]");
+    eprintln!("               [--postmortem-dir DIR] [--prom]");
     eprintln!("subcommands: {}", SUBCOMMANDS.join(" "));
     eprintln!("FILE is required by checkpoint/resume (the on-disk image path)");
-    eprintln!("and by call (the JSON request line, e.g. '{{\"cmd\":\"ping\"}}')");
+    eprintln!("and by call (the JSON request line, e.g. '{{\"cmd\":\"ping\"}}');");
+    eprintln!("spans takes an optional job id (no id: latency quantiles)");
     std::process::exit(2);
 }
 
@@ -77,6 +94,8 @@ struct Options {
     journal: Option<String>,
     workers: usize,
     queue_cap: usize,
+    postmortem_dir: Option<String>,
+    prom: bool,
 }
 
 fn parse_args(args: &[String]) -> Options {
@@ -92,6 +111,8 @@ fn parse_args(args: &[String]) -> Options {
         journal: None,
         workers: 2,
         queue_cap: 64,
+        postmortem_dir: None,
+        prom: false,
     };
     let mut saw_cmd = false;
     let mut it = args.iter();
@@ -135,6 +156,11 @@ fn parse_args(args: &[String]) -> Options {
                 Some(_) => usage_error("--queue expects a positive integer"),
                 None => usage_error("--queue is missing its value"),
             },
+            "--postmortem-dir" => match it.next() {
+                Some(v) if !v.starts_with("--") => opts.postmortem_dir = Some(v.clone()),
+                _ => usage_error("--postmortem-dir is missing its path"),
+            },
+            "--prom" => opts.prom = true,
             "--help" | "-h" => {
                 println!(
                     "usage: harness [SUBCOMMAND] [--scale N] [--csv PATH] [--threads N] [--epoch N] [--quick]"
@@ -152,7 +178,7 @@ fn parse_args(args: &[String]) -> Options {
                 opts.cmd = cmd.to_string();
                 saw_cmd = true;
             }
-            path if matches!(opts.cmd.as_str(), "checkpoint" | "resume" | "call")
+            path if matches!(opts.cmd.as_str(), "checkpoint" | "resume" | "call" | "spans")
                 && opts.file.is_none() =>
             {
                 opts.file = Some(path.to_string());
@@ -166,17 +192,49 @@ fn parse_args(args: &[String]) -> Options {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_args(&args);
-    let Options { cmd, file, scale, csv_path, threads, epoch, quick, socket, journal, workers, queue_cap } =
-        opts;
+    let Options {
+        cmd,
+        file,
+        scale,
+        csv_path,
+        threads,
+        epoch,
+        quick,
+        socket,
+        journal,
+        workers,
+        queue_cap,
+        postmortem_dir,
+        prom,
+    } = opts;
     if cmd == "serve" {
-        serve_cmd(&socket, journal.as_deref(), workers, queue_cap, threads);
+        serve_cmd(
+            &socket,
+            journal.as_deref(),
+            workers,
+            queue_cap,
+            threads,
+            postmortem_dir.as_deref(),
+        );
         return;
     }
     if cmd == "call" {
+        if prom {
+            prom_cmd(&socket);
+            return;
+        }
         let Some(request) = file else {
             usage_error("'call' needs the JSON request line as an argument");
         };
         call_cmd(&socket, &request);
+        return;
+    }
+    if cmd == "spans" {
+        let id = file.map(|v| match v.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => usage_error("'spans' takes a numeric job id"),
+        });
+        spans_cmd(&socket, id);
         return;
     }
     if cmd == "bench" {
@@ -654,16 +712,19 @@ fn branchstats() {
 /// write the perf trajectory to `BENCH_sweep.json` in the current
 /// directory (the repo root under `cargo run`).
 /// `harness -- serve [--socket PATH] [--journal PATH] [--workers N]
-/// [--queue N] [--threads N]`: run the resilient job tier on a unix
-/// socket until a client sends `shutdown`. `--journal` arms the
-/// write-ahead job journal, so a killed server recovers incomplete jobs
-/// on restart; `--threads` sets the warm-pool build parallelism.
+/// [--queue N] [--threads N] [--postmortem-dir DIR]`: run the resilient
+/// job tier on a unix socket until a client sends `shutdown`.
+/// `--journal` arms the write-ahead job journal, so a killed server
+/// recovers incomplete jobs on restart; `--threads` sets the warm-pool
+/// build parallelism; `--postmortem-dir` makes the flight recorder
+/// write its post-mortem JSONL dumps there.
 fn serve_cmd(
     socket: &str,
     journal: Option<&str>,
     workers: usize,
     queue_cap: usize,
     threads: Option<usize>,
+    postmortem_dir: Option<&str>,
 ) {
     use exynos_bench::service_runner::BenchRunner;
     use exynos_service::{Engine, ServiceConfig};
@@ -672,6 +733,7 @@ fn serve_cmd(
         workers,
         queue_capacity: queue_cap,
         journal_path: journal.map(std::path::PathBuf::from),
+        postmortem_dir: postmortem_dir.map(std::path::PathBuf::from),
         ..ServiceConfig::default()
     };
     let engine = match Engine::start(Box::new(BenchRunner::new(pool_threads)), cfg) {
@@ -722,6 +784,76 @@ fn call_cmd(socket: &str, request: &str) {
         .unwrap_or(false);
     if !ok {
         std::process::exit(1);
+    }
+}
+
+/// One protocol round trip, exiting on transport or server refusal, so
+/// the observability subcommands share error handling. Returns the
+/// parsed response plus the raw line.
+fn call_checked(socket: &str, request: &str) -> (exynos_service::json::Json, String) {
+    use exynos_service::json::Json;
+    let resp = match exynos_service::socket::call(
+        std::path::Path::new(socket),
+        request,
+        std::time::Duration::from_secs(60),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("harness: call to {socket} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let v = match Json::parse(&resp) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("harness: unparseable response {resp:?}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if v.get("ok").and_then(Json::as_bool) != Some(true) {
+        eprintln!("harness: server refused: {resp}");
+        std::process::exit(1);
+    }
+    (v, resp)
+}
+
+/// `harness -- call metrics --prom [--socket PATH]`: fetch the ops
+/// metrics registry in Prometheus text exposition format and print the
+/// raw text, ready for a scrape endpoint or promtool.
+fn prom_cmd(socket: &str) {
+    use exynos_service::json::Json;
+    let (v, _) = call_checked(socket, "{\"cmd\":\"metrics\",\"format\":\"prom\"}");
+    let Some(text) = v.get("metrics").and_then(Json::as_str) else {
+        eprintln!("harness: response carried no \"metrics\" text");
+        std::process::exit(1);
+    };
+    print!("{text}");
+    if !text.ends_with('\n') {
+        println!();
+    }
+}
+
+/// `harness -- spans [ID] [--socket PATH]`: with a job id, print the
+/// job's span tree as JSONL (`trace-job`); with no id, print the
+/// per-stage latency quantile summaries (`quantiles`) as one JSON line.
+fn spans_cmd(socket: &str, id: Option<u64>) {
+    use exynos_service::json::Json;
+    match id {
+        Some(id) => {
+            let (v, _) = call_checked(socket, &format!("{{\"cmd\":\"trace-job\",\"id\":{id}}}"));
+            let Some(spans) = v.get("spans").and_then(Json::as_str) else {
+                eprintln!("harness: response carried no \"spans\" payload");
+                std::process::exit(1);
+            };
+            print!("{spans}");
+            if !spans.is_empty() && !spans.ends_with('\n') {
+                println!();
+            }
+        }
+        None => {
+            let (_, resp) = call_checked(socket, "{\"cmd\":\"quantiles\"}");
+            println!("{resp}");
+        }
     }
 }
 

@@ -22,9 +22,9 @@ use exynos_core::config::{CoreConfig, Generation};
 use exynos_core::error::SimError;
 use exynos_core::fault::FaultPlan;
 use exynos_core::sim::Simulator;
-use exynos_service::job::{JobKind, JobRunner, JobSpec};
+use exynos_service::job::{JobCtx, JobKind, JobRunner, JobSpec};
 use exynos_service::json;
-use exynos_telemetry::{Telemetry, TelemetryConfig};
+use exynos_telemetry::{SpanId, Telemetry, TelemetryConfig};
 use exynos_trace::{standard_suite, SlicePlan};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -81,7 +81,7 @@ impl BenchRunner {
         warmup: u64,
         detail: u64,
         threads: usize,
-        cancel: &CancelToken,
+        ctx: &JobCtx,
     ) -> Result<String, SimError> {
         if scale == 0 {
             return Err(SimError::Config {
@@ -89,6 +89,7 @@ impl BenchRunner {
                 detail: "sweep scale must be >= 1".to_owned(),
             });
         }
+        let cancel = &ctx.cancel;
         let suite = standard_suite(scale);
         let gens = CoreConfig::all_generations();
         let per_gen = suite.len();
@@ -102,11 +103,21 @@ impl BenchRunner {
                 let slice = &suite[i % per_gen];
                 let mut sim = build_sim(cfg.clone(), spec, cancel)?;
                 let mut gen = slice.instantiate();
-                let r = sim.run_slice(&mut *gen, SlicePlan::new(warmup, detail))?;
+                let sspan = slice_span(ctx, i, &slice.name, cfg.gen.name());
+                let r = sim.run_slice(&mut *gen, SlicePlan::new(warmup, detail));
+                end_slice_span(ctx, sspan, &sim);
+                let r = r?;
                 Ok(record(slice.name.clone(), cfg.gen.name(), &r))
             })?
         } else {
-            let pool = self.pool(scale, warmup, cancel)?;
+            let pool = {
+                let fetch = ctx.spans.start("warm_pool_fetch", Some(ctx.attempt));
+                ctx.spans.attr_u64(fetch, "scale", scale as u64);
+                ctx.spans.attr_u64(fetch, "warmup", warmup);
+                let pool = self.pool(scale, warmup, cancel);
+                ctx.spans.end(fetch);
+                pool?
+            };
             sweep::run_indexed_result(jobs, threads, |i| {
                 let cfg = &gens[i / per_gen];
                 let slice = &suite[i % per_gen];
@@ -118,7 +129,10 @@ impl BenchRunner {
                 for _ in 0..sim.stats().instructions {
                     let _ = gen.next_inst();
                 }
-                let r = sim.run_slice(&mut *gen, SlicePlan::new(0, detail))?;
+                let sspan = slice_span(ctx, i, &slice.name, cfg.gen.name());
+                let r = sim.run_slice(&mut *gen, SlicePlan::new(0, detail));
+                end_slice_span(ctx, sspan, &sim);
+                let r = r?;
                 Ok(record(slice.name.clone(), cfg.gen.name(), &r))
             })?
         };
@@ -131,7 +145,7 @@ impl BenchRunner {
         generation: &str,
         (warmup, detail, epoch): (u64, u64, u64),
         trace: bool,
-        cancel: &CancelToken,
+        ctx: &JobCtx,
     ) -> Result<String, SimError> {
         if !Telemetry::ACTIVE {
             return Err(SimError::Config {
@@ -146,13 +160,16 @@ impl BenchRunner {
             });
         }
         let cfg = CoreConfig::for_generation(parse_generation(generation)?);
-        let mut sim = build_sim(cfg, spec, cancel)?;
+        let mut sim = build_sim(cfg, spec, &ctx.cancel)?;
         let event_capacity = if trace { 1 << 18 } else { 1 << 16 };
         let mut tel = Telemetry::new(TelemetryConfig { epoch_len: epoch, event_capacity });
         let suite = standard_suite(1);
         let slice = &suite[0];
         let mut gen = slice.instantiate();
-        sim.run_slice_with(&mut *gen, SlicePlan::new(warmup, detail), &mut tel)?;
+        let sspan = slice_span(ctx, 0, &slice.name, generation);
+        let r = sim.run_slice_with(&mut *gen, SlicePlan::new(warmup, detail), &mut tel);
+        end_slice_span(ctx, sspan, &sim);
+        r?;
         sim.sample_telemetry(&mut tel);
         tel.end_epoch(sim.stats().instructions, sim.stats().last_retire);
         Ok(if trace { tel.events_jsonl() } else { tel.metrics_jsonl() })
@@ -163,14 +180,17 @@ impl BenchRunner {
         spec: &JobSpec,
         generation: &str,
         warmup: u64,
-        cancel: &CancelToken,
+        ctx: &JobCtx,
     ) -> Result<String, SimError> {
         let cfg = CoreConfig::for_generation(parse_generation(generation)?);
-        let mut sim = build_sim(cfg, spec, cancel)?;
+        let mut sim = build_sim(cfg, spec, &ctx.cancel)?;
         let suite = standard_suite(1);
         let slice = &suite[0];
         let mut gen = slice.instantiate();
-        sim.run_warmup(&mut *gen, warmup)?;
+        let sspan = slice_span(ctx, 0, &slice.name, generation);
+        let r = sim.run_warmup(&mut *gen, warmup);
+        end_slice_span(ctx, sspan, &sim);
+        r?;
         let image = sim.checkpoint();
         let mut out = String::from("{");
         json::push_key(&mut out, true, "kind");
@@ -191,21 +211,46 @@ impl BenchRunner {
 }
 
 impl JobRunner for BenchRunner {
-    fn run(&self, spec: &JobSpec, cancel: &CancelToken) -> Result<String, SimError> {
+    fn run(&self, spec: &JobSpec, ctx: &JobCtx) -> Result<String, SimError> {
         match &spec.kind {
             JobKind::Sweep { scale, warmup, detail, threads } => {
-                self.run_sweep(spec, *scale, *warmup, *detail, *threads, cancel)
+                self.run_sweep(spec, *scale, *warmup, *detail, *threads, ctx)
             }
             JobKind::Metrics { generation, warmup, detail, epoch } => {
-                self.run_instrumented(spec, generation, (*warmup, *detail, *epoch), false, cancel)
+                self.run_instrumented(spec, generation, (*warmup, *detail, *epoch), false, ctx)
             }
             JobKind::Trace { generation, warmup, detail, epoch } => {
-                self.run_instrumented(spec, generation, (*warmup, *detail, *epoch), true, cancel)
+                self.run_instrumented(spec, generation, (*warmup, *detail, *epoch), true, ctx)
             }
             JobKind::Checkpoint { generation, warmup } => {
-                self.run_checkpoint(spec, generation, *warmup, cancel)
+                self.run_checkpoint(spec, generation, *warmup, ctx)
             }
         }
+    }
+}
+
+/// Open a `slice[k]` span under the job's attempt span. The `format!`
+/// is gated so disabled-telemetry builds pay nothing.
+fn slice_span(ctx: &JobCtx, k: usize, slice: &str, gen: &str) -> SpanId {
+    if !Telemetry::ACTIVE {
+        return SpanId::default();
+    }
+    let s = ctx.spans.start(&format!("slice[{k}]"), Some(ctx.attempt));
+    ctx.spans.attr_str(s, "slice", slice);
+    ctx.spans.attr_str(s, "gen", gen);
+    s
+}
+
+/// Close a slice span, attaching the simulator's last watchdog trip (if
+/// any) so post-mortems carry the cycle/gap/rung that fired.
+fn end_slice_span(ctx: &JobCtx, s: SpanId, sim: &Simulator) {
+    if Telemetry::ACTIVE {
+        if let Some(t) = sim.watchdog_report() {
+            ctx.spans.attr_u64(s, "watchdog_cycle", t.cycle);
+            ctx.spans.attr_u64(s, "watchdog_gap", t.gap);
+            ctx.spans.attr_u64(s, "watchdog_rung", t.rung as u64);
+        }
+        ctx.spans.end(s);
     }
 }
 
@@ -323,11 +368,11 @@ mod tests {
     #[test]
     fn warm_sweep_matches_cold_reference() {
         let runner = BenchRunner::new(1);
-        let cancel = CancelToken::new();
-        let payload = runner.run(&quick_sweep(), &cancel).unwrap();
+        let ctx = JobCtx::detached(CancelToken::new());
+        let payload = runner.run(&quick_sweep(), &ctx).unwrap();
         assert_eq!(runner.pool_count(), 1, "plain sweep populates the shared pool");
         // Same spec again: served from the cached pool, byte-identical.
-        let again = runner.run(&quick_sweep(), &cancel).unwrap();
+        let again = runner.run(&quick_sweep(), &ctx).unwrap();
         assert_eq!(payload, again);
         // Reference values from the cold experiment engine.
         let reference = exp::run_population_with_threads(1, 200, 300, 1);
@@ -337,10 +382,10 @@ mod tests {
     #[test]
     fn override_sweep_bypasses_the_pool() {
         let runner = BenchRunner::new(1);
-        let cancel = CancelToken::new();
+        let ctx = JobCtx::detached(CancelToken::new());
         let mut spec = quick_sweep();
         spec.chaos_seed = Some(0xC0FFEE);
-        runner.run(&spec, &cancel).unwrap();
+        runner.run(&spec, &ctx).unwrap();
         assert_eq!(runner.pool_count(), 0, "override jobs must not share pools");
     }
 
@@ -349,36 +394,37 @@ mod tests {
         let runner = BenchRunner::new(1);
         let cancel = CancelToken::new();
         cancel.cancel();
-        let err = runner.run(&quick_sweep(), &cancel).unwrap_err();
+        let ctx = JobCtx::detached(cancel);
+        let err = runner.run(&quick_sweep(), &ctx).unwrap_err();
         assert!(matches!(err, SimError::Cancelled { deadline: false, .. }), "got {err}");
     }
 
     #[test]
     fn bad_generation_is_a_config_error() {
         let runner = BenchRunner::new(1);
-        let cancel = CancelToken::new();
+        let ctx = JobCtx::detached(CancelToken::new());
         let spec = JobSpec::plain(JobKind::Checkpoint { generation: "m9".to_owned(), warmup: 100 });
-        let err = runner.run(&spec, &cancel).unwrap_err();
+        let err = runner.run(&spec, &ctx).unwrap_err();
         assert!(matches!(err, SimError::Config { param: "job.gen", .. }), "got {err}");
     }
 
     #[test]
     fn inconsistent_stall_knobs_are_rejected() {
         let runner = BenchRunner::new(1);
-        let cancel = CancelToken::new();
+        let ctx = JobCtx::detached(CancelToken::new());
         let mut spec = quick_sweep();
         spec.stall_every = 100; // no stall_cycles: period with no magnitude
-        let err = runner.run(&spec, &cancel).unwrap_err();
+        let err = runner.run(&spec, &ctx).unwrap_err();
         assert!(matches!(err, SimError::Config { .. }), "got {err}");
     }
 
     #[test]
     fn checkpoint_payload_is_deterministic() {
         let runner = BenchRunner::new(1);
-        let cancel = CancelToken::new();
+        let ctx = JobCtx::detached(CancelToken::new());
         let spec = JobSpec::plain(JobKind::Checkpoint { generation: "m6".to_owned(), warmup: 500 });
-        let a = runner.run(&spec, &cancel).unwrap();
-        let b = runner.run(&spec, &cancel).unwrap();
+        let a = runner.run(&spec, &ctx).unwrap();
+        let b = runner.run(&spec, &ctx).unwrap();
         assert_eq!(a, b);
         assert!(a.contains("\"bytes\":"), "payload reports the image size: {a}");
     }

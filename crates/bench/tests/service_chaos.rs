@@ -58,6 +58,7 @@ fn fast_cfg() -> ServiceConfig {
         breaker_threshold: 10,
         breaker_cooldown_jobs: 1_000,
         journal_path: None,
+        ..ServiceConfig::default()
     }
 }
 
@@ -242,10 +243,78 @@ fn torn_journal_tail_is_tolerated() {
     let cfg2 = ServiceConfig { workers: 1, journal_path: Some(journal.clone()), ..fast_cfg() };
     let engine = Engine::start(Box::new(BenchRunner::new(1)), cfg2).unwrap();
     assert!(engine.stats_json().contains("\"journal_torn\":true"));
+    // Telemetry builds dump the flight recorder on torn-tail recovery.
+    if exynos_telemetry::Telemetry::ACTIVE {
+        assert!(engine.postmortem_count() >= 1, "torn tail must trigger a post-mortem");
+        let dump = engine.last_postmortem().expect("dump retained");
+        assert_postmortem_parses(&dump, "torn_journal");
+    }
     let st = wait_terminal(&engine, id);
     assert!(st.recovered && st.payload.is_some(), "clean prefix still recovers: {:?}", st.error);
     assert!(engine.drain(WAIT));
     let _ = std::fs::remove_file(&journal);
+}
+
+/// Every line of a post-mortem dump must be standalone-parseable JSON,
+/// and the header line must carry the trigger reason.
+fn assert_postmortem_parses(dump: &str, reason: &str) {
+    use exynos_service::json::Json;
+    let mut lines = dump.lines();
+    let header = lines.next().expect("dump has a header line");
+    let h = Json::parse(header).unwrap_or_else(|e| panic!("unparseable header {header:?}: {e}"));
+    assert_eq!(h.get("type").and_then(Json::as_str), Some("postmortem"), "{header}");
+    assert_eq!(h.get("reason").and_then(Json::as_str), Some(reason), "{header}");
+    let declared = h.get("lines").and_then(Json::as_u64).expect("header declares line count");
+    let mut body = 0u64;
+    for line in lines {
+        let v = Json::parse(line).unwrap_or_else(|e| panic!("unparseable line {line:?}: {e}"));
+        assert!(v.get("type").and_then(Json::as_str).is_some(), "untyped line {line}");
+        body += 1;
+    }
+    assert_eq!(body, declared, "header line count matches the body");
+}
+
+#[test]
+fn watchdog_trip_dumps_a_parseable_postmortem() {
+    if !exynos_telemetry::Telemetry::ACTIVE {
+        return; // flight recorder is compiled out
+    }
+    let dir = std::env::temp_dir().join(format!("exynos-postmortem-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = ServiceConfig {
+        workers: 1,
+        postmortem_dir: Some(dir.clone()),
+        ..fast_cfg()
+    };
+    let engine = Engine::start(Box::new(BenchRunner::new(1)), cfg).unwrap();
+    let id = engine.submit(wedge_spec(), None, Some(0)).unwrap();
+    let st = wait_terminal(&engine, id);
+    assert_eq!(st.error_kind.as_deref(), Some("forward_progress_stall"), "{:?}", st.error);
+
+    // The failure dumped the flight recorder, in memory and on disk.
+    assert_eq!(engine.postmortem_count(), 1);
+    let dump = engine.last_postmortem().expect("dump retained");
+    assert_postmortem_parses(&dump, "forward_progress_stall");
+    assert!(dump.contains("\"type\":\"span\""), "dump carries the job's spans: {dump}");
+    assert!(dump.contains("\"name\":\"attempt[1]\""), "dump names the attempt: {dump}");
+    assert!(dump.contains("watchdog_rung"), "slice span carries trip attrs: {dump}");
+    let on_disk = std::fs::read_to_string(dir.join("postmortem-1.jsonl"))
+        .expect("dump written to --postmortem-dir");
+    assert_eq!(on_disk, dump, "disk copy matches the in-memory dump");
+
+    // The job's span tree is queryable and complete, and the latency
+    // registry learned a job_total distribution from it.
+    let spans = engine.job_spans(id).expect("span tree retained");
+    for name in ["\"name\":\"job\"", "\"name\":\"queue_wait\"", "\"name\":\"result_encode\""] {
+        assert!(spans.contains(name), "span tree missing {name}: {spans}");
+    }
+    let q = engine.quantiles_json();
+    assert!(q.contains("\"service.latency.job_total\""), "quantiles: {q}");
+    assert!(q.contains("\"p99\":"), "quantiles carry p99: {q}");
+
+    assert!(engine.drain(WAIT));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

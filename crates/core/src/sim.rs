@@ -74,12 +74,38 @@ struct Watchdog {
     recoveries: u32,
     /// Consecutive steps with healthy retirement gaps.
     progress_streak: u32,
+    /// Most recent trip, for post-run diagnostics. Deliberately not part
+    /// of the snapshot codec: it is transient observability state, and
+    /// keeping it out preserves the wire format version.
+    last_trip: Option<WatchdogTrip>,
 }
 
 impl Default for Watchdog {
     fn default() -> Watchdog {
-        Watchdog { threshold: 50_000, max_recoveries: 3, recoveries: 0, progress_streak: 0 }
+        Watchdog {
+            threshold: 50_000,
+            max_recoveries: 3,
+            recoveries: 0,
+            progress_streak: 0,
+            last_trip: None,
+        }
     }
+}
+
+/// One forward-progress watchdog trip, reported by
+/// [`Simulator::watchdog_report`] so callers (the service runner's span
+/// attributes, post-mortem dumps) can see what the ladder last did
+/// without parsing an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogTrip {
+    /// Retire-time cycle at which the trip fired.
+    pub cycle: u64,
+    /// Retirement gap that exceeded the threshold.
+    pub gap: u64,
+    /// Ladder rung spent on this trip (0 = flush, 1 = +FilterMode,
+    /// 2+ = +re-key); equals `max_recoveries` when the ladder was
+    /// already exhausted and the run erred out.
+    pub rung: u32,
 }
 
 /// Progress steps needed to forgive one spent recovery rung.
@@ -284,6 +310,13 @@ impl Simulator {
     /// The configuration in use.
     pub fn config(&self) -> &CoreConfig {
         &self.cfg
+    }
+
+    /// The most recent forward-progress watchdog trip, if any fired
+    /// this run (`None` after a resume — trip reports are transient and
+    /// not snapshotted).
+    pub fn watchdog_report(&self) -> Option<WatchdogTrip> {
+        self.watchdog.last_trip
     }
 
     /// Cumulative counters.
@@ -641,6 +674,11 @@ impl Simulator {
         if gap > self.watchdog.threshold {
             self.stats.watchdog_events += 1;
             self.watchdog.progress_streak = 0;
+            self.watchdog.last_trip = Some(WatchdogTrip {
+                cycle: rt,
+                gap,
+                rung: self.watchdog.recoveries,
+            });
             if self.watchdog.recoveries >= self.watchdog.max_recoveries {
                 return Err(SimError::ForwardProgressStall {
                     cycle: rt,

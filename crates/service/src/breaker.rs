@@ -87,16 +87,22 @@ impl CircuitBreaker {
     }
 
     /// A job of `key` ended with a watchdog-class final failure.
-    pub fn record_watchdog_failure(&self, key: u64) {
+    /// Returns `true` when this failure newly opened the breaker (for
+    /// flight-recorder triggers); re-opening after a failed probe is
+    /// not "new".
+    pub fn record_watchdog_failure(&self, key: u64) -> bool {
         let mut entries = lock(&self.entries);
         let e = entries.entry(key).or_default();
         e.consecutive_watchdog += 1;
         e.probing = false;
+        let newly_tripped =
+            e.consecutive_watchdog >= self.trip_threshold && e.tripped_at.is_none();
         if e.consecutive_watchdog >= self.trip_threshold {
             e.tripped_at = Some(self.completions.load(Ordering::Acquire));
         }
         drop(entries);
         self.completions.fetch_add(1, Ordering::AcqRel);
+        newly_tripped
     }
 
     /// A job of `key` ended with a non-watchdog final failure: breaks
@@ -139,6 +145,14 @@ mod tests {
         assert_eq!(b.open_count(), 1);
         // Other keys are unaffected.
         assert!(b.admit(10).is_ok());
+    }
+
+    #[test]
+    fn watchdog_failure_reports_fresh_trips_once() {
+        let b = CircuitBreaker::new(2, 100);
+        assert!(!b.record_watchdog_failure(3));
+        assert!(b.record_watchdog_failure(3), "crossing the threshold is a fresh trip");
+        assert!(!b.record_watchdog_failure(3), "already open is not a fresh trip");
     }
 
     #[test]

@@ -20,12 +20,14 @@
 //! would have produced.
 
 use crate::breaker::{CircuitBreaker, Quarantined};
-use crate::job::{JobId, JobRunner, JobSpec, JobState};
+use crate::job::{JobCtx, JobId, JobRunner, JobSpec, JobState};
 use crate::json::{self, Json};
 use crate::queue::BoundedQueue;
 use exynos_core::cancel::CancelToken;
 use exynos_snapshot::journal::{self, JournalWriter};
-use exynos_telemetry::MetricsRegistry;
+use exynos_telemetry::{
+    FlightRecorder, MetricsRegistry, SharedSpans, SpanId, Telemetry, DEFAULT_FLIGHT_CAPACITY,
+};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -37,6 +39,30 @@ use std::time::{Duration, Instant};
 const REC_SUBMIT: u8 = 1;
 /// Journal record kind: a terminal outcome.
 const REC_TERMINAL: u8 = 2;
+
+/// Canonical latency-stage names; every span name maps onto one of
+/// these (or is dropped) when job spans are folded into the per-stage
+/// quantile histograms at `service.latency.<stage>`.
+const STAGES: [&str; 7] = [
+    "job_total",
+    "submit",
+    "queue_wait",
+    "attempt",
+    "warm_pool_fetch",
+    "slice",
+    "result_encode",
+];
+
+/// Map a span name to its latency stage: the root `job` span becomes
+/// `job_total`, indexed spans (`attempt[2]`, `slice[m3/0]`) fold onto
+/// their base name, unknown names are skipped.
+fn base_stage(name: &str) -> Option<&'static str> {
+    let base = name.split('[').next().unwrap_or(name);
+    if base == "job" {
+        return Some("job_total");
+    }
+    STAGES.iter().find(|s| **s == base).copied()
+}
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -62,6 +88,11 @@ pub struct ServiceConfig {
     pub breaker_cooldown_jobs: u64,
     /// Write-ahead journal path (`None` = volatile engine).
     pub journal_path: Option<PathBuf>,
+    /// Directory receiving flight-recorder post-mortem dumps
+    /// (`postmortem-N.jsonl`); `None` keeps dumps in memory only.
+    pub postmortem_dir: Option<PathBuf>,
+    /// Flight-recorder ring capacity in lines.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -76,6 +107,8 @@ impl Default for ServiceConfig {
             breaker_threshold: 3,
             breaker_cooldown_jobs: 8,
             journal_path: None,
+            postmortem_dir: None,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -129,6 +162,33 @@ struct JobEntry {
     cancel: CancelToken,
     deadline_armed: bool,
     recovered: bool,
+    /// The job's span trace (zero-sized no-op with telemetry off).
+    spans: SharedSpans,
+    /// Root `job` span covering submit through terminal.
+    root_span: SpanId,
+    /// The currently open `queue_wait` span, closed at dequeue.
+    queue_span: Option<SpanId>,
+}
+
+impl JobEntry {
+    fn new(spec: JobSpec, deadline_ms: u64, max_retries: u32) -> JobEntry {
+        JobEntry {
+            spec,
+            deadline_ms,
+            max_retries,
+            state: JobState::Queued,
+            attempts: 0,
+            error_kind: None,
+            error: None,
+            payload: None,
+            cancel: CancelToken::new(),
+            deadline_armed: false,
+            recovered: false,
+            spans: SharedSpans::new(),
+            root_span: SpanId::default(),
+            queue_span: None,
+        }
+    }
 }
 
 /// Monotone service counters (plain atomics — live with or without the
@@ -155,6 +215,31 @@ pub struct ServiceCounters {
     pub recovered: AtomicU64,
 }
 
+/// The engine's persistent ops registry: queue gauges/counters sampled
+/// on every queue transition plus the per-stage latency quantiles. One
+/// instance lives for the life of the engine (unlike the point-in-time
+/// snapshot [`Engine::metrics_registry`] hands out), which is what lets
+/// the quantile histograms accumulate.
+struct Ops {
+    registry: MetricsRegistry,
+    queue_depth: exynos_telemetry::MetricId,
+    shed_total: exynos_telemetry::MetricId,
+    retry_total: exynos_telemetry::MetricId,
+}
+
+impl Ops {
+    fn new() -> Ops {
+        let mut registry = MetricsRegistry::new();
+        let queue_depth = registry.gauge("service.queue", "depth");
+        let shed_total = registry.counter("service.queue", "shed_total");
+        let retry_total = registry.counter("service.queue", "retry_total");
+        for stage in STAGES {
+            registry.quantile_histogram("service.latency", stage);
+        }
+        Ops { registry, queue_depth, shed_total, retry_total }
+    }
+}
+
 struct Inner {
     runner: Box<dyn JobRunner>,
     cfg: ServiceConfig,
@@ -170,6 +255,129 @@ struct Inner {
     shutdown_requested: AtomicBool,
     running: AtomicUsize,
     journal_torn: AtomicBool,
+    ops: Mutex<Ops>,
+    flight: Mutex<FlightRecorder>,
+    last_postmortem: Mutex<Option<String>>,
+    postmortems: AtomicU64,
+    /// Wall anchor for flight-recorder event timestamps.
+    epoch: Instant,
+}
+
+fn lock_ops(m: &Mutex<Ops>) -> MutexGuard<'_, Ops> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Refresh the queue-depth gauge; call after every queue transition.
+fn ops_queue_depth(inner: &Inner) {
+    if !Telemetry::ACTIVE {
+        return;
+    }
+    let depth = inner.queue.len() as f64;
+    let mut ops = lock_ops(&inner.ops);
+    let id = ops.queue_depth;
+    ops.registry.set_gauge(id, depth);
+}
+
+/// Count one shed and refresh the depth gauge.
+fn ops_count_shed(inner: &Inner) {
+    if !Telemetry::ACTIVE {
+        return;
+    }
+    let depth = inner.queue.len() as f64;
+    let mut ops = lock_ops(&inner.ops);
+    let (shed, dep) = (ops.shed_total, ops.queue_depth);
+    ops.registry.add(shed, 1);
+    ops.registry.set_gauge(dep, depth);
+}
+
+/// Count one retry re-queue and refresh the depth gauge.
+fn ops_count_retry(inner: &Inner) {
+    if !Telemetry::ACTIVE {
+        return;
+    }
+    let depth = inner.queue.len() as f64;
+    let mut ops = lock_ops(&inner.ops);
+    let (retry, dep) = (ops.retry_total, ops.queue_depth);
+    ops.registry.add(retry, 1);
+    ops.registry.set_gauge(dep, depth);
+}
+
+/// Fold one closed span duration into its stage's quantile histogram.
+fn ops_observe_stage(inner: &Inner, stage: &'static str, dur_us: u64) {
+    if !Telemetry::ACTIVE {
+        return;
+    }
+    let mut ops = lock_ops(&inner.ops);
+    let id = ops.registry.quantile_histogram("service.latency", stage);
+    ops.registry.observe(id, dur_us);
+}
+
+/// Append one `{"type":"event",...}` line to the flight ring.
+fn flight_note(inner: &Inner, event: &str, id: JobId, extra: &[(&str, u64)]) {
+    if !Telemetry::ACTIVE {
+        return;
+    }
+    let mut line = String::from("{");
+    json::push_key(&mut line, true, "type");
+    json::push_str(&mut line, "event");
+    json::push_key(&mut line, false, "t_us");
+    json::push_u64(&mut line, inner.epoch.elapsed().as_micros() as u64);
+    json::push_key(&mut line, false, "event");
+    json::push_str(&mut line, event);
+    json::push_key(&mut line, false, "id");
+    json::push_u64(&mut line, id);
+    for (k, v) in extra {
+        json::push_key(&mut line, false, k);
+        json::push_u64(&mut line, *v);
+    }
+    line.push('}');
+    match inner.flight.lock() {
+        Ok(mut fr) => fr.note(line),
+        Err(p) => p.into_inner().note(line),
+    }
+}
+
+/// Feed a terminating job's rendered spans into the flight ring so a
+/// post-mortem carries the traces of the jobs leading up to the trigger.
+fn flight_note_spans(inner: &Inner, spans: &SharedSpans) {
+    if !Telemetry::ACTIVE {
+        return;
+    }
+    let jsonl = spans.to_jsonl();
+    let mut fr = match inner.flight.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    for line in jsonl.lines() {
+        fr.note(line.to_string());
+    }
+}
+
+/// Take a post-mortem dump: snapshot the flight ring, stash it as the
+/// latest dump, and (when configured) persist it to
+/// `postmortem_dir/postmortem-N.jsonl`.
+fn flight_dump(inner: &Inner, reason: &str) {
+    if !Telemetry::ACTIVE {
+        return;
+    }
+    let dump = match inner.flight.lock() {
+        Ok(mut fr) => fr.dump(reason),
+        Err(p) => p.into_inner().dump(reason),
+    };
+    if dump.is_empty() {
+        return;
+    }
+    let n = inner.postmortems.fetch_add(1, Ordering::AcqRel) + 1;
+    if let Some(dir) = &inner.cfg.postmortem_dir {
+        // A failed dump write is survivable: the in-memory copy below
+        // still serves the `postmortem` protocol command.
+        let _ = std::fs::create_dir_all(dir);
+        let _ = std::fs::write(dir.join(format!("postmortem-{n}.jsonl")), &dump);
+    }
+    match inner.last_postmortem.lock() {
+        Ok(mut g) => *g = Some(dump),
+        Err(p) => *p.into_inner() = Some(dump),
+    }
 }
 
 /// The long-lived job tier; see the [module docs](self).
@@ -202,6 +410,11 @@ impl Engine {
             shutdown_requested: AtomicBool::new(false),
             running: AtomicUsize::new(0),
             journal_torn: AtomicBool::new(false),
+            ops: Mutex::new(Ops::new()),
+            flight: Mutex::new(FlightRecorder::new(cfg.flight_capacity)),
+            last_postmortem: Mutex::new(None),
+            postmortems: AtomicU64::new(0),
+            epoch: Instant::now(),
             cfg,
         });
         if let Some(path) = inner.cfg.journal_path.clone() {
@@ -237,33 +450,31 @@ impl Engine {
         let deadline_ms = deadline_ms.unwrap_or(inner.cfg.default_deadline_ms);
         let max_retries = max_retries.unwrap_or(inner.cfg.default_max_retries);
         let id = inner.next_id.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut entry = JobEntry::new(spec, deadline_ms, max_retries);
+        entry.root_span = entry.spans.start("job", None);
+        entry.spans.attr_u64(entry.root_span, "id", id);
+        entry.spans.attr_str(entry.root_span, "kind", entry.spec.kind.label());
+        entry.spans.attr_u64(entry.root_span, "config_key", entry.spec.config_key());
+        let submit_span = entry.spans.start("submit", Some(entry.root_span));
         // Write-ahead: the submission is durable before the job becomes
         // runnable, so no admitted job can be lost to a crash.
-        journal_submit(inner, id, &spec, deadline_ms, max_retries);
+        journal_submit(inner, id, &entry.spec, deadline_ms, max_retries);
+        entry.spans.end(submit_span);
+        entry.queue_span = Some(entry.spans.start("queue_wait", Some(entry.root_span)));
+        let key = entry.spec.config_key();
         {
             let mut jobs = lock_jobs(&inner.jobs);
-            jobs.insert(
-                id,
-                JobEntry {
-                    spec,
-                    deadline_ms,
-                    max_retries,
-                    state: JobState::Queued,
-                    attempts: 0,
-                    error_kind: None,
-                    error: None,
-                    payload: None,
-                    cancel: CancelToken::new(),
-                    deadline_armed: false,
-                    recovered: false,
-                },
-            );
+            jobs.insert(id, entry);
         }
+        flight_note(inner, "submitted", id, &[("config_key", key)]);
         if let Err(full) = inner.queue.try_push(id) {
             inner.counters.sheds.fetch_add(1, Ordering::Relaxed);
+            ops_count_shed(inner);
+            flight_note(inner, "shed", id, &[("depth", full.depth as u64)]);
             finish_job(inner, id, Err(("overloaded".into(), "queue full at submission".into())));
             return Err(SubmitError::Overloaded { depth: full.depth });
         }
+        ops_queue_depth(inner);
         inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(id)
     }
@@ -326,13 +537,14 @@ impl Engine {
         out
     }
 
-    /// The same ops counters published through the telemetry
-    /// [`MetricsRegistry`] (empty with the feature off), making the
-    /// registry double as the service's ops endpoint.
+    /// A point-in-time snapshot of the engine's persistent ops registry
+    /// (queue gauges/counters, per-stage latency quantiles), refreshed
+    /// with the atomically-sourced job counters and breaker state.
+    /// Empty with the telemetry feature off.
     pub fn metrics_registry(&self) -> MetricsRegistry {
         let inner = &self.inner;
         let c = &inner.counters;
-        let mut r = MetricsRegistry::new();
+        let mut r = lock_ops(&inner.ops).registry.clone();
         let depth = r.gauge("service.queue", "depth");
         r.set_gauge(depth, inner.queue.len() as f64);
         let running = r.gauge("service.workers", "running");
@@ -352,7 +564,52 @@ impl Engine {
         counter("recovered", c.recovered.load(Ordering::Relaxed));
         let open = r.gauge("service.breaker", "open");
         r.set_gauge(open, inner.breaker.open_count() as f64);
+        let dumps = r.counter("service.flight", "postmortems");
+        r.set_counter(dumps, inner.postmortems.load(Ordering::Relaxed));
         r
+    }
+
+    /// The ops registry in Prometheus text exposition format (empty
+    /// with telemetry off).
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics_registry().render_prometheus()
+    }
+
+    /// Per-stage latency summaries as one JSON object keyed
+    /// `service.latency.<stage>`, each value a
+    /// `{"count":..,"p50":..,"p90":..,"p99":..,"max":..}` digest.
+    /// `{}` with telemetry off.
+    pub fn quantiles_json(&self) -> String {
+        let ops = lock_ops(&self.inner.ops);
+        let mut out = String::from("{");
+        let mut first = true;
+        ops.registry.for_each_quantile(&mut |component, name, q| {
+            json::push_key(&mut out, first, &format!("{component}.{name}"));
+            q.push_summary_json(&mut out);
+            first = false;
+        });
+        out.push('}');
+        out
+    }
+
+    /// One job's span trace as JSON Lines (`None` for an unknown job;
+    /// empty string with telemetry off).
+    pub fn job_spans(&self, id: JobId) -> Option<String> {
+        let jobs = lock_jobs(&self.inner.jobs);
+        jobs.get(&id).map(|e| e.spans.to_jsonl())
+    }
+
+    /// Post-mortem dumps taken since start.
+    pub fn postmortem_count(&self) -> u64 {
+        self.inner.postmortems.load(Ordering::Relaxed)
+    }
+
+    /// The most recent post-mortem dump (JSONL), if any.
+    pub fn last_postmortem(&self) -> Option<String> {
+        match self.inner.last_postmortem.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        }
     }
 
     /// Metrics registry rendered as one JSON object
@@ -535,33 +792,43 @@ fn recover(inner: &Arc<Inner>, path: &std::path::Path) -> Result<(), journal::Jo
             Some(Err((kind, msg))) => (JobState::Failed, None, Some(kind), Some(msg)),
             None => (JobState::Queued, None, None, None),
         };
-        jobs.insert(
-            id,
-            JobEntry {
-                spec,
-                deadline_ms,
-                max_retries,
-                state,
-                attempts: 0,
-                error_kind,
-                error,
-                payload,
-                cancel: CancelToken::new(),
-                deadline_armed: false,
-                recovered: incomplete,
-            },
-        );
+        let mut entry = JobEntry::new(spec, deadline_ms, max_retries);
+        entry.state = state;
+        entry.payload = payload;
+        entry.error_kind = error_kind;
+        entry.error = error;
+        entry.recovered = incomplete;
+        // Recovered traces start at replay time: the original timings
+        // died with the previous incarnation.
+        entry.root_span = entry.spans.start("job", None);
+        entry.spans.attr_u64(entry.root_span, "id", id);
+        entry.spans.attr_str(entry.root_span, "kind", entry.spec.kind.label());
+        entry.spans.attr_u64(entry.root_span, "recovered", 1);
+        if incomplete {
+            entry.queue_span = Some(entry.spans.start("queue_wait", Some(entry.root_span)));
+        } else {
+            entry.spans.end(entry.root_span);
+        }
+        jobs.insert(id, entry);
         if incomplete {
             // Recovery bypasses admission control: these jobs were
             // already admitted by the previous incarnation.
             inner.queue.push_force(id);
+            flight_note(inner, "recovered", id, &[]);
             inner.counters.recovered.fetch_add(1, Ordering::Relaxed);
             inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
         }
     }
     drop(jobs);
+    ops_queue_depth(inner);
     inner.next_id.store(max_id, Ordering::Release);
     inner.journal_seq.store(max_seq, Ordering::Release);
+    if scan.torn_tail {
+        // A torn tail means the previous incarnation died mid-write:
+        // leave a post-mortem trail for the operator who asks why.
+        flight_note(inner, "torn_journal", 0, &[("records", scan.records.len() as u64)]);
+        flight_dump(inner, "torn_journal");
+    }
     Ok(())
 }
 
@@ -575,6 +842,7 @@ fn worker_loop(inner: &Arc<Inner>) {
         let Some(id) = inner.queue.pop_timeout(Duration::from_millis(50)) else {
             continue;
         };
+        ops_queue_depth(inner);
         inner.running.fetch_add(1, Ordering::AcqRel);
         run_one(inner, id);
         inner.running.fetch_sub(1, Ordering::AcqRel);
@@ -582,7 +850,7 @@ fn worker_loop(inner: &Arc<Inner>) {
 }
 
 fn run_one(inner: &Arc<Inner>, id: JobId) {
-    let (spec, cancel, attempt, max_retries) = {
+    let (spec, cancel, attempt, max_retries, spans, attempt_span) = {
         let mut jobs = lock_jobs(&inner.jobs);
         let Some(e) = jobs.get_mut(&id) else { return };
         if e.state.is_terminal() {
@@ -596,37 +864,58 @@ fn run_one(inner: &Arc<Inner>, id: JobId) {
             e.cancel.set_deadline(Instant::now() + Duration::from_millis(e.deadline_ms));
             e.deadline_armed = true;
         }
-        (e.spec.clone(), e.cancel.clone(), e.attempts, e.max_retries)
+        if let Some(q) = e.queue_span.take() {
+            e.spans.end(q);
+        }
+        let attempt_span = if Telemetry::ACTIVE {
+            let s = e.spans.start(&format!("attempt[{}]", e.attempts), Some(e.root_span));
+            e.spans.attr_u64(s, "attempt", e.attempts as u64);
+            s
+        } else {
+            SpanId::default()
+        };
+        (e.spec.clone(), e.cancel.clone(), e.attempts, e.max_retries, e.spans.clone(), attempt_span)
     };
     let key = spec.config_key();
-    match inner.runner.run(&spec, &cancel) {
+    flight_note(inner, "attempt", id, &[("n", attempt as u64)]);
+    let ctx = JobCtx { cancel, spans: spans.clone(), attempt: attempt_span };
+    match inner.runner.run(&spec, &ctx) {
         Ok(payload) => {
+            spans.end(attempt_span);
             inner.breaker.record_success(key);
             finish_job(inner, id, Ok(payload));
         }
         Err(err) => {
             let kind = err.kind();
+            spans.attr_str(attempt_span, "error_kind", kind);
+            spans.end(attempt_span);
             let retryable =
                 err.is_retryable() && attempt <= max_retries && !inner.stop.load(Ordering::Acquire);
             if retryable {
                 inner.counters.retries.fetch_add(1, Ordering::Relaxed);
+                flight_note(inner, "retry", id, &[("after_attempt", attempt as u64)]);
                 backoff_sleep(inner, attempt);
                 {
                     let mut jobs = lock_jobs(&inner.jobs);
                     if let Some(e) = jobs.get_mut(&id) {
                         e.state = JobState::Queued;
+                        e.queue_span = Some(e.spans.start("queue_wait", Some(e.root_span)));
                     }
                 }
                 // Retries bypass admission: the job already holds a slot
                 // in the envelope's eyes.
                 inner.queue.push_force(id);
+                ops_count_retry(inner);
                 return;
             }
             if kind == "deadline" {
                 inner.counters.deadline_misses.fetch_add(1, Ordering::Relaxed);
             }
             if kind == "forward_progress_stall" {
-                inner.breaker.record_watchdog_failure(key);
+                if inner.breaker.record_watchdog_failure(key) {
+                    flight_note(inner, "breaker_open", id, &[("config_key", key)]);
+                    flight_dump(inner, "breaker_open");
+                }
             } else {
                 inner.breaker.record_other_failure(key);
             }
@@ -649,22 +938,61 @@ fn backoff_sleep(inner: &Inner, attempt: u32) {
 }
 
 /// Journal the terminal record, then publish it to the job table.
+///
+/// With telemetry on this is also where the job's span tree is sealed:
+/// a `result_encode` span wraps the journal write and publication, the
+/// root closes, closed durations feed the per-stage latency quantiles,
+/// and failures dump the flight recorder keyed by error kind.
 fn finish_job(inner: &Inner, id: JobId, outcome: Result<String, (String, String)>) {
+    let tele = {
+        let mut jobs = lock_jobs(&inner.jobs);
+        jobs.get_mut(&id).map(|e| {
+            if let Some(q) = e.queue_span.take() {
+                e.spans.end(q);
+            }
+            (e.spans.clone(), e.root_span)
+        })
+    };
+    let encode_span = tele.as_ref().map(|(spans, root)| spans.start("result_encode", Some(*root)));
     journal_terminal(inner, id, &outcome);
-    let mut jobs = lock_jobs(&inner.jobs);
-    if let Some(e) = jobs.get_mut(&id) {
-        match outcome {
-            Ok(payload) => {
-                e.state = JobState::Completed;
-                e.payload = Some(payload);
-                inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+    let failed_kind = outcome.as_ref().err().map(|(k, _)| k.clone());
+    {
+        let mut jobs = lock_jobs(&inner.jobs);
+        if let Some(e) = jobs.get_mut(&id) {
+            match outcome {
+                Ok(payload) => {
+                    e.state = JobState::Completed;
+                    e.payload = Some(payload);
+                    inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err((kind, msg)) => {
+                    e.state = JobState::Failed;
+                    e.error_kind = Some(kind);
+                    e.error = Some(msg);
+                    inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+                }
             }
-            Err((kind, msg)) => {
-                e.state = JobState::Failed;
-                e.error_kind = Some(kind);
-                e.error = Some(msg);
-                inner.counters.failed.fetch_add(1, Ordering::Relaxed);
-            }
+        }
+    }
+    let Some((spans, root)) = tele else { return };
+    if let Some(s) = encode_span {
+        spans.end(s);
+    }
+    spans.end(root);
+    if !Telemetry::ACTIVE {
+        return;
+    }
+    for (name, dur_us) in spans.closed_durations() {
+        if let Some(stage) = base_stage(&name) {
+            ops_observe_stage(inner, stage, dur_us);
+        }
+    }
+    flight_note_spans(inner, &spans);
+    match failed_kind {
+        None => flight_note(inner, "completed", id, &[]),
+        Some(kind) => {
+            flight_note(inner, "failed", id, &[]);
+            flight_dump(inner, &kind);
         }
     }
 }

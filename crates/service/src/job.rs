@@ -14,6 +14,7 @@
 use crate::json::{self, Json};
 use exynos_core::cancel::CancelToken;
 use exynos_core::error::SimError;
+use exynos_telemetry::{SharedSpans, SpanId};
 
 /// Job identifier, unique per journal lineage.
 pub type JobId = u64;
@@ -62,6 +63,18 @@ pub enum JobKind {
         /// Warm-up instructions before the snapshot.
         warmup: u64,
     },
+}
+
+impl JobKind {
+    /// Stable wire/span label for the kind.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobKind::Sweep { .. } => "sweep",
+            JobKind::Metrics { .. } => "metrics",
+            JobKind::Trace { .. } => "trace",
+            JobKind::Checkpoint { .. } => "checkpoint",
+        }
+    }
 }
 
 /// A deterministic unit of work plus its robustness knobs.
@@ -272,12 +285,42 @@ impl JobState {
     }
 }
 
+/// Per-execution context handed to a [`JobRunner`]: the cancellation
+/// token plus the job's span trace, so the runner can hang its own
+/// stage spans (`warm_pool_fetch`, `slice[k]`) off the current attempt.
+///
+/// With the telemetry feature off the span fields are zero-sized no-ops;
+/// runners can call them unconditionally.
+#[derive(Debug, Clone)]
+pub struct JobCtx {
+    /// Cooperative cancellation (deadline armed by the engine across
+    /// the whole retry envelope).
+    pub cancel: CancelToken,
+    /// The job's shared span recorder.
+    pub spans: SharedSpans,
+    /// The span of the attempt this execution runs under — the parent
+    /// for runner-side stage spans.
+    pub attempt: SpanId,
+}
+
+impl JobCtx {
+    /// A context outside any engine (tests, direct runner invocation):
+    /// a fresh recorder whose root doubles as the attempt span.
+    pub fn detached(cancel: CancelToken) -> JobCtx {
+        let spans = SharedSpans::new();
+        let attempt = spans.start("attempt[1]", None);
+        JobCtx { cancel, spans, attempt }
+    }
+}
+
 /// Executes one job spec to a deterministic payload. Implementations
-/// must honour `cancel` (attach it to every simulator they build) and
-/// must be panic-free: every failure is a typed [`SimError`].
+/// must honour `ctx.cancel` (attach it to every simulator they build)
+/// and must be panic-free: every failure is a typed [`SimError`].
+/// Payloads must not depend on `ctx.spans` — span state is
+/// observability, never data.
 pub trait JobRunner: Send + Sync + 'static {
     /// Run `spec` to completion or typed failure.
-    fn run(&self, spec: &JobSpec, cancel: &CancelToken) -> Result<String, SimError>;
+    fn run(&self, spec: &JobSpec, ctx: &JobCtx) -> Result<String, SimError>;
 }
 
 #[cfg(test)]

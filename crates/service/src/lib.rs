@@ -42,4 +42,4 @@ pub mod queue;
 pub mod socket;
 
 pub use engine::{Engine, JobStatus, ServiceConfig, SubmitError};
-pub use job::{JobId, JobKind, JobRunner, JobSpec, JobState};
+pub use job::{JobCtx, JobId, JobKind, JobRunner, JobSpec, JobState};

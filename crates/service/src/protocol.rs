@@ -16,8 +16,15 @@
 //! | `result`   | `id`                                             | `state`, `payload?` / `error_kind`,`error` |
 //! | `cancel`   | `id`                                             | `cancelled` |
 //! | `stats`    | —                                                | ops counters object |
-//! | `metrics`  | —                                                | metrics-registry object |
+//! | `metrics`  | `format?` (`"prom"` for text exposition)         | metrics-registry object, or `metrics` text |
+//! | `trace-job`| `id`                                             | `spans` (JSONL span tree for the job) |
+//! | `quantiles`| —                                                | `quantiles` (per-stage latency summaries) |
+//! | `postmortem` | —                                              | `count`, `dump?` (latest flight-recorder dump) |
 //! | `shutdown` | —                                                | `draining` (then the server drains and exits) |
+//!
+//! `trace-job`, `quantiles`, and `postmortem` are observability
+//! commands: with the `telemetry` feature off they still answer, but
+//! with empty spans/summaries and a zero dump count.
 
 use crate::engine::{Engine, SubmitError};
 use crate::job::JobSpec;
@@ -136,8 +143,47 @@ pub fn handle_line(engine: &Engine, line: &str) -> String {
             out
         }
         "metrics" => {
+            if v.get("format").and_then(Json::as_str) == Some("prom") {
+                let mut out = String::from("{\"ok\":true,\"format\":\"prom\"");
+                json::push_key(&mut out, false, "metrics");
+                json::push_str(&mut out, &engine.metrics_prometheus());
+                out.push('}');
+                return out;
+            }
             let mut out = String::from("{\"ok\":true,\"metrics\":");
             out.push_str(&engine.metrics_json());
+            out.push('}');
+            out
+        }
+        "trace-job" => {
+            let Some(id) = v.get("id").and_then(Json::as_u64) else {
+                return err_response("bad_request", "missing \"id\"");
+            };
+            let Some(spans) = engine.job_spans(id) else {
+                return err_response("unknown_job", "");
+            };
+            let mut out = String::from("{\"ok\":true");
+            json::push_key(&mut out, false, "id");
+            json::push_u64(&mut out, id);
+            json::push_key(&mut out, false, "spans");
+            json::push_str(&mut out, &spans);
+            out.push('}');
+            out
+        }
+        "quantiles" => {
+            let mut out = String::from("{\"ok\":true,\"quantiles\":");
+            out.push_str(&engine.quantiles_json());
+            out.push('}');
+            out
+        }
+        "postmortem" => {
+            let mut out = String::from("{\"ok\":true");
+            json::push_key(&mut out, false, "count");
+            json::push_u64(&mut out, engine.postmortem_count());
+            if let Some(dump) = engine.last_postmortem() {
+                json::push_key(&mut out, false, "dump");
+                json::push_str(&mut out, &dump);
+            }
             out.push('}');
             out
         }

@@ -33,17 +33,23 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod metric;
+pub mod quantile;
 pub mod registry;
 pub mod series;
+pub mod span;
 
 pub use event::{
     BranchClass, EventRecord, EventTrace, FaultClass, PipelineEvent, PrefetchKind, UocModeTag,
 };
+pub use flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use metric::{Counter, Gauge, Histogram, MetricKind, GAP_BUCKETS, LATENCY_BUCKETS};
+pub use quantile::{QuantileHistogram, QUANTILE_SUB_BUCKETS};
 pub use registry::{MetricId, MetricsRegistry};
 pub use series::{EpochMark, EpochSeries};
+pub use span::{SharedSpans, SpanId, SpanRecorder};
 
 use std::fmt::Write as _;
 
@@ -342,10 +348,21 @@ impl Telemetry {
             self.events.dropped(),
         );
         self.registry.for_each(&mut |component, name, kind, scalar| {
-            if kind == MetricKind::Histogram {
+            if kind == MetricKind::Histogram || kind == MetricKind::Quantile {
                 return;
             }
             let _ = writeln!(out, "  {component}.{name} = {scalar}");
+        });
+        self.registry.for_each_quantile(&mut |component, name, q| {
+            let _ = writeln!(
+                out,
+                "  {component}.{name}: count={} mean={:.2} p50={} p99={} max={}",
+                q.count(),
+                q.mean(),
+                q.quantile(0.5).min(q.max()),
+                q.quantile(0.99).min(q.max()),
+                q.max(),
+            );
         });
         self.registry.for_each_histogram(&mut |component, name, h| {
             let _ = writeln!(
@@ -421,7 +438,30 @@ mod noop_tests {
         assert_eq!(std::mem::size_of::<MetricsRegistry>(), 0);
         assert_eq!(std::mem::size_of::<EpochSeries>(), 0);
         assert_eq!(std::mem::size_of::<EventTrace>(), 0);
+        assert_eq!(std::mem::size_of::<SpanRecorder>(), 0);
+        assert_eq!(std::mem::size_of::<SharedSpans>(), 0);
+        assert_eq!(std::mem::size_of::<FlightRecorder>(), 0);
         assert!(!Telemetry::ACTIVE);
+    }
+
+    #[test]
+    fn disabled_span_and_flight_are_inert() {
+        let spans = SharedSpans::new();
+        let root = spans.start("job", None);
+        spans.attr_u64(root, "id", 1);
+        spans.end(root);
+        assert_eq!(spans.len(), 0);
+        assert_eq!(spans.to_jsonl(), "");
+        assert!(spans.closed_durations().is_empty());
+        let mut fr = FlightRecorder::new(8);
+        fr.note("{}".to_string());
+        assert_eq!(fr.len(), 0);
+        assert_eq!(fr.dump("x"), "");
+        let mut r = MetricsRegistry::new();
+        let q = r.quantile_histogram("a", "b");
+        r.observe(q, 5);
+        assert!(r.quantile_ref(q).is_none());
+        assert_eq!(r.render_prometheus(), "");
     }
 
     #[test]

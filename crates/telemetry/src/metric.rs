@@ -16,6 +16,9 @@ pub enum MetricKind {
     Gauge,
     /// Fixed-bucket distribution of integer samples.
     Histogram,
+    /// Log-bucketed distribution with bounded-error quantiles
+    /// ([`crate::QuantileHistogram`]).
+    Quantile,
 }
 
 /// A monotonically increasing integer metric.

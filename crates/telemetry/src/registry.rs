@@ -8,6 +8,9 @@
 //! fields and every method is a no-op.
 
 use crate::metric::{Histogram, MetricKind};
+use crate::quantile::QuantileHistogram;
+#[cfg(feature = "enabled")]
+use crate::json;
 #[cfg(feature = "enabled")]
 use crate::metric::{Counter, Gauge};
 
@@ -25,6 +28,8 @@ pub(crate) enum Metric {
     Gauge(Gauge),
     /// Histogram slot.
     Histogram(Histogram),
+    /// Quantile-histogram slot.
+    Quantile(QuantileHistogram),
 }
 
 #[cfg(feature = "enabled")]
@@ -36,6 +41,7 @@ impl Metric {
             Metric::Counter(c) => c.get() as f64,
             Metric::Gauge(g) => g.get(),
             Metric::Histogram(h) => h.mean(),
+            Metric::Quantile(q) => q.mean(),
         }
     }
 
@@ -44,6 +50,7 @@ impl Metric {
             Metric::Counter(_) => MetricKind::Counter,
             Metric::Gauge(_) => MetricKind::Gauge,
             Metric::Histogram(_) => MetricKind::Histogram,
+            Metric::Quantile(_) => MetricKind::Quantile,
         }
     }
 }
@@ -186,16 +193,37 @@ impl MetricsRegistry {
         }
     }
 
-    /// Record one histogram sample (no-op on other kinds).
+    /// Find-or-register a log-bucketed quantile-histogram slot.
+    pub fn quantile_histogram(&mut self, component: &'static str, name: &'static str) -> MetricId {
+        #[cfg(feature = "enabled")]
+        {
+            self.register(
+                component,
+                name,
+                Metric::Quantile(QuantileHistogram::new()),
+            )
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (component, name);
+            MetricId(0)
+        }
+    }
+
+    /// Record one distribution sample (no-op on non-distribution kinds).
     #[inline]
     pub fn observe(&mut self, id: MetricId, sample: u64) {
         #[cfg(feature = "enabled")]
-        if let Some(Slot {
-            metric: Metric::Histogram(h),
-            ..
-        }) = self.slots.get_mut(id.0 as usize)
-        {
-            h.observe(sample);
+        match self.slots.get_mut(id.0 as usize) {
+            Some(Slot {
+                metric: Metric::Histogram(h),
+                ..
+            }) => h.observe(sample),
+            Some(Slot {
+                metric: Metric::Quantile(q),
+                ..
+            }) => q.observe(sample),
+            _ => {}
         }
         #[cfg(not(feature = "enabled"))]
         {
@@ -326,6 +354,115 @@ impl MetricsRegistry {
             let _ = f;
         }
     }
+
+    /// Read-only access to a quantile-histogram slot.
+    pub fn quantile_ref(&self, id: MetricId) -> Option<&QuantileHistogram> {
+        #[cfg(feature = "enabled")]
+        {
+            match self.slots.get(id.0 as usize) {
+                Some(Slot {
+                    metric: Metric::Quantile(q),
+                    ..
+                }) => Some(q),
+                _ => None,
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = id;
+            None
+        }
+    }
+
+    /// Visit every quantile-histogram slot as `(component, name, qh)`.
+    pub fn for_each_quantile(
+        &self,
+        f: &mut dyn FnMut(&'static str, &'static str, &QuantileHistogram),
+    ) {
+        #[cfg(feature = "enabled")]
+        for s in &self.slots {
+            if let Metric::Quantile(q) = &s.metric {
+                f(s.component, s.name, q);
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = f;
+        }
+    }
+
+    /// Render the registry in Prometheus text exposition format, in
+    /// registration order. Metric names are `component.name` with every
+    /// non-alphanumeric byte mapped to `_`; histograms render as
+    /// cumulative `_bucket{le=...}` series plus `_sum`/`_count`, and
+    /// quantile histograms as summaries with `{quantile="..."}` labels.
+    /// Empty string in a disabled build.
+    pub fn render_prometheus(&self) -> String {
+        #[cfg(feature = "enabled")]
+        {
+            use std::fmt::Write as _;
+            fn sanitize(out: &mut String, component: &str, name: &str) {
+                for c in component.chars().chain("_".chars()).chain(name.chars()) {
+                    if c.is_ascii_alphanumeric() {
+                        out.push(c);
+                    } else {
+                        out.push('_');
+                    }
+                }
+            }
+            let mut out = String::new();
+            for s in &self.slots {
+                let mut metric = String::new();
+                sanitize(&mut metric, s.component, s.name);
+                match &s.metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(out, "# TYPE {metric} counter");
+                        let _ = writeln!(out, "{metric} {}", c.get());
+                    }
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(out, "# TYPE {metric} gauge");
+                        let mut v = String::new();
+                        json::push_f64(&mut v, g.get());
+                        let _ = writeln!(out, "{metric} {v}");
+                    }
+                    Metric::Histogram(h) => {
+                        let _ = writeln!(out, "# TYPE {metric} histogram");
+                        let mut cum = 0u64;
+                        for (i, b) in h.bounds().iter().enumerate() {
+                            cum += h.bucket(i);
+                            let _ = writeln!(out, "{metric}_bucket{{le=\"{b}\"}} {cum}");
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{metric}_bucket{{le=\"+Inf\"}} {}",
+                            h.count()
+                        );
+                        let _ = writeln!(out, "{metric}_sum {}", h.sum());
+                        let _ = writeln!(out, "{metric}_count {}", h.count());
+                    }
+                    Metric::Quantile(q) => {
+                        let _ = writeln!(out, "# TYPE {metric} summary");
+                        for (label, quant) in
+                            [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)]
+                        {
+                            let _ = writeln!(
+                                out,
+                                "{metric}{{quantile=\"{label}\"}} {}",
+                                q.quantile(quant).min(q.max())
+                            );
+                        }
+                        let _ = writeln!(out, "{metric}_sum {}", q.sum());
+                        let _ = writeln!(out, "{metric}_count {}", q.count());
+                    }
+                }
+            }
+            out
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            String::new()
+        }
+    }
 }
 
 #[cfg(all(test, feature = "enabled"))]
@@ -359,5 +496,46 @@ mod tests {
         assert_eq!(r.scalar(g), 0.5);
         assert_eq!(r.scalar(h), 5.0);
         assert_eq!(r.kind(h), Some(MetricKind::Histogram));
+    }
+
+    #[test]
+    fn quantile_slots_observe_and_render() {
+        let mut r = MetricsRegistry::new();
+        let q = r.quantile_histogram("svc.latency", "job_total");
+        for v in [10u64, 20, 30, 40] {
+            r.observe(q, v);
+        }
+        assert_eq!(r.kind(q), Some(MetricKind::Quantile));
+        let qh = r.quantile_ref(q).unwrap();
+        assert_eq!(qh.count(), 4);
+        assert!(qh.quantile(0.99) >= 40);
+        let mut seen = 0;
+        r.for_each_quantile(&mut |c, n, qh| {
+            assert_eq!((c, n), ("svc.latency", "job_total"));
+            assert_eq!(qh.count(), 4);
+            seen += 1;
+        });
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_all_kinds() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("svc.queue", "shed_total");
+        let g = r.gauge("svc.queue", "depth");
+        let h = r.histogram("a.b", "lat", &[1, 10]);
+        let q = r.quantile_histogram("svc.latency", "job_total");
+        r.set_counter(c, 3);
+        r.set_gauge(g, 2.0);
+        r.observe(h, 5);
+        r.observe(q, 100);
+        let prom = r.render_prometheus();
+        assert!(prom.contains("# TYPE svc_queue_shed_total counter\nsvc_queue_shed_total 3\n"));
+        assert!(prom.contains("# TYPE svc_queue_depth gauge\nsvc_queue_depth 2\n"));
+        assert!(prom.contains("a_b_lat_bucket{le=\"1\"} 0"));
+        assert!(prom.contains("a_b_lat_bucket{le=\"+Inf\"} 1"));
+        assert!(prom.contains("a_b_lat_count 1"));
+        assert!(prom.contains("svc_latency_job_total{quantile=\"0.99\"} 100"));
+        assert!(prom.contains("svc_latency_job_total_count 1"));
     }
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Validate the JSON Lines stream emitted by `harness -- metrics`.
+"""Validate the JSON Lines streams emitted by the telemetry layer.
 
-Reads JSONL from the file given as argv[1] (or stdin) and enforces the
-telemetry schema plus the PR's acceptance floor:
+Default mode reads `harness -- metrics` output from the file given as
+argv[1] (or stdin) and enforces the telemetry schema plus the PR's
+acceptance floor:
 
 * every line is a JSON object with "type" in {"epoch", "histogram"};
 * epoch lines carry integer epoch/instructions/cycle (both monotone
@@ -11,6 +12,24 @@ telemetry schema plus the PR's acceptance floor:
   buckets/bounds arrays;
 * across the stream, >= 12 distinct metric names drawn from >= 5 distinct
   top-level components (crates).
+
+`--spans` validates a span-tree JSONL stream (`harness -- spans ID` /
+the `trace-job` protocol command):
+
+* every line is `{"type":"span", ...}` with integer id/start_us, a
+  parent id that is null or refers to an earlier span, end_us/dur_us
+  both null (open) or both integers with dur_us == end_us - start_us,
+  and an attrs object;
+* span ids are unique and the stream contains exactly one root.
+
+`--postmortem` validates a flight-recorder dump (`harness -- serve
+--postmortem-dir`, the `postmortem` protocol command):
+
+* the first line is `{"type":"postmortem", ...}` carrying reason/seq/
+  lines/dropped, with "lines" matching the body length;
+* every body line is a JSON object with a "type" of "span" or "event";
+* event lines carry an integer t_us and a string event name (workers
+  stamp t_us before enqueueing, so cross-thread order is not checked).
 
 Exits 0 on success, 1 with a diagnostic on the first violation.
 """
@@ -27,14 +46,7 @@ def fail(lineno, msg):
     sys.exit(1)
 
 
-def main():
-    stream = open(sys.argv[1]) if len(sys.argv) > 1 else sys.stdin
-    metric_names = set()
-    epochs = 0
-    histograms = 0
-    prev_epoch = -1
-    prev_instructions = -1
-    prev_cycle = -1
+def parsed_lines(stream):
     for lineno, line in enumerate(stream, start=1):
         line = line.strip()
         if not line:
@@ -45,6 +57,105 @@ def main():
             fail(lineno, f"invalid JSON: {e}")
         if not isinstance(rec, dict):
             fail(lineno, "record is not an object")
+        yield lineno, rec
+
+
+def check_span(lineno, rec, seen_ids, roots):
+    for key in ("id", "start_us"):
+        if not isinstance(rec.get(key), int):
+            fail(lineno, f"span record missing integer '{key}'")
+    if not isinstance(rec.get("name"), str) or not rec["name"]:
+        fail(lineno, "span record missing non-empty 'name'")
+    if not isinstance(rec.get("attrs"), dict):
+        fail(lineno, "span record missing 'attrs' object")
+    sid = rec["id"]
+    if sid in seen_ids:
+        fail(lineno, f"duplicate span id {sid}")
+    parent = rec.get("parent")
+    if parent is None:
+        roots.append(sid)
+    elif not isinstance(parent, int) or parent not in seen_ids:
+        fail(lineno, f"span {sid} parent {parent!r} does not refer to an earlier span")
+    seen_ids.add(sid)
+    end, dur = rec.get("end_us"), rec.get("dur_us")
+    if end is None or dur is None:
+        if not (end is None and dur is None):
+            fail(lineno, f"span {sid} has mismatched open end_us/dur_us")
+    else:
+        if not isinstance(end, int) or not isinstance(dur, int):
+            fail(lineno, f"span {sid} end_us/dur_us are not integers")
+        if dur != end - rec["start_us"]:
+            fail(lineno, f"span {sid} dur_us {dur} != end_us - start_us")
+
+
+def check_spans_stream(stream, require_nonempty=True):
+    seen_ids, roots = set(), []
+    n = 0
+    for lineno, rec in parsed_lines(stream):
+        if rec.get("type") != "span":
+            fail(lineno, f"expected a span record, got type {rec.get('type')!r}")
+        check_span(lineno, rec, seen_ids, roots)
+        n += 1
+    if require_nonempty and n == 0:
+        fail(0, "stream contained no span records")
+    if n > 0 and len(roots) != 1:
+        fail(0, f"expected exactly one root span, found {len(roots)}")
+    print(f"check_telemetry_schema: OK — {n} spans, root id {roots[0] if roots else '-'}")
+
+
+def check_postmortem_stream(stream):
+    lines = list(parsed_lines(stream))
+    if not lines:
+        fail(0, "empty post-mortem dump")
+    lineno, header = lines[0]
+    if header.get("type") != "postmortem":
+        fail(lineno, f"first line must be the postmortem header, got {header.get('type')!r}")
+    if not isinstance(header.get("reason"), str) or not header["reason"]:
+        fail(lineno, "header missing non-empty 'reason'")
+    for key in ("seq", "lines", "dropped"):
+        if not isinstance(header.get(key), int):
+            fail(lineno, f"header missing integer '{key}'")
+    body = lines[1:]
+    if header["lines"] != len(body):
+        fail(lineno, f"header declares {header['lines']} lines, body has {len(body)}")
+    span_ids, roots = set(), []
+    spans = events = 0
+    for lineno, rec in body:
+        kind = rec.get("type")
+        if kind == "span":
+            # Post-mortem rings interleave spans from many jobs: parent
+            # links may point outside the ring, so only check shape.
+            for key in ("id", "start_us"):
+                if not isinstance(rec.get(key), int):
+                    fail(lineno, f"span record missing integer '{key}'")
+            if not isinstance(rec.get("name"), str) or not rec["name"]:
+                fail(lineno, "span record missing non-empty 'name'")
+            spans += 1
+            span_ids.add(rec["id"])
+            if rec.get("parent") is None:
+                roots.append(rec["id"])
+        elif kind == "event":
+            if not isinstance(rec.get("t_us"), int):
+                fail(lineno, "event record missing integer 't_us'")
+            if not isinstance(rec.get("event"), str) or not rec["event"]:
+                fail(lineno, "event record missing non-empty 'event'")
+            events += 1
+        else:
+            fail(lineno, f"unknown post-mortem record type {kind!r}")
+    print(
+        f"check_telemetry_schema: OK — postmortem '{header['reason']}' seq {header['seq']}: "
+        f"{events} events, {spans} spans, {header['dropped']} dropped"
+    )
+
+
+def check_metrics_stream(stream):
+    metric_names = set()
+    epochs = 0
+    histograms = 0
+    prev_epoch = -1
+    prev_instructions = -1
+    prev_cycle = -1
+    for lineno, rec in parsed_lines(stream):
         kind = rec.get("type")
         if kind == "epoch":
             epochs += 1
@@ -95,6 +206,20 @@ def main():
         f"check_telemetry_schema: OK — {epochs} epochs, {histograms} histograms, "
         f"{len(metric_names)} metrics across {len(crates)} crates {sorted(crates)}"
     )
+
+
+def main():
+    args = sys.argv[1:]
+    mode = "metrics"
+    if args and args[0] in ("--spans", "--postmortem"):
+        mode = args.pop(0)[2:]
+    stream = open(args[0]) if args else sys.stdin
+    if mode == "spans":
+        check_spans_stream(stream)
+    elif mode == "postmortem":
+        check_postmortem_stream(stream)
+    else:
+        check_metrics_stream(stream)
 
 
 if __name__ == "__main__":

@@ -121,6 +121,33 @@ svc_call "{\"cmd\":\"result\",\"id\":$FRESH_ID}" | svc_field payload > "$SVC_DIR
 test -s "$SVC_DIR/recovered.json"
 cmp "$SVC_DIR/recovered.json" "$SVC_DIR/fresh.json"
 
+# Observability smoke: the served sweep must expose a schema-valid span
+# tree reaching from queue_wait to result_encode, the per-stage latency
+# quantiles must carry a non-empty p99 for job_total, and the Prometheus
+# rendering must cover the queue gauges and latency summaries.
+"$HARNESS" spans "$FRESH_ID" --socket "$SOCK" > "$SVC_DIR/spans.jsonl"
+test -s "$SVC_DIR/spans.jsonl"
+python3 scripts/check_telemetry_schema.py --spans "$SVC_DIR/spans.jsonl"
+for stage in queue_wait 'attempt\[1\]' warm_pool_fetch 'slice\[0\]' result_encode; do
+  grep -q "\"name\":\"$stage\"" "$SVC_DIR/spans.jsonl"
+done
+svc_call '{"cmd":"quantiles"}' > "$SVC_DIR/quantiles.json"
+python3 - "$SVC_DIR/quantiles.json" <<'PY'
+import json, sys
+q = json.load(open(sys.argv[1]))["quantiles"]
+jt = q["service.latency.job_total"]
+assert jt["count"] >= 1, f"job_total unobserved: {jt}"
+assert jt["p99"] > 0, f"empty p99 for job_total: {jt}"
+assert jt["p50"] <= jt["p90"] <= jt["p99"], f"quantiles out of order: {jt}"
+for stage in ("queue_wait", "attempt", "slice", "result_encode"):
+    assert q[f"service.latency.{stage}"]["count"] >= 1, f"{stage} unobserved"
+PY
+"$HARNESS" call metrics --prom --socket "$SOCK" > "$SVC_DIR/metrics.prom"
+grep -q '^service_queue_depth ' "$SVC_DIR/metrics.prom"
+grep -q '^service_queue_shed_total ' "$SVC_DIR/metrics.prom"
+grep -q 'service_latency_job_total{quantile="0.99"}' "$SVC_DIR/metrics.prom"
+svc_call '{"cmd":"postmortem"}' >/dev/null
+
 # Graceful shutdown drains and removes the socket.
 svc_call '{"cmd":"shutdown"}' >/dev/null
 wait "$SERVER_PID"

@@ -160,3 +160,147 @@ fn bounded_ring_counts_drops() {
     assert!(events.recorded() > 8, "the run produces more than 8 events");
     assert_eq!(events.dropped(), events.recorded() - 8);
 }
+
+// --- Span tracing, quantiles & flight recorder (ISSUE PR 8) ---------
+
+use exynos::telemetry::{
+    FlightRecorder, QuantileHistogram, SharedSpans, SpanRecorder, QUANTILE_SUB_BUCKETS,
+};
+
+#[test]
+fn quantile_bucket_boundary_error_is_bounded() {
+    // Log-bucketed with QUANTILE_SUB_BUCKETS sub-buckets per octave: a
+    // reported quantile bound must never undershoot the observed value
+    // and must overshoot by at most value / QUANTILE_SUB_BUCKETS.
+    for &v in &[
+        1u64, 7, 8, 9, 15, 16, 17, 100, 1_000, 4_095, 4_096, 65_537, 1 << 30, (1 << 40) + 12_345,
+    ] {
+        let mut h = QuantileHistogram::new();
+        h.observe(v);
+        let q = h.quantile(0.99);
+        assert!(q >= v, "bound {q} undershoots observed {v}");
+        assert!(
+            q - v <= v / QUANTILE_SUB_BUCKETS as u64,
+            "bound {q} overshoots {v} by more than 1/{QUANTILE_SUB_BUCKETS}"
+        );
+    }
+}
+
+#[test]
+fn quantile_merge_is_associative_and_commutative() {
+    let fill = |seed: u64, n: u64| {
+        let mut h = QuantileHistogram::new();
+        let mut x = seed;
+        for _ in 0..n {
+            // xorshift64: deterministic, covers many octaves.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.observe(x >> (x % 50));
+        }
+        h
+    };
+    let (a, b, c) = (fill(1, 500), fill(2, 300), fill(3, 700));
+
+    let mut ab_c = a.clone();
+    ab_c.merge(&b);
+    ab_c.merge(&c);
+
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut a_bc = a.clone();
+    a_bc.merge(&bc);
+
+    let mut cba = c.clone();
+    cba.merge(&b);
+    cba.merge(&a);
+
+    assert_eq!(ab_c, a_bc, "merge must be associative");
+    assert_eq!(ab_c, cba, "merge must be commutative");
+    assert_eq!(ab_c.count(), 1_500);
+}
+
+#[test]
+fn quantile_summary_json_is_byte_identical_for_same_seed() {
+    let run = || {
+        let mut h = QuantileHistogram::new();
+        let mut x = 0x9E37_79B9_u64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.observe(x % 1_000_000);
+        }
+        h.summary_json()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "same observations must render byte-identical JSON");
+    assert!(a.contains("\"p50\":"), "summary carries quantile keys: {a}");
+    assert!(a.contains("\"p99\":"), "summary carries quantile keys: {a}");
+}
+
+#[test]
+fn span_tree_under_manual_clock_is_deterministic() {
+    let run = || {
+        let mut r = SpanRecorder::manual();
+        let root = r.start("job", None);
+        r.attr_u64(root, "id", 1);
+        r.advance(5);
+        let queue = r.start("queue_wait", Some(root));
+        r.advance(120);
+        r.end(queue);
+        let attempt = r.start("attempt[1]", Some(root));
+        r.advance(10_000);
+        r.attr_str(attempt, "gen", "m6");
+        r.end(attempt);
+        let enc = r.start("result_encode", Some(root));
+        r.advance(30);
+        r.end(enc);
+        r.end(root);
+        r.to_jsonl()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b);
+    assert_eq!(a.lines().count(), 4, "four spans, one line each: {a}");
+    let first = a.lines().next().unwrap();
+    assert!(first.contains("\"type\":\"span\""), "{first}");
+    assert!(first.contains("\"parent\":null"), "root has no parent: {first}");
+    assert!(a.contains("\"name\":\"queue_wait\""), "{a}");
+    assert!(a.contains("\"dur_us\":120"), "queue wait lasted 120us: {a}");
+}
+
+#[test]
+fn shared_spans_aggregate_closed_durations() {
+    let spans = SharedSpans::manual();
+    let root = spans.start("job", None);
+    let att = spans.start("attempt[1]", Some(root));
+    spans.advance(40);
+    spans.end(att);
+    spans.advance(2);
+    spans.end(root);
+    let open = spans.start("queue_wait", Some(root));
+    let _ = open; // never closed: must not appear below
+    let closed = spans.closed_durations();
+    assert_eq!(
+        closed,
+        vec![("job".to_string(), 42), ("attempt[1]".to_string(), 40)],
+        "closed spans only, recorder order"
+    );
+}
+
+#[test]
+fn flight_recorder_dump_is_parseable_and_bounded() {
+    let mut f = FlightRecorder::new(4);
+    for i in 0..9u64 {
+        f.note(format!("{{\"type\":\"event\",\"t_us\":{i},\"event\":\"tick\",\"id\":{i}}}"));
+    }
+    let dump = f.dump("watchdog");
+    let lines: Vec<&str> = dump.lines().collect();
+    assert_eq!(lines.len(), 5, "header plus 4 retained lines: {dump}");
+    assert!(lines[0].contains("\"type\":\"postmortem\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"reason\":\"watchdog\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"dropped\":5"), "{}", lines[0]);
+    // Oldest retained line is id 5 (0..=4 were evicted).
+    assert!(lines[1].contains("\"id\":5"), "{}", lines[1]);
+    assert_eq!(f.dumps(), 1);
+}
