@@ -1,0 +1,62 @@
+; call_tree — indirect calls (`blr`) fanned out over an eight-entry
+; function table, selected by an xorshift stream. One leaf calls a helper
+; for an extra RAS level. Exercises the indirect-call predictor and
+; call/return pairing under a hard-to-predict target sequence.
+
+.data
+ftab:   .word leaf0, leaf1, leaf2, leaf3, leaf4, leaf5, leaf6, leaf7
+
+.text
+main:
+    adr x20, ftab
+    mov x21, x27                ; xorshift state (nonzero)
+    mov x22, #0
+    mov x0, #0
+loop:
+    and x1, x21, #7
+    lsl x1, x1, #3
+    add x1, x1, x20
+    ldr x2, [x1]
+    blr x2
+    lsl x3, x21, #13            ; xorshift64 step
+    eor x21, x21, x3
+    lsr x3, x21, #7
+    eor x21, x21, x3
+    lsl x3, x21, #17
+    eor x21, x21, x3
+    add x22, x22, #1
+    cmp x22, #4096
+    b.lt loop
+    halt
+
+leaf0:
+    add x0, x0, #1
+    ret
+leaf1:
+    add x0, x0, #2
+    ret
+leaf2:
+    eor x0, x0, x21
+    ret
+leaf3:
+    sub x0, x0, #1
+    ret
+leaf4:
+    lsr x0, x0, #1
+    ret
+leaf5:
+    orr x0, x0, #1
+    ret
+leaf6:
+    add x0, x0, x21
+    ret
+leaf7:
+    sub sp, sp, #8
+    str lr, [sp]
+    bl helper
+    ldr lr, [sp]
+    add sp, sp, #8
+    ret
+helper:
+    eor x0, x0, x21
+    ret

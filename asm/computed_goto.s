@@ -1,0 +1,43 @@
+; computed_goto — a bytecode-interpreter dispatch loop: fetch an opcode,
+; index a jump table, `br` to the handler. One dispatch site cycling over
+; four targets in a fixed period-16 pattern — the indirect/VPC predictor's
+; home turf.
+
+.data
+table:  .word op_add, op_sub, op_xor, op_shift
+prog:   .word 0, 1, 2, 3, 2, 1, 0, 0, 3, 2, 1, 3, 0, 2, 2, 1
+
+.text
+main:
+    adr x20, table
+    adr x21, prog
+    mov x22, #0                 ; virtual pc
+    mov x5, #1                  ; accumulator
+    mov x9, x27                 ; seed-derived operand
+dispatch:
+    and x1, x22, #15
+    lsl x1, x1, #3
+    add x1, x1, x21
+    ldr x2, [x1]                ; opcode
+    lsl x2, x2, #3
+    add x2, x2, x20
+    ldr x3, [x2]                ; handler address
+    add x22, x22, #1
+    br x3
+op_add:
+    add x5, x5, x9
+    b next
+op_sub:
+    sub x5, x5, #3
+    b next
+op_xor:
+    eor x5, x5, x9
+    b next
+op_shift:
+    lsr x5, x5, #1
+    add x5, x5, #7
+    b next
+next:
+    cmp x22, #4096
+    b.lt dispatch
+    halt

@@ -1,0 +1,31 @@
+; fib_recursive — naive recursive Fibonacci. Every call site pushes the
+; link register onto a software stack (sp = x28), so the call tree walks
+; the RAS up and down to depth ~n: a direct probe of return-address-stack
+; capacity and repair.
+
+.text
+main:
+    mov x0, #12
+    bl fib
+    halt
+
+; fib(n): n in x0, result in x0. Frame: [sp] = saved lr, [sp+8] = scratch.
+fib:
+    cmp x0, #2
+    b.lt fib_base
+    sub sp, sp, #16
+    str lr, [sp]
+    str x0, [sp, #8]
+    sub x0, x0, #1
+    bl fib
+    ldr x1, [sp, #8]            ; n
+    str x0, [sp, #8]            ; fib(n-1)
+    sub x0, x1, #2
+    bl fib
+    ldr x1, [sp, #8]
+    add x0, x0, x1
+    ldr lr, [sp]
+    add sp, sp, #16
+    ret
+fib_base:
+    ret

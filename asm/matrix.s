@@ -1,0 +1,47 @@
+; matrix — initialize a 128x128 matrix, then sum it twice: row-major
+; (unit stride, prefetch-friendly) and column-major (1 KiB stride,
+; prefetch-hostile). The contrast between the two phases is the stride
+; prefetcher's coverage story in one kernel.
+
+.data
+mat:    .space 131072           ; 128 x 128 x 8 B
+
+.text
+main:
+    adr x0, mat
+    mov x1, #0
+init:
+    lsl x2, x1, #3
+    add x2, x2, x0
+    eor x3, x1, x27
+    str x3, [x2]
+    add x1, x1, #1
+    cmp x1, #16384
+    b.lt init
+    mov x4, #0                  ; accumulator
+    mov x1, #0
+rows:
+    lsl x2, x1, #3
+    add x2, x2, x0
+    ldr x3, [x2]
+    add x4, x4, x3
+    add x1, x1, #1
+    cmp x1, #16384
+    b.lt rows
+    mov x5, #0                  ; column
+cols:
+    mov x6, #0                  ; row
+colrow:
+    lsl x7, x6, #7              ; row * 128
+    add x7, x7, x5
+    lsl x7, x7, #3
+    add x7, x7, x0
+    ldr x3, [x7]
+    add x4, x4, x3
+    add x6, x6, #1
+    cmp x6, #128
+    b.lt colrow
+    add x5, x5, #1
+    cmp x5, #128
+    b.lt cols
+    halt

@@ -1,0 +1,32 @@
+; nested_loops — a three-deep loop nest with strided read-modify-write
+; bodies. The inner trip counts are small and fixed, so the whole nest is
+; µBTB/UOC-lockable: the predictable, high-IPC case (right edge of the
+; paper's Fig. 17).
+
+.data
+buf:    .space 8192             ; 1024 words, inner working set
+
+.text
+main:
+    adr x0, buf
+    mov x1, #0                  ; i
+outer:
+    mov x2, #0                  ; j
+mid:
+    mov x3, #0                  ; k
+inner:
+    lsl x4, x3, #3
+    add x4, x4, x0
+    ldr x5, [x4]
+    add x5, x5, x1
+    str x5, [x4]
+    add x3, x3, #1
+    cmp x3, #8
+    b.lt inner
+    add x2, x2, #1
+    cmp x2, #16
+    b.lt mid
+    add x1, x1, #1
+    cmp x1, #32
+    b.lt outer
+    halt

@@ -1,0 +1,33 @@
+; parity_history — a branch whose direction is the parity of its own last
+; eight outcomes (seeded from x27, and the update map is invertible, so
+; the sequence never collapses). Unpredictable below 8 bits of history,
+; fully predictable above: a history-length knee probe for the SHP.
+
+.text
+main:
+    mov x11, x27                ; history word (odd, never all-zero)
+    mov x12, #0                 ; iteration counter
+    mov x13, #0                 ; accumulator
+loop:
+    ; x1 = parity(history & 0xff) by xor-folding
+    and x1, x11, #255
+    lsr x2, x1, #4
+    eor x1, x1, x2
+    lsr x2, x1, #2
+    eor x1, x1, x2
+    lsr x2, x1, #1
+    eor x1, x1, x2
+    and x1, x1, #1
+    cbz x1, not_taken
+    add x13, x13, #3
+    lsl x11, x11, #1
+    orr x11, x11, #1
+    b cont
+not_taken:
+    sub x13, x13, #1
+    lsl x11, x11, #1
+cont:
+    add x12, x12, #1
+    cmp x12, #16384
+    b.lt loop
+    halt

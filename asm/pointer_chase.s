@@ -1,0 +1,33 @@
+; pointer_chase — build a scrambled linked ring of 4096 nodes (the
+; next-index map i -> (97*i + 13) mod 4096 is a permutation), then chase
+; it with fully dependent loads: the memory-latency-bound left tail of
+; the population.
+
+.data
+nodes:  .space 32768            ; 4096 nodes x 8 B next pointer
+
+.text
+main:
+    adr x0, nodes
+    mov x1, #0                  ; i
+build:
+    mov x2, #97
+    mul x3, x1, x2
+    add x3, x3, #13
+    and x3, x3, #4095
+    lsl x4, x3, #3
+    add x4, x4, x0              ; &nodes[next(i)]
+    lsl x5, x1, #3
+    add x5, x5, x0              ; &nodes[i]
+    str x4, [x5]
+    add x1, x1, #1
+    cmp x1, #4096
+    b.lt build
+    mov x6, x0                  ; cursor
+    mov x7, #0
+chase:
+    ldr x6, [x6]
+    add x7, x7, #1
+    cmp x7, #8192
+    b.lt chase
+    halt

@@ -1,0 +1,32 @@
+; stride_copy — fill a source buffer, then stream it into a destination
+; with unit stride: two concurrent sequential streams, the L1 stride
+; prefetcher's easiest meal.
+
+.data
+src:    .space 65536            ; 8192 words
+dst:    .space 65536
+
+.text
+main:
+    mov x1, #0
+    adr x3, src
+fill:
+    lsl x2, x1, #3
+    add x2, x2, x3
+    eor x4, x1, x27
+    str x4, [x2]
+    add x1, x1, #1
+    cmp x1, #8192
+    b.lt fill
+    mov x1, #0
+    adr x5, src
+    adr x6, dst
+copy:
+    ldr x7, [x5]
+    str x7, [x6]
+    add x5, x5, #8
+    add x6, x6, #8
+    add x1, x1, #1
+    cmp x1, #8192
+    b.lt copy
+    halt

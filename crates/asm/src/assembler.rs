@@ -1,0 +1,556 @@
+//! The two-pass assembler.
+//!
+//! Pass 1 walks the source, strips comments, tracks the active section
+//! and assigns every label a [`SymRef`] (instruction index in `.text`,
+//! byte offset in `.data`), while collecting the instruction and data
+//! lines for the second pass. Pass 2 parses each instruction with the
+//! complete symbol table in hand, so forward references (loop heads,
+//! jump tables pointing at later handlers) need no fixup list.
+//!
+//! Every diagnostic is a typed [`TraceError::Asm`] carrying the 1-based
+//! source line; nothing in here panics on bad input.
+
+use crate::program::{AluOp, Cond, DataCell, MemOff, Op, Operand, Program, SymRef};
+use exynos_trace::TraceError;
+use std::collections::HashMap;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Section {
+    Text,
+    Data,
+}
+
+struct InstLine<'a> {
+    line: u32,
+    text: &'a str,
+}
+
+enum DataLine<'a> {
+    /// `.word v, ...` — parsed in pass 2 (values may be label refs).
+    Words { line: u32, items: Vec<&'a str> },
+    /// `.space N` — already counted; emits zeroed cells.
+    Space { cells: usize },
+}
+
+/// Assemble `src` into a [`Program`].
+pub(crate) fn assemble(name: &str, src: &str) -> Result<Program, TraceError> {
+    // --- Pass 1: sections, labels, line collection. ----------------------
+    let mut section = Section::Text;
+    let mut labels: HashMap<&str, SymRef> = HashMap::new();
+    let mut label_order: Vec<(String, SymRef)> = Vec::new();
+    let mut insts: Vec<InstLine> = Vec::new();
+    let mut data_lines: Vec<DataLine> = Vec::new();
+    let mut data_cells = 0usize;
+
+    for (i, raw) in src.lines().enumerate() {
+        let line = (i + 1) as u32;
+        let mut rest = strip_comment(raw).trim();
+
+        // Zero or more `label:` prefixes, then an optional statement.
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let head = head.trim();
+            if !is_ident(head) {
+                break;
+            }
+            let sym = match section {
+                Section::Text => SymRef::Text(insts.len()),
+                Section::Data => SymRef::Data((data_cells as u64) * 8),
+            };
+            if labels.insert(head, sym).is_some() {
+                return Err(TraceError::asm(name, line, format!("duplicate label `{head}`")));
+            }
+            label_order.push((head.to_string(), sym));
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+
+        if let Some(directive) = rest.strip_prefix('.') {
+            let (word, args) = directive
+                .split_once(char::is_whitespace)
+                .unwrap_or((directive, ""));
+            match word {
+                "text" => section = Section::Text,
+                "data" => section = Section::Data,
+                "word" => {
+                    if section != Section::Data {
+                        return Err(TraceError::asm(name, line, ".word outside .data"));
+                    }
+                    let items = split_operands(args);
+                    if items.is_empty() || items.iter().any(|s| s.is_empty()) {
+                        return Err(TraceError::asm(name, line, ".word needs values"));
+                    }
+                    data_cells += items.len();
+                    data_lines.push(DataLine::Words { line, items });
+                }
+                "space" => {
+                    if section != Section::Data {
+                        return Err(TraceError::asm(name, line, ".space outside .data"));
+                    }
+                    let bytes: u64 = parse_int(args.trim())
+                        .filter(|&v| v > 0)
+                        .and_then(|v| u64::try_from(v).ok())
+                        .ok_or_else(|| {
+                            TraceError::asm(name, line, ".space needs a positive byte count")
+                        })?;
+                    let cells = (bytes as usize).div_ceil(8);
+                    data_cells += cells;
+                    data_lines.push(DataLine::Space { cells });
+                }
+                other => {
+                    return Err(TraceError::asm(
+                        name,
+                        line,
+                        format!("unknown directive `.{other}`"),
+                    ));
+                }
+            }
+        } else {
+            if section != Section::Text {
+                return Err(TraceError::asm(
+                    name,
+                    line,
+                    format!("instruction `{rest}` in .data section"),
+                ));
+            }
+            insts.push(InstLine { line, text: rest });
+        }
+    }
+
+    if insts.is_empty() {
+        return Err(TraceError::program(name, "empty .text section"));
+    }
+
+    // --- Pass 2: parse with the full symbol table. -----------------------
+    let n_ops = insts.len();
+    let text_target = |tok: &str, line: u32| -> Result<usize, TraceError> {
+        match labels.get(tok) {
+            Some(SymRef::Text(idx)) => Ok(*idx),
+            Some(SymRef::Data(_)) => Err(TraceError::asm(
+                name,
+                line,
+                format!("branch target `{tok}` is a .data label"),
+            )),
+            None => Err(TraceError::asm(name, line, format!("undefined label `{tok}`"))),
+        }
+    };
+
+    let mut ops = Vec::with_capacity(n_ops);
+    for InstLine { line, text } in &insts {
+        ops.push(parse_inst(name, *line, text, &labels, &text_target)?);
+    }
+
+    let mut data = Vec::with_capacity(data_cells);
+    for dl in &data_lines {
+        match dl {
+            DataLine::Space { cells } => {
+                data.extend(std::iter::repeat_n(DataCell::Word(0), *cells));
+            }
+            DataLine::Words { line, items } => {
+                for item in items {
+                    let cell = if let Some(v) = parse_int(item) {
+                        DataCell::Word(v as u64)
+                    } else {
+                        match labels.get(item) {
+                            Some(SymRef::Text(idx)) => DataCell::TextAddr(*idx),
+                            Some(SymRef::Data(off)) => DataCell::DataAddr(*off),
+                            None => {
+                                return Err(TraceError::asm(
+                                    name,
+                                    *line,
+                                    format!("undefined label `{item}` in .word"),
+                                ));
+                            }
+                        }
+                    };
+                    data.push(cell);
+                }
+            }
+        }
+    }
+
+    let entry = match labels.get("main") {
+        Some(SymRef::Text(idx)) => *idx,
+        Some(SymRef::Data(_)) => {
+            return Err(TraceError::program(name, "`main` is a .data label"));
+        }
+        None => 0,
+    };
+
+    Ok(Program::from_parts(
+        name.to_string(),
+        ops,
+        data,
+        entry,
+        label_order,
+    ))
+}
+
+fn parse_inst(
+    name: &str,
+    line: u32,
+    text: &str,
+    labels: &HashMap<&str, SymRef>,
+    text_target: &dyn Fn(&str, u32) -> Result<usize, TraceError>,
+) -> Result<Op, TraceError> {
+    let err = |detail: String| TraceError::asm(name, line, detail);
+    let (mnemonic, rest) = text
+        .split_once(char::is_whitespace)
+        .unwrap_or((text, ""));
+    let args = split_operands(rest);
+    let arity = |n: usize| -> Result<(), TraceError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!(
+                "`{mnemonic}` takes {n} operand(s), got {}",
+                args.len()
+            )))
+        }
+    };
+    let reg = |tok: &str| -> Result<u8, TraceError> {
+        parse_reg(tok).ok_or_else(|| err(format!("expected register, got `{tok}`")))
+    };
+    let operand = |tok: &str| -> Result<Operand, TraceError> {
+        if let Some(r) = parse_reg(tok) {
+            Ok(Operand::Reg(r))
+        } else if let Some(i) = parse_imm(tok) {
+            Ok(Operand::Imm(i))
+        } else {
+            Err(err(format!("expected register or #imm, got `{tok}`")))
+        }
+    };
+    let mem = |tok: &str| -> Result<(u8, MemOff), TraceError> {
+        parse_mem(tok).ok_or_else(|| err(format!("bad address operand `{tok}`")))
+    };
+
+    if let Some(suffix) = mnemonic.strip_prefix("b.") {
+        let cond = match suffix {
+            "eq" => Cond::Eq,
+            "ne" => Cond::Ne,
+            "lt" => Cond::Lt,
+            "le" => Cond::Le,
+            "gt" => Cond::Gt,
+            "ge" => Cond::Ge,
+            other => return Err(err(format!("unknown condition `b.{other}`"))),
+        };
+        arity(1)?;
+        return Ok(Op::BCond {
+            cond,
+            target: text_target(args[0], line)?,
+        });
+    }
+
+    Ok(match mnemonic {
+        "mov" => {
+            arity(2)?;
+            Op::Mov {
+                dst: reg(args[0])?,
+                src: operand(args[1])?,
+            }
+        }
+        "add" | "sub" | "and" | "orr" | "eor" | "lsl" | "lsr" | "asr" => {
+            arity(3)?;
+            let op = match mnemonic {
+                "add" => AluOp::Add,
+                "sub" => AluOp::Sub,
+                "and" => AluOp::And,
+                "orr" => AluOp::Orr,
+                "eor" => AluOp::Eor,
+                "lsl" => AluOp::Lsl,
+                "lsr" => AluOp::Lsr,
+                _ => AluOp::Asr,
+            };
+            Op::Alu {
+                op,
+                dst: reg(args[0])?,
+                a: reg(args[1])?,
+                b: operand(args[2])?,
+            }
+        }
+        "mul" => {
+            arity(3)?;
+            Op::Mul {
+                dst: reg(args[0])?,
+                a: reg(args[1])?,
+                b: reg(args[2])?,
+            }
+        }
+        "udiv" => {
+            arity(3)?;
+            Op::Udiv {
+                dst: reg(args[0])?,
+                a: reg(args[1])?,
+                b: reg(args[2])?,
+            }
+        }
+        "cmp" => {
+            arity(2)?;
+            Op::Cmp {
+                a: reg(args[0])?,
+                b: operand(args[1])?,
+            }
+        }
+        "adr" => {
+            arity(2)?;
+            let sym = labels
+                .get(args[1])
+                .copied()
+                .ok_or_else(|| err(format!("undefined label `{}`", args[1])))?;
+            Op::Adr {
+                dst: reg(args[0])?,
+                sym,
+            }
+        }
+        "ldr" => {
+            arity(2)?;
+            let (base, off) = mem(args[1])?;
+            Op::Ldr {
+                dst: reg(args[0])?,
+                base,
+                off,
+            }
+        }
+        "str" => {
+            arity(2)?;
+            let (base, off) = mem(args[1])?;
+            Op::Str {
+                src: reg(args[0])?,
+                base,
+                off,
+            }
+        }
+        "b" => {
+            arity(1)?;
+            Op::B {
+                target: text_target(args[0], line)?,
+            }
+        }
+        "cbz" | "cbnz" => {
+            arity(2)?;
+            Op::Cbz {
+                reg: reg(args[0])?,
+                target: text_target(args[1], line)?,
+                branch_if_nonzero: mnemonic == "cbnz",
+            }
+        }
+        "bl" => {
+            arity(1)?;
+            Op::Bl {
+                target: text_target(args[0], line)?,
+            }
+        }
+        "br" => {
+            arity(1)?;
+            Op::Br { reg: reg(args[0])? }
+        }
+        "blr" => {
+            arity(1)?;
+            Op::Blr { reg: reg(args[0])? }
+        }
+        "ret" => {
+            arity(0)?;
+            Op::Ret
+        }
+        "nop" => {
+            arity(0)?;
+            Op::Nop
+        }
+        "halt" => {
+            arity(0)?;
+            Op::Halt
+        }
+        other => return Err(err(format!("unknown mnemonic `{other}`"))),
+    })
+}
+
+/// Truncate `raw` at the first `;` or `//` comment marker.
+fn strip_comment(raw: &str) -> &str {
+    let cut = raw
+        .find(';')
+        .into_iter()
+        .chain(raw.find("//"))
+        .min()
+        .unwrap_or(raw.len());
+    &raw[..cut]
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Split a comma-separated operand list, treating `[...]` as atomic.
+fn split_operands(s: &str) -> Vec<&str> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(s[start..].trim());
+    out
+}
+
+/// Parse a register token: `x0..x30`, `xzr`, `sp` (x28), `lr` (x30).
+fn parse_reg(tok: &str) -> Option<u8> {
+    match tok {
+        "xzr" => Some(31),
+        "sp" => Some(28),
+        "lr" => Some(30),
+        _ => tok
+            .strip_prefix('x')
+            .and_then(|n| n.parse::<u8>().ok())
+            .filter(|&n| n <= 30),
+    }
+}
+
+/// Parse a `#`-prefixed immediate.
+fn parse_imm(tok: &str) -> Option<i64> {
+    parse_int(tok.strip_prefix('#')?)
+}
+
+/// Parse a bare integer literal (decimal or `0x` hex, optional sign).
+fn parse_int(t: &str) -> Option<i64> {
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(r) => (true, r),
+        None => (false, t),
+    };
+    let v = if let Some(h) = t.strip_prefix("0x") {
+        i64::from_str_radix(h, 16).ok()?
+    } else {
+        t.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+/// Parse `[xB]`, `[xB, #imm]` or `[xB, xI]`.
+fn parse_mem(tok: &str) -> Option<(u8, MemOff)> {
+    let inner = tok.strip_prefix('[')?.strip_suffix(']')?;
+    let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+    match parts.as_slice() {
+        [b] => Some((parse_reg(b)?, MemOff::None)),
+        [b, o] => {
+            let base = parse_reg(b)?;
+            if let Some(i) = parse_imm(o) {
+                Some((base, MemOff::Imm(i)))
+            } else {
+                Some((base, MemOff::Reg(parse_reg(o)?)))
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_registers_and_aliases() {
+        assert_eq!(parse_reg("x0"), Some(0));
+        assert_eq!(parse_reg("x30"), Some(30));
+        assert_eq!(parse_reg("x31"), None);
+        assert_eq!(parse_reg("xzr"), Some(31));
+        assert_eq!(parse_reg("sp"), Some(28));
+        assert_eq!(parse_reg("lr"), Some(30));
+        assert_eq!(parse_reg("w0"), None);
+    }
+
+    #[test]
+    fn parses_immediates() {
+        assert_eq!(parse_imm("#42"), Some(42));
+        assert_eq!(parse_imm("#-8"), Some(-8));
+        assert_eq!(parse_imm("#0x40"), Some(0x40));
+        assert_eq!(parse_imm("42"), None);
+    }
+
+    #[test]
+    fn splits_bracketed_operands() {
+        assert_eq!(split_operands("x1, [x2, #8]"), vec!["x1", "[x2, #8]"]);
+        assert_eq!(split_operands("x1, x2, #3"), vec!["x1", "x2", "#3"]);
+        assert_eq!(split_operands(""), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_typed_error() {
+        let e = assemble("t", "addd x1, x2, x3\n").unwrap_err();
+        match e {
+            TraceError::Asm { line, ref detail, .. } => {
+                assert_eq!(line, 1);
+                assert!(detail.contains("addd"), "{detail}");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_reported_with_line() {
+        let e = assemble("t", "main:\n  b nowhere\n").unwrap_err();
+        assert!(matches!(e, TraceError::Asm { line: 2, .. }), "{e:?}");
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("t", "a:\n  nop\na:\n  nop\n").unwrap_err();
+        assert!(matches!(e, TraceError::Asm { line: 3, .. }), "{e:?}");
+    }
+
+    #[test]
+    fn data_directives_build_cells() {
+        let p = assemble(
+            "t",
+            ".data\ntab: .word 1, 0x10, handler\nbuf: .space 20\n.text\nhandler:\n  nop\n  halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.data().len(), 2 + 3 + 1);
+        assert_eq!(p.data()[0], DataCell::Word(1));
+        assert_eq!(p.data()[1], DataCell::Word(0x10));
+        assert_eq!(p.data()[2], DataCell::TextAddr(0));
+        assert_eq!(p.labels()[1], ("buf".to_string(), SymRef::Data(24)));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let p = assemble("t", "main:\n  b end\n  nop\nend:\n  halt\n").unwrap();
+        assert_eq!(p.ops()[0], Op::B { target: 2 });
+    }
+
+    #[test]
+    fn entry_defaults_to_first_op_and_honors_main() {
+        let p = assemble("t", "  nop\n  halt\n").unwrap();
+        assert_eq!(p.entry(), 0);
+        let p = assemble("t", "  nop\nmain:\n  halt\n").unwrap();
+        assert_eq!(p.entry(), 1);
+    }
+
+    #[test]
+    fn instructions_in_data_are_rejected() {
+        let e = assemble("t", ".data\n  mov x1, #0\n").unwrap_err();
+        assert!(matches!(e, TraceError::Asm { .. }), "{e:?}");
+    }
+
+    #[test]
+    fn empty_text_is_program_error() {
+        let e = assemble("t", "; nothing\n").unwrap_err();
+        assert_eq!(e.kind(), "program");
+    }
+}

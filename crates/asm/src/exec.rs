@@ -1,0 +1,666 @@
+//! The functional executor: runs an assembled [`Program`] and emits one
+//! trace record per executed instruction.
+//!
+//! The executor owns the full architectural state — 31 general registers
+//! plus `xzr`, the signed compare flags, and a sparse byte-addressed
+//! memory — and is a [`TraceGen`]: `next_inst` executes exactly one
+//! operation and returns its [`Inst`] record (PC, register operands,
+//! resolved branch outcome, memory address). Determinism is structural:
+//! the only inputs are the program, the address `region`, and the `seed`
+//! (which lands in `x27` at reset).
+//!
+//! The stream never exhausts. `halt`, running off the end of `.text`, or
+//! an indirect transfer outside the code window all emit one
+//! unconditional branch back to the entry PC and reset the architectural
+//! state (registers, flags, and the memory image), making the stream
+//! periodic — the restart semantics required by
+//! [`exynos_trace::source::TraceSource`]. An optional `restart_after`
+//! bound forces that reset after a fixed number of emitted records, for
+//! programs that would otherwise run a single unbounded pass.
+
+use crate::program::{AluOp, Cond, DataCell, MemOff, Op, Operand, Program, SymRef};
+use exynos_trace::gen::{CodeLayout, DataLayout};
+use exynos_trace::{BranchInfo, BranchKind, Inst, InstKind, MemRef, Reg, TraceError, TraceGen};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+/// Stack top, as an offset above the region's data window base. The data
+/// image sits at the base; 128 MiB of headroom keeps them disjoint.
+const STACK_OFFSET: u64 = 0x0800_0000;
+
+/// Sparse byte-addressed memory backed by 4 KiB pages.
+#[derive(Debug, Default)]
+struct PageMem {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl PageMem {
+    fn clear(&mut self) {
+        self.pages.clear();
+    }
+
+    fn read_u64(&self, addr: u64) -> u64 {
+        let off = (addr & (PAGE_SIZE as u64 - 1)) as usize;
+        if off + 8 <= PAGE_SIZE {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(page) => {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&page[off..off + 8]);
+                    u64::from_le_bytes(b)
+                }
+                None => 0,
+            }
+        } else {
+            let mut b = [0u8; 8];
+            for (i, slot) in b.iter_mut().enumerate() {
+                let a = addr.wrapping_add(i as u64);
+                *slot = match self.pages.get(&(a >> PAGE_SHIFT)) {
+                    Some(page) => page[(a & (PAGE_SIZE as u64 - 1)) as usize],
+                    None => 0,
+                };
+            }
+            u64::from_le_bytes(b)
+        }
+    }
+
+    fn write_u64(&mut self, addr: u64, val: u64) {
+        let bytes = val.to_le_bytes();
+        let off = (addr & (PAGE_SIZE as u64 - 1)) as usize;
+        if off + 8 <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + 8].copy_from_slice(&bytes);
+        } else {
+            for (i, byte) in bytes.iter().enumerate() {
+                let a = addr.wrapping_add(i as u64);
+                let page = self
+                    .pages
+                    .entry(a >> PAGE_SHIFT)
+                    .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+                page[(a & (PAGE_SIZE as u64 - 1)) as usize] = *byte;
+            }
+        }
+    }
+}
+
+/// Executes an assembled program as an infinite, deterministic
+/// [`TraceGen`]. See the [module docs](self).
+#[derive(Debug)]
+pub struct Executor {
+    prog: Arc<Program>,
+    code_base: u64,
+    data_base: u64,
+    seed: u64,
+    restart_after: Option<u64>,
+
+    regs: [u64; 32],
+    /// Operands of the last `cmp` (signed comparisons use them as i64).
+    cmp: (u64, u64),
+    /// First operand register of the last `cmp`, for branch dataflow.
+    cmp_src: Option<Reg>,
+    mem: PageMem,
+    /// Next instruction index; may transiently equal `ops.len()` (the
+    /// off-the-end slot, which emits the restart branch).
+    cursor: usize,
+    /// Records emitted in the current pass.
+    pass_steps: u64,
+    /// Completed passes (restarts).
+    passes: u64,
+}
+
+impl Executor {
+    /// Build an executor for `prog` in address `region` with `seed`.
+    pub fn new(prog: Arc<Program>, region: u64, seed: u64) -> Result<Executor, TraceError> {
+        if prog.ops().is_empty() {
+            return Err(TraceError::program(prog.name(), "empty .text section"));
+        }
+        let mut code = CodeLayout::region(region);
+        let code_base = code.alloc_block(prog.ops().len() as u64);
+        let data_base = DataLayout::region(region).base();
+        let mut ex = Executor {
+            prog,
+            code_base,
+            data_base,
+            seed,
+            restart_after: None,
+            regs: [0; 32],
+            cmp: (0, 0),
+            cmp_src: None,
+            mem: PageMem::default(),
+            cursor: 0,
+            pass_steps: 0,
+            passes: 0,
+        };
+        ex.reset();
+        Ok(ex)
+    }
+
+    /// Force a restart after `n` emitted records even if the program has
+    /// not halted (`None` disables the bound). The forced restart emits
+    /// the same branch-to-entry record as `halt`.
+    pub fn set_restart_after(&mut self, n: Option<u64>) {
+        self.restart_after = n;
+    }
+
+    /// Completed passes (restarts) so far.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// The PC of the program's entry point.
+    pub fn entry_pc(&self) -> u64 {
+        self.pc_of(self.prog.entry())
+    }
+
+    fn pc_of(&self, idx: usize) -> u64 {
+        self.code_base + 4 * idx as u64
+    }
+
+    /// Reset architectural state to the post-load image: zero registers,
+    /// `sp` at the stack top, `x27` seeded, `.data` re-materialized.
+    fn reset(&mut self) {
+        self.regs = [0; 32];
+        self.regs[28] = self.data_base + STACK_OFFSET;
+        self.regs[27] = splitmix(self.seed) | 1;
+        self.cmp = (0, 0);
+        self.cmp_src = None;
+        self.mem.clear();
+        for (i, cell) in self.prog.data().iter().enumerate() {
+            let addr = self.data_base + 8 * i as u64;
+            let val = match *cell {
+                DataCell::Word(w) => w,
+                DataCell::TextAddr(idx) => self.pc_of(idx),
+                DataCell::DataAddr(off) => self.data_base + off,
+            };
+            self.mem.write_u64(addr, val);
+        }
+        self.cursor = self.prog.entry();
+        self.pass_steps = 0;
+    }
+
+    fn read(&self, r: u8) -> u64 {
+        if r == 31 {
+            0
+        } else {
+            self.regs[r as usize]
+        }
+    }
+
+    fn write(&mut self, r: u8, v: u64) {
+        if r != 31 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    fn operand_val(&self, o: Operand) -> u64 {
+        match o {
+            Operand::Reg(r) => self.read(r),
+            Operand::Imm(i) => i as u64,
+        }
+    }
+
+    /// Source-register slot for dataflow tracking (`xzr` → no dep).
+    fn src(r: u8) -> Option<Reg> {
+        if r == 31 {
+            None
+        } else {
+            Some(Reg::int(r))
+        }
+    }
+
+    fn operand_src(o: Operand) -> Option<Reg> {
+        match o {
+            Operand::Reg(r) => Self::src(r),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    fn dst(r: u8) -> Option<Reg> {
+        if r == 31 {
+            None
+        } else {
+            Some(Reg::int(r))
+        }
+    }
+
+    fn eval_cond(&self, cond: Cond) -> bool {
+        let (a, b) = (self.cmp.0 as i64, self.cmp.1 as i64);
+        match cond {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+        }
+    }
+
+    /// Whether `target` is a valid PC to transfer to: any instruction
+    /// slot, or the off-the-end slot (which restarts).
+    fn target_index(&self, target: u64) -> Option<usize> {
+        if target < self.code_base || !target.is_multiple_of(4) {
+            return None;
+        }
+        let idx = ((target - self.code_base) / 4) as usize;
+        (idx <= self.prog.ops().len()).then_some(idx)
+    }
+
+    /// Emit the restart record: an unconditional branch from `pc` back to
+    /// the entry point, then reset all architectural state.
+    fn restart(&mut self, pc: u64, kind: BranchKind, srcs: [Option<Reg>; 2]) -> Inst {
+        let entry = self.entry_pc();
+        self.passes += 1;
+        self.reset();
+        Inst::branch(
+            pc,
+            BranchInfo {
+                kind,
+                taken: true,
+                target: entry,
+            },
+            srcs,
+        )
+    }
+
+    /// Transfer control through a register-supplied target. Valid targets
+    /// jump there; anything outside the code window restarts the program
+    /// (the emitted record's target is then the entry PC, keeping the
+    /// stream self-consistent).
+    fn indirect(&mut self, pc: u64, kind: BranchKind, target: u64, srcs: [Option<Reg>; 2]) -> Inst {
+        match self.target_index(target) {
+            Some(idx) => {
+                self.cursor = idx;
+                Inst::branch(
+                    pc,
+                    BranchInfo {
+                        kind,
+                        taken: true,
+                        target,
+                    },
+                    srcs,
+                )
+            }
+            None => self.restart(pc, kind, srcs),
+        }
+    }
+}
+
+impl TraceGen for Executor {
+    fn next_inst(&mut self) -> Inst {
+        let idx = self.cursor;
+        let pc = self.pc_of(idx);
+
+        // Off the end of .text, or past the per-pass budget: restart.
+        if idx >= self.prog.ops().len() {
+            return self.restart(pc, BranchKind::UncondDirect, [None, None]);
+        }
+        if let Some(bound) = self.restart_after {
+            if self.pass_steps >= bound {
+                return self.restart(pc, BranchKind::UncondDirect, [None, None]);
+            }
+        }
+        self.pass_steps += 1;
+
+        let op = self.prog.ops()[idx];
+        self.cursor = idx + 1;
+        match op {
+            Op::Mov { dst, src } => {
+                let v = self.operand_val(src);
+                self.write(dst, v);
+                Inst {
+                    pc,
+                    kind: InstKind::IntAlu,
+                    srcs: [Self::operand_src(src), None],
+                    dst: Self::dst(dst),
+                    mem: None,
+                    branch: None,
+                }
+            }
+            Op::Alu { op, dst, a, b } => {
+                let x = self.read(a);
+                let y = self.operand_val(b);
+                let v = match op {
+                    AluOp::Add => x.wrapping_add(y),
+                    AluOp::Sub => x.wrapping_sub(y),
+                    AluOp::And => x & y,
+                    AluOp::Orr => x | y,
+                    AluOp::Eor => x ^ y,
+                    AluOp::Lsl => x.wrapping_shl(y as u32 & 63),
+                    AluOp::Lsr => x.wrapping_shr(y as u32 & 63),
+                    AluOp::Asr => ((x as i64).wrapping_shr(y as u32 & 63)) as u64,
+                };
+                self.write(dst, v);
+                Inst {
+                    pc,
+                    kind: InstKind::IntAlu,
+                    srcs: [Self::src(a), Self::operand_src(b)],
+                    dst: Self::dst(dst),
+                    mem: None,
+                    branch: None,
+                }
+            }
+            Op::Mul { dst, a, b } => {
+                let v = self.read(a).wrapping_mul(self.read(b));
+                self.write(dst, v);
+                Inst {
+                    pc,
+                    kind: InstKind::IntMul,
+                    srcs: [Self::src(a), Self::src(b)],
+                    dst: Self::dst(dst),
+                    mem: None,
+                    branch: None,
+                }
+            }
+            Op::Udiv { dst, a, b } => {
+                let v = self.read(a).checked_div(self.read(b)).unwrap_or(0);
+                self.write(dst, v);
+                Inst {
+                    pc,
+                    kind: InstKind::IntDiv,
+                    srcs: [Self::src(a), Self::src(b)],
+                    dst: Self::dst(dst),
+                    mem: None,
+                    branch: None,
+                }
+            }
+            Op::Cmp { a, b } => {
+                self.cmp = (self.read(a), self.operand_val(b));
+                self.cmp_src = Self::src(a);
+                Inst {
+                    pc,
+                    kind: InstKind::IntAlu,
+                    srcs: [Self::src(a), Self::operand_src(b)],
+                    dst: None,
+                    mem: None,
+                    branch: None,
+                }
+            }
+            Op::Adr { dst, sym } => {
+                let v = match sym {
+                    SymRef::Text(i) => self.pc_of(i),
+                    SymRef::Data(off) => self.data_base + off,
+                };
+                self.write(dst, v);
+                Inst {
+                    pc,
+                    kind: InstKind::IntAlu,
+                    srcs: [None, None],
+                    dst: Self::dst(dst),
+                    mem: None,
+                    branch: None,
+                }
+            }
+            Op::Ldr { dst, base, off } => {
+                let vaddr = self.mem_addr(base, off);
+                let v = self.mem.read_u64(vaddr);
+                self.write(dst, v);
+                Inst {
+                    pc,
+                    kind: InstKind::Load,
+                    srcs: [Self::src(base), Self::mem_index_src(off)],
+                    dst: Self::dst(dst),
+                    mem: Some(MemRef { vaddr, size: 8 }),
+                    branch: None,
+                }
+            }
+            Op::Str { src, base, off } => {
+                let vaddr = self.mem_addr(base, off);
+                let v = self.read(src);
+                self.mem.write_u64(vaddr, v);
+                Inst {
+                    pc,
+                    kind: InstKind::Store,
+                    srcs: [Self::src(src), Self::src(base)],
+                    dst: None,
+                    mem: Some(MemRef { vaddr, size: 8 }),
+                    branch: None,
+                }
+            }
+            Op::B { target } => {
+                self.cursor = target;
+                Inst::branch(
+                    pc,
+                    BranchInfo {
+                        kind: BranchKind::UncondDirect,
+                        taken: true,
+                        target: self.pc_of(target),
+                    },
+                    [None, None],
+                )
+            }
+            Op::BCond { cond, target } => {
+                let taken = self.eval_cond(cond);
+                if taken {
+                    self.cursor = target;
+                }
+                Inst::branch(
+                    pc,
+                    BranchInfo {
+                        kind: BranchKind::CondDirect,
+                        taken,
+                        target: self.pc_of(target),
+                    },
+                    [self.cmp_src, None],
+                )
+            }
+            Op::Cbz {
+                reg,
+                target,
+                branch_if_nonzero,
+            } => {
+                let taken = (self.read(reg) != 0) == branch_if_nonzero;
+                if taken {
+                    self.cursor = target;
+                }
+                Inst::branch(
+                    pc,
+                    BranchInfo {
+                        kind: BranchKind::CondDirect,
+                        taken,
+                        target: self.pc_of(target),
+                    },
+                    [Self::src(reg), None],
+                )
+            }
+            Op::Bl { target } => {
+                self.write(30, pc + 4);
+                self.cursor = target;
+                Inst::branch(
+                    pc,
+                    BranchInfo {
+                        kind: BranchKind::DirectCall,
+                        taken: true,
+                        target: self.pc_of(target),
+                    },
+                    [None, None],
+                )
+            }
+            Op::Br { reg } => {
+                let t = self.read(reg);
+                self.indirect(pc, BranchKind::IndirectJump, t, [Self::src(reg), None])
+            }
+            Op::Blr { reg } => {
+                let t = self.read(reg);
+                self.write(30, pc + 4);
+                self.indirect(pc, BranchKind::IndirectCall, t, [Self::src(reg), None])
+            }
+            Op::Ret => {
+                let t = self.read(30);
+                self.indirect(pc, BranchKind::Return, t, [Self::src(30), None])
+            }
+            Op::Nop => Inst {
+                pc,
+                kind: InstKind::Nop,
+                srcs: [None, None],
+                dst: None,
+                mem: None,
+                branch: None,
+            },
+            Op::Halt => self.restart(pc, BranchKind::UncondDirect, [None, None]),
+        }
+    }
+}
+
+impl Executor {
+    fn mem_addr(&self, base: u8, off: MemOff) -> u64 {
+        let b = self.read(base);
+        match off {
+            MemOff::None => b,
+            MemOff::Imm(i) => b.wrapping_add(i as u64),
+            MemOff::Reg(r) => b.wrapping_add(self.read(r)),
+        }
+    }
+
+    fn mem_index_src(off: MemOff) -> Option<Reg> {
+        match off {
+            MemOff::Reg(r) => Self::src(r),
+            _ => None,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates nearby seeds before they land in
+/// `x27`.
+fn splitmix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec(src: &str) -> Executor {
+        let p = Program::assemble("t", src).unwrap();
+        Executor::new(Arc::new(p), 0, 7).unwrap()
+    }
+
+    #[test]
+    fn loop_emits_taken_then_fallthrough() {
+        let mut e = exec("main:\n  mov x1, #0\nloop:\n  add x1, x1, #1\n  cmp x1, #3\n  b.lt loop\n  halt\n");
+        let mut outcomes = Vec::new();
+        for _ in 0..10 {
+            let i = e.next_inst();
+            if let Some(b) = i.branch {
+                if b.kind == BranchKind::CondDirect {
+                    outcomes.push(b.taken);
+                }
+            }
+        }
+        assert_eq!(outcomes, vec![true, true, false]);
+    }
+
+    #[test]
+    fn halt_restarts_at_entry() {
+        let mut e = exec("main:\n  mov x1, #1\n  halt\n");
+        let a = e.next_inst();
+        let h = e.next_inst();
+        let b = e.next_inst();
+        assert_eq!(h.branch.map(|b| b.kind), Some(BranchKind::UncondDirect));
+        assert_eq!(h.branch.map(|b| b.target), Some(a.pc));
+        assert_eq!(b.pc, a.pc);
+        assert_eq!(e.passes(), 1);
+    }
+
+    #[test]
+    fn call_and_ret_balance() {
+        let mut e = exec("main:\n  bl f\n  halt\nf:\n  ret\n");
+        let call = e.next_inst();
+        let ret = e.next_inst();
+        let halt = e.next_inst();
+        assert_eq!(call.branch.map(|b| b.kind), Some(BranchKind::DirectCall));
+        assert_eq!(ret.branch.map(|b| b.kind), Some(BranchKind::Return));
+        assert_eq!(ret.branch.map(|b| b.target), Some(call.pc + 4));
+        assert_eq!(halt.pc, call.pc + 4);
+    }
+
+    #[test]
+    fn memory_round_trips() {
+        let mut e = exec(
+            ".data\nbuf: .space 64\n.text\nmain:\n  adr x1, buf\n  mov x2, #0xab\n  str x2, [x1, #8]\n  ldr x3, [x1, #8]\n  halt\n",
+        );
+        for _ in 0..4 {
+            let _ = e.next_inst();
+        }
+        assert_eq!(e.regs[3], 0xab);
+    }
+
+    #[test]
+    fn jump_table_dispatch_is_indirect() {
+        let mut e = exec(
+            ".data\ntab: .word f\n.text\nmain:\n  adr x1, tab\n  ldr x2, [x1]\n  br x2\nf:\n  halt\n",
+        );
+        let _ = e.next_inst();
+        let _ = e.next_inst();
+        let br = e.next_inst();
+        assert_eq!(br.branch.map(|b| b.kind), Some(BranchKind::IndirectJump));
+        let halt = e.next_inst();
+        assert_eq!(Some(halt.pc), br.branch.map(|b| b.target));
+    }
+
+    #[test]
+    fn wild_indirect_restarts() {
+        let mut e = exec("main:\n  mov x1, #0x10\n  br x1\n  nop\n");
+        let _ = e.next_inst();
+        let br = e.next_inst();
+        assert_eq!(br.branch.map(|b| b.taken), Some(true));
+        assert_eq!(br.branch.map(|b| b.target), Some(e.entry_pc()));
+        assert_eq!(e.passes(), 1);
+    }
+
+    #[test]
+    fn falling_off_the_end_restarts() {
+        let mut e = exec("main:\n  nop\n");
+        let _ = e.next_inst();
+        let wrap = e.next_inst();
+        assert_eq!(wrap.branch.map(|b| b.target), Some(e.entry_pc()));
+        assert_eq!(wrap.pc, e.entry_pc() + 4);
+    }
+
+    #[test]
+    fn restart_after_bounds_a_pass() {
+        let mut e = exec("main:\nloop:\n  add x1, x1, #1\n  b loop\n");
+        e.set_restart_after(Some(10));
+        for _ in 0..24 {
+            let _ = e.next_inst();
+        }
+        assert!(e.passes() >= 2, "bounded passes: {}", e.passes());
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical_and_seeds_differ() {
+        let src = "main:\n  mov x1, x27\n  and x1, x1, #7\n  cbz x1, a\na:\n  halt\n";
+        let p = Arc::new(Program::assemble("t", src).unwrap());
+        let mut a = Executor::new(p.clone(), 2, 5).unwrap();
+        let mut b = Executor::new(p.clone(), 2, 5).unwrap();
+        for _ in 0..50 {
+            assert_eq!(a.next_inst(), b.next_inst());
+        }
+        let mut c = Executor::new(p, 2, 6).unwrap();
+        let x: Vec<u64> = (0..4).map(|_| c.next_inst().pc).collect();
+        assert_eq!(x.len(), 4);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let mut e = exec("main:\n  mov x1, #9\n  udiv x2, x1, xzr\n  halt\n");
+        let _ = e.next_inst();
+        let _ = e.next_inst();
+        assert_eq!(e.regs[2], 0);
+    }
+
+    #[test]
+    fn pcs_live_in_the_region_code_window() {
+        let p = Arc::new(Program::assemble("t", "main:\n  nop\n  halt\n").unwrap());
+        let mut e = Executor::new(p, 3, 1).unwrap();
+        let pc = e.next_inst().pc;
+        assert!(pc >= 0x0000_4000_0000 + 3 * 0x1000_0000);
+        assert!(pc < 0x0000_4000_0000 + 4 * 0x1000_0000);
+    }
+}

@@ -1,0 +1,73 @@
+//! # exynos-asm — ARM-ish assembler frontend and program-driven traces
+//!
+//! Every workload in the suite catalog used to be a synthetic generator.
+//! This crate adds *real programs*: a two-pass assembler for a small
+//! ARM-like ISA and a functional executor that runs the assembled program
+//! — architectural registers, flags, a sparse byte memory — emitting one
+//! [`exynos_trace::Inst`] record per executed instruction. The executor
+//! implements [`exynos_trace::TraceGen`], so an assembled program plugs
+//! into everything the synthetic generators do: slicing, the batched
+//! lockstep engine, warm pools, and the sweep service.
+//!
+//! ## The ISA
+//!
+//! Registers `x0..x30` plus `xzr` (always-zero, register 31) and the
+//! aliases `sp` (= `x28`, initialized to a per-region stack top) and `lr`
+//! (= `x30`, the link register written by `bl`/`blr`). `x27` is loaded
+//! with a seed-derived odd value at reset so programs can vary per seed.
+//!
+//! | group        | mnemonics |
+//! |--------------|-----------|
+//! | moves        | `mov xD, xS` / `mov xD, #imm` / `adr xD, label` |
+//! | ALU          | `add sub and orr eor lsl lsr asr xD, xA, (xB\|#imm)` |
+//! | mul/div      | `mul xD, xA, xB` / `udiv xD, xA, xB` (÷0 → 0) |
+//! | compare      | `cmp xA, (xB\|#imm)` (signed flags) |
+//! | memory       | `ldr`/`str xR, [xB]`, `[xB, #imm]`, `[xB, xI]` (8 B) |
+//! | branches     | `b`, `b.eq/ne/lt/le/gt/ge`, `cbz`/`cbnz xR, label` |
+//! | calls        | `bl label`, `blr xR`, `br xR`, `ret` |
+//! | misc         | `nop`, `halt` |
+//!
+//! Directives: `.text` / `.data` switch sections, `label:` defines a
+//! symbol, `.word v, ...` emits 8-byte cells (integer literals or label
+//! references — text labels resolve to code addresses, enabling jump
+//! tables), `.space N` reserves N zeroed bytes. Comments run from `;` or
+//! `//` to end of line. Execution starts at the `main` label (or the
+//! first instruction when absent).
+//!
+//! ## Restart semantics
+//!
+//! Trace generators never exhaust. When a program executes `halt`, runs
+//! off the end of `.text`, or takes an indirect transfer to an address
+//! outside its code window, the executor emits one unconditional branch
+//! back to the entry point and resets all architectural state (registers,
+//! flags, memory image) — the stream is infinite and periodic. See
+//! [`exynos_trace::source`] for the full `TraceSource` contract.
+//!
+//! ## Example
+//!
+//! ```
+//! use exynos_asm::Program;
+//! use exynos_trace::TraceGen;
+//!
+//! let prog = Program::assemble(
+//!     "count",
+//!     "main:\n  mov x1, #0\nloop:\n  add x1, x1, #1\n  cmp x1, #4\n  b.lt loop\n  halt\n",
+//! )
+//! .unwrap();
+//! let mut gen = exynos_asm::Executor::new(std::sync::Arc::new(prog), 0, 1).unwrap();
+//! let first = gen.next_inst();
+//! let second = gen.next_inst();
+//! assert_eq!(first.fallthrough(), second.pc);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod assembler;
+pub mod corpus;
+mod exec;
+mod program;
+
+pub use corpus::{corpus_program, corpus_slices, corpus_source, AsmSource, CORPUS};
+pub use exec::Executor;
+pub use program::{AluOp, Cond, DataCell, MemOff, Op, Operand, Program, SymRef};

@@ -1,0 +1,462 @@
+//! The assembled-program IR: decoded operations, the initial data image,
+//! and symbol information for disassembly.
+
+use exynos_trace::TraceError;
+
+/// A register-or-immediate operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Architectural integer register `x0..x30` / `xzr` (31).
+    Reg(u8),
+    /// A signed 64-bit immediate.
+    Imm(i64),
+}
+
+/// Two-operand ALU operation selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Orr,
+    /// Bitwise xor.
+    Eor,
+    /// Logical shift left (amount masked to 63).
+    Lsl,
+    /// Logical shift right.
+    Lsr,
+    /// Arithmetic shift right.
+    Asr,
+}
+
+impl AluOp {
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Orr => "orr",
+            AluOp::Eor => "eor",
+            AluOp::Lsl => "lsl",
+            AluOp::Lsr => "lsr",
+            AluOp::Asr => "asr",
+        }
+    }
+}
+
+/// Condition codes evaluated against the last `cmp` (signed compare).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl Cond {
+    /// Condition suffix as written after `b.`.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+        }
+    }
+}
+
+/// Addressing-mode offset of a load/store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOff {
+    /// `[xB]`.
+    None,
+    /// `[xB, #imm]`.
+    Imm(i64),
+    /// `[xB, xI]`.
+    Reg(u8),
+}
+
+/// A resolved symbol reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymRef {
+    /// Instruction index into `.text`.
+    Text(usize),
+    /// Byte offset into the `.data` image.
+    Data(u64),
+}
+
+/// One 8-byte cell of the initial data image. Cells holding label
+/// references are resolved to absolute addresses when the executor lays
+/// the program into a concrete address region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataCell {
+    /// A literal 64-bit word.
+    Word(u64),
+    /// The absolute address of a `.text` label (jump-table entry).
+    TextAddr(usize),
+    /// The absolute address of a `.data` label.
+    DataAddr(u64),
+}
+
+/// One decoded operation of the program's `.text` section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `mov xD, src`.
+    Mov {
+        /// Destination register.
+        dst: u8,
+        /// Source register or immediate.
+        src: Operand,
+    },
+    /// `op xD, xA, b`.
+    Alu {
+        /// Operation selector.
+        op: AluOp,
+        /// Destination register.
+        dst: u8,
+        /// First source register.
+        a: u8,
+        /// Second source (register or immediate).
+        b: Operand,
+    },
+    /// `mul xD, xA, xB`.
+    Mul {
+        /// Destination register.
+        dst: u8,
+        /// First source.
+        a: u8,
+        /// Second source.
+        b: u8,
+    },
+    /// `udiv xD, xA, xB` (division by zero yields zero).
+    Udiv {
+        /// Destination register.
+        dst: u8,
+        /// Dividend.
+        a: u8,
+        /// Divisor.
+        b: u8,
+    },
+    /// `cmp xA, b` — sets the (signed) flags consumed by `b.cond`.
+    Cmp {
+        /// Left-hand register.
+        a: u8,
+        /// Right-hand register or immediate.
+        b: Operand,
+    },
+    /// `adr xD, label` — materialize a symbol's absolute address.
+    Adr {
+        /// Destination register.
+        dst: u8,
+        /// Referenced symbol.
+        sym: SymRef,
+    },
+    /// `ldr xD, [..]` (8-byte load).
+    Ldr {
+        /// Destination register.
+        dst: u8,
+        /// Base address register.
+        base: u8,
+        /// Addressing-mode offset.
+        off: MemOff,
+    },
+    /// `str xS, [..]` (8-byte store).
+    Str {
+        /// Data source register.
+        src: u8,
+        /// Base address register.
+        base: u8,
+        /// Addressing-mode offset.
+        off: MemOff,
+    },
+    /// `b label`.
+    B {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// `b.cond label`.
+    BCond {
+        /// Condition code.
+        cond: Cond,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// `cbz`/`cbnz xR, label`.
+    Cbz {
+        /// Tested register.
+        reg: u8,
+        /// Target instruction index.
+        target: usize,
+        /// `true` for `cbnz`.
+        branch_if_nonzero: bool,
+    },
+    /// `bl label` — direct call, writes `lr`.
+    Bl {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// `br xR` — indirect jump.
+    Br {
+        /// Target-address register.
+        reg: u8,
+    },
+    /// `blr xR` — indirect call, writes `lr`.
+    Blr {
+        /// Target-address register.
+        reg: u8,
+    },
+    /// `ret` — return through `lr`.
+    Ret,
+    /// `nop`.
+    Nop,
+    /// `halt` — end of pass; the executor restarts at the entry point.
+    Halt,
+}
+
+/// An assembled program: decoded `.text`, the initial `.data` image, the
+/// entry point, and symbols for disassembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    ops: Vec<Op>,
+    data: Vec<DataCell>,
+    entry: usize,
+    /// Symbol table (definition order), for disassembly and diagnostics.
+    labels: Vec<(String, SymRef)>,
+}
+
+impl Program {
+    pub(crate) fn from_parts(
+        name: String,
+        ops: Vec<Op>,
+        data: Vec<DataCell>,
+        entry: usize,
+        labels: Vec<(String, SymRef)>,
+    ) -> Program {
+        Program {
+            name,
+            ops,
+            data,
+            entry,
+            labels,
+        }
+    }
+
+    /// Assemble `src` into a program. Errors carry the 1-based source
+    /// line and never panic.
+    pub fn assemble(name: &str, src: &str) -> Result<Program, TraceError> {
+        crate::assembler::assemble(name, src)
+    }
+
+    /// The program's name (file stem or corpus key).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Decoded operations of the `.text` section.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Initial `.data` image (8-byte cells).
+    pub fn data(&self) -> &[DataCell] {
+        &self.data
+    }
+
+    /// Entry-point instruction index (`main`, or 0).
+    pub fn entry(&self) -> usize {
+        self.entry
+    }
+
+    /// Symbols in definition order.
+    pub fn labels(&self) -> &[(String, SymRef)] {
+        &self.labels
+    }
+
+    fn sym_name(&self, sym: SymRef) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(_, s)| *s == sym)
+            .map(|(n, _)| n.as_str())
+    }
+
+    fn render_target(&self, idx: usize) -> String {
+        match self.sym_name(SymRef::Text(idx)) {
+            Some(n) => n.to_string(),
+            None => format!("@{idx}"),
+        }
+    }
+
+    fn render_operand(&self, o: Operand) -> String {
+        match o {
+            Operand::Reg(r) => reg_name(r),
+            Operand::Imm(i) => format!("#{i}"),
+        }
+    }
+
+    fn render_mem(&self, base: u8, off: MemOff) -> String {
+        match off {
+            MemOff::None => format!("[{}]", reg_name(base)),
+            MemOff::Imm(i) => format!("[{}, #{}]", reg_name(base), i),
+            MemOff::Reg(r) => format!("[{}, {}]", reg_name(base), reg_name(r)),
+        }
+    }
+
+    /// Render one operation as assembly text.
+    pub fn render_op(&self, op: &Op) -> String {
+        match *op {
+            Op::Mov { dst, src } => format!("mov {}, {}", reg_name(dst), self.render_operand(src)),
+            Op::Alu { op, dst, a, b } => format!(
+                "{} {}, {}, {}",
+                op.mnemonic(),
+                reg_name(dst),
+                reg_name(a),
+                self.render_operand(b)
+            ),
+            Op::Mul { dst, a, b } => {
+                format!("mul {}, {}, {}", reg_name(dst), reg_name(a), reg_name(b))
+            }
+            Op::Udiv { dst, a, b } => {
+                format!("udiv {}, {}, {}", reg_name(dst), reg_name(a), reg_name(b))
+            }
+            Op::Cmp { a, b } => format!("cmp {}, {}", reg_name(a), self.render_operand(b)),
+            Op::Adr { dst, sym } => {
+                format!("adr {}, {}", reg_name(dst), self.sym_name(sym).unwrap_or("?"))
+            }
+            Op::Ldr { dst, base, off } => {
+                format!("ldr {}, {}", reg_name(dst), self.render_mem(base, off))
+            }
+            Op::Str { src, base, off } => {
+                format!("str {}, {}", reg_name(src), self.render_mem(base, off))
+            }
+            Op::B { target } => format!("b {}", self.render_target(target)),
+            Op::BCond { cond, target } => {
+                format!("b.{} {}", cond.suffix(), self.render_target(target))
+            }
+            Op::Cbz {
+                reg,
+                target,
+                branch_if_nonzero,
+            } => format!(
+                "{} {}, {}",
+                if branch_if_nonzero { "cbnz" } else { "cbz" },
+                reg_name(reg),
+                self.render_target(target)
+            ),
+            Op::Bl { target } => format!("bl {}", self.render_target(target)),
+            Op::Br { reg } => format!("br {}", reg_name(reg)),
+            Op::Blr { reg } => format!("blr {}", reg_name(reg)),
+            Op::Ret => "ret".to_string(),
+            Op::Nop => "nop".to_string(),
+            Op::Halt => "halt".to_string(),
+        }
+    }
+
+    /// Full disassembly listing: `.text` with label lines and byte
+    /// offsets, then the `.data` image.
+    pub fn disasm(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("; {}\n.text\n", self.summary()));
+        for (idx, op) in self.ops.iter().enumerate() {
+            for (name, sym) in &self.labels {
+                if *sym == SymRef::Text(idx) {
+                    out.push_str(&format!("{name}:\n"));
+                }
+            }
+            let marker = if idx == self.entry { "*" } else { " " };
+            out.push_str(&format!(
+                "{marker}   {:#07x}  {}\n",
+                idx * 4,
+                self.render_op(op)
+            ));
+        }
+        if !self.data.is_empty() {
+            out.push_str(".data\n");
+            for (i, cell) in self.data.iter().enumerate() {
+                let off = (i as u64) * 8;
+                for (name, sym) in &self.labels {
+                    if *sym == SymRef::Data(off) {
+                        out.push_str(&format!("{name}:\n"));
+                    }
+                }
+                let rendered = match cell {
+                    DataCell::Word(w) => format!("{:#x}", w),
+                    DataCell::TextAddr(idx) => self.render_target(*idx),
+                    DataCell::DataAddr(off) => self
+                        .sym_name(SymRef::Data(*off))
+                        .unwrap_or("?")
+                        .to_string(),
+                };
+                out.push_str(&format!("    {:#07x}  .word {}\n", off, rendered));
+            }
+        }
+        out
+    }
+
+    /// One-line shape summary: op/data counts, entry, and a static
+    /// breakdown of control flow and memory operations.
+    pub fn summary(&self) -> String {
+        let mut cond = 0usize;
+        let mut uncond = 0usize;
+        let mut call = 0usize;
+        let mut indirect = 0usize;
+        let mut ret = 0usize;
+        let mut loads = 0usize;
+        let mut stores = 0usize;
+        for op in &self.ops {
+            match op {
+                Op::B { .. } => uncond += 1,
+                Op::BCond { .. } | Op::Cbz { .. } => cond += 1,
+                Op::Bl { .. } => call += 1,
+                Op::Blr { .. } => {
+                    call += 1;
+                    indirect += 1;
+                }
+                Op::Br { .. } => indirect += 1,
+                Op::Ret => ret += 1,
+                Op::Ldr { .. } => loads += 1,
+                Op::Str { .. } => stores += 1,
+                _ => {}
+            }
+        }
+        format!(
+            "program {}: {} ops, {} data cells, entry {}; branches: {} cond, {} uncond, {} call, {} indirect, {} ret; {} loads, {} stores",
+            self.name,
+            self.ops.len(),
+            self.data.len(),
+            self.render_target(self.entry),
+            cond,
+            uncond,
+            call,
+            indirect,
+            ret,
+            loads,
+            stores
+        )
+    }
+}
+
+/// Canonical register spelling (`sp`/`lr`/`xzr` aliases included).
+pub(crate) fn reg_name(r: u8) -> String {
+    match r {
+        28 => "sp".to_string(),
+        30 => "lr".to_string(),
+        31 => "xzr".to_string(),
+        n => format!("x{n}"),
+    }
+}

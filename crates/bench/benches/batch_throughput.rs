@@ -35,7 +35,7 @@ fn bench_batch(c: &mut Criterion) {
             b.iter(|| {
                 let mut last = 0u64;
                 for mut sim in members(width) {
-                    let mut gen = slice.instantiate();
+                    let mut gen = slice.build().unwrap();
                     let r = sim.run_slice(&mut *gen, PLAN).expect("clean bench slice");
                     last = r.instructions;
                 }
@@ -48,7 +48,7 @@ fn bench_batch(c: &mut Criterion) {
                 for sim in members(width) {
                     batch.push(sim);
                 }
-                let mut gen = slice.instantiate();
+                let mut gen = slice.build().unwrap();
                 let r = batch.run_slice_lockstep(&mut *gen, PLAN).expect("clean bench slice");
                 r.len()
             })

@@ -20,7 +20,7 @@ fn bench_simulator(c: &mut Criterion) {
             |b, cfg| {
                 b.iter(|| {
                     let mut sim = SimBuilder::config(cfg.clone()).build().unwrap();
-                    let mut gen = slice.instantiate();
+                    let mut gen = slice.build().unwrap();
                     sim.run_slice(&mut *gen, SlicePlan::new(1_000, 10_000))
                         .expect("clean bench slice")
                         .ipc

@@ -26,7 +26,7 @@ fn bench_step(c: &mut Criterion) {
             |b, cfg| {
                 b.iter(|| {
                     let mut sim = SimBuilder::config(cfg.clone()).build().unwrap();
-                    let mut gen = slice.instantiate();
+                    let mut gen = slice.build().unwrap();
                     let mut last = 0;
                     for _ in 0..STEPS {
                         let inst = gen.next_inst();

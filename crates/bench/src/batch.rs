@@ -180,11 +180,11 @@ mod tests {
         for cfg in &gens {
             batch.push(must(SimBuilder::config(cfg.clone()).build()));
         }
-        let mut shared = slice.instantiate();
+        let mut shared = slice.build().unwrap();
         let batched = must(batch.run_slice_lockstep(&mut *shared, plan));
         for (cfg, b) in gens.iter().zip(&batched) {
             let mut sim = must(SimBuilder::config(cfg.clone()).build());
-            let mut gen = slice.instantiate();
+            let mut gen = slice.build().unwrap();
             let scalar = must(sim.run_slice(&mut *gen, plan));
             assert_eq!(format!("{scalar:?}"), format!("{b:?}"), "{}", cfg.gen.name());
         }
@@ -198,7 +198,7 @@ mod tests {
             batch.push(must(SimBuilder::config(cfg.clone()).build()));
         }
         let suite = standard_suite(1);
-        let mut gen = suite[0].instantiate();
+        let mut gen = suite[0].build().unwrap();
         must(batch.run_lockstep(&mut *gen, 2_000));
         let mut probe = BatchProbe::default();
         batch.probe(0x4000, 0x8000, &mut probe);
@@ -214,7 +214,7 @@ mod tests {
         let mut batch = PopulationBatch::new();
         assert!(batch.is_empty());
         let suite = standard_suite(1);
-        let mut gen = suite[0].instantiate();
+        let mut gen = suite[0].build().unwrap();
         let out = must(batch.run_slice_lockstep(&mut *gen, SlicePlan::new(100, 100)));
         assert!(out.is_empty());
         let mut probe = BatchProbe::default();

@@ -11,7 +11,20 @@
 //! Subcommands: table1 table2 table3 table4 fig1 fig4 fig5 fig7 fig8 fig9
 //! fig10 fig14 fig15 fig16 fig17 uoc btb_ablation branchstats ablations
 //! security_policies bench metrics trace checkpoint resume serve call
-//! spans all
+//! spans asm run all
+//!
+//! Program-driven traces (see DESIGN.md, "Assembler frontend &
+//! program-driven traces"): `asm` inspects a program, `run` executes one
+//! across the generations, and `--programs` mixes the embedded corpus
+//! into the population sweep as `program/*` slices.
+//!
+//! ```text
+//! cargo run --release -p exynos-bench --bin harness -- asm fib_recursive
+//! cargo run --release -p exynos-bench --bin harness -- asm path/to/kernel.s
+//! cargo run --release -p exynos-bench --bin harness -- run --program computed_goto --quick
+//! cargo run --release -p exynos-bench --bin harness -- run --program kernel.s --gen m5
+//! cargo run --release -p exynos-bench --bin harness -- fig9 --programs
+//! ```
 //!
 //! Sweep-as-a-service (see DESIGN.md, "Service tier & failure model"):
 //!
@@ -62,7 +75,7 @@ const SUBCOMMANDS: &[&str] = &[
     "all", "table1", "table2", "table3", "table4", "fig1", "fig4", "fig5", "fig7", "fig8", "fig9",
     "fig10", "fig14", "fig15", "fig16", "fig17", "uoc", "btb_ablation", "branchstats", "ablations",
     "security_policies", "bench", "metrics", "trace", "checkpoint", "resume", "serve", "call",
-    "spans",
+    "spans", "asm", "run",
 ];
 
 fn usage_error(msg: &str) -> ! {
@@ -71,11 +84,14 @@ fn usage_error(msg: &str) -> ! {
         "usage: harness [SUBCOMMAND] [FILE] [--scale N] [--csv PATH] [--threads N] [--epoch N] [--quick]"
     );
     eprintln!("               [--socket PATH] [--journal PATH] [--workers N] [--queue N]");
-    eprintln!("               [--postmortem-dir DIR] [--prom]");
+    eprintln!("               [--postmortem-dir DIR] [--prom] [--programs]");
+    eprintln!("               [--program FILE|NAME] [--gen mN]");
     eprintln!("subcommands: {}", SUBCOMMANDS.join(" "));
-    eprintln!("FILE is required by checkpoint/resume (the on-disk image path)");
-    eprintln!("and by call (the JSON request line, e.g. '{{\"cmd\":\"ping\"}}');");
-    eprintln!("spans takes an optional job id (no id: latency quantiles)");
+    eprintln!("FILE is required by checkpoint/resume (the on-disk image path),");
+    eprintln!("by call (the JSON request line, e.g. '{{\"cmd\":\"ping\"}}') and by asm");
+    eprintln!("(an assembly file path or embedded corpus program name);");
+    eprintln!("spans takes an optional job id (no id: latency quantiles);");
+    eprintln!("run needs --program FILE|NAME (all generations; --gen mN for one)");
     std::process::exit(2);
 }
 
@@ -96,6 +112,9 @@ struct Options {
     queue_cap: usize,
     postmortem_dir: Option<String>,
     prom: bool,
+    program: Option<String>,
+    gen: Option<String>,
+    programs: bool,
 }
 
 fn parse_args(args: &[String]) -> Options {
@@ -113,6 +132,9 @@ fn parse_args(args: &[String]) -> Options {
         queue_cap: 64,
         postmortem_dir: None,
         prom: false,
+        program: None,
+        gen: None,
+        programs: false,
     };
     let mut saw_cmd = false;
     let mut it = args.iter();
@@ -161,6 +183,15 @@ fn parse_args(args: &[String]) -> Options {
                 _ => usage_error("--postmortem-dir is missing its path"),
             },
             "--prom" => opts.prom = true,
+            "--program" => match it.next() {
+                Some(v) if !v.starts_with("--") => opts.program = Some(v.clone()),
+                _ => usage_error("--program is missing its file path or corpus name"),
+            },
+            "--gen" => match it.next() {
+                Some(v) if !v.starts_with("--") => opts.gen = Some(v.clone()),
+                _ => usage_error("--gen is missing its generation name (m1..m6)"),
+            },
+            "--programs" => opts.programs = true,
             "--help" | "-h" => {
                 println!(
                     "usage: harness [SUBCOMMAND] [--scale N] [--csv PATH] [--threads N] [--epoch N] [--quick]"
@@ -178,7 +209,7 @@ fn parse_args(args: &[String]) -> Options {
                 opts.cmd = cmd.to_string();
                 saw_cmd = true;
             }
-            path if matches!(opts.cmd.as_str(), "checkpoint" | "resume" | "call" | "spans")
+            path if matches!(opts.cmd.as_str(), "checkpoint" | "resume" | "call" | "spans" | "asm")
                 && opts.file.is_none() =>
             {
                 opts.file = Some(path.to_string());
@@ -206,7 +237,24 @@ fn main() {
         queue_cap,
         postmortem_dir,
         prom,
+        program,
+        gen,
+        programs,
     } = opts;
+    if cmd == "asm" {
+        let Some(target) = file else {
+            usage_error("'asm' needs an assembly file path or corpus program name");
+        };
+        asm_cmd(&target);
+        return;
+    }
+    if cmd == "run" {
+        let Some(target) = program else {
+            usage_error("'run' needs --program FILE (or an embedded corpus name)");
+        };
+        run_program_cmd(&target, gen.as_deref(), quick);
+        return;
+    }
     if cmd == "serve" {
         serve_cmd(
             &socket,
@@ -264,13 +312,16 @@ fn main() {
     let want = |name: &str| run_all || cmd == name;
     let sweep_threads = threads.unwrap_or_else(sweep::default_threads);
 
-    // Population-based figures share one (expensive) sweep.
+    // Population-based figures share one (expensive) sweep. With
+    // --programs the embedded exynos-asm corpus joins the catalog as
+    // program/* slices alongside the synthetic families.
     let population = if want("fig9") || want("fig16") || want("fig17") || want("table4") {
+        let suite = exp::catalog_suite(scale, programs);
         println!(
             "# running population sweep (scale {scale}; {} slices x 6 generations; {sweep_threads} threads)...",
-            exynos_trace::standard_suite(scale).len()
+            suite.len()
         );
-        let pop = exp::run_population_batched(scale, 5_000, 30_000, sweep_threads);
+        let pop = exp::run_suite_batched(&suite, 5_000, 30_000, sweep_threads);
         if let Some(path) = &csv_path {
             let mut out = String::from("slice,generation,ipc,mpki,load_latency\n");
             for r in &pop {
@@ -349,6 +400,108 @@ fn main() {
     }
     if want("security_policies") {
         security_policies();
+    }
+}
+
+/// Resolve `target` to an assembled program: a readable file path wins
+/// (program name = file stem), otherwise the embedded corpus is tried by
+/// name. Every failure — unreadable path, unknown name, assembly error —
+/// is a typed [`exynos_asm::Program`]-level error printed to stderr with
+/// exit status 2 (a usage/input problem, never a panic).
+fn load_program(target: &str) -> exynos_asm::Program {
+    let assembled = match std::fs::read_to_string(target) {
+        Ok(src) => {
+            let name = std::path::Path::new(target)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or(target)
+                .to_owned();
+            exynos_asm::Program::assemble(&name, &src)
+        }
+        Err(io) => match exynos_asm::corpus_source(target) {
+            Some(src) => exynos_asm::Program::assemble(target, src),
+            None => {
+                eprintln!("harness: cannot read '{target}' ({io})");
+                eprintln!(
+                    "harness: and it names no embedded corpus program (available: {})",
+                    exynos_asm::CORPUS.map(|(n, _)| n).join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+    };
+    match assembled {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("harness: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `harness -- asm FILE|NAME`: assemble a program and print its
+/// disassembly (with resolved labels and the entry marker) plus the
+/// one-line static summary.
+fn asm_cmd(target: &str) {
+    let prog = load_program(target);
+    print!("{}", prog.disasm());
+    println!();
+    println!("{}", prog.summary());
+}
+
+/// `harness -- run --program FILE|NAME [--gen mN] [--quick]`: execute a
+/// program workload. Without `--gen` all six generations advance in one
+/// lockstep batch over a single shared execution stream; with `--gen`
+/// one generation runs on the scalar engine (bit-identical records).
+fn run_program_cmd(target: &str, gen: Option<&str>, quick: bool) {
+    use exynos_bench::service_runner::parse_generation;
+    use exynos_trace::{SlicePlan, TraceSource};
+
+    let prog = load_program(target);
+    let name = prog.name().to_owned();
+    println!("# {}", prog.summary());
+    let source = exynos_asm::AsmSource::new(prog);
+    let (warmup, detail) = if quick { (1_000, 5_000) } else { (5_000, 30_000) };
+    let build = || match source.build(exp::PROGRAM_REGION_BASE, 0xA500) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("harness: {e}");
+            std::process::exit(2);
+        }
+    };
+    let plan = SlicePlan::new(warmup, detail);
+    let mut rows: Vec<(&'static str, exynos_core::sim::SliceResult)> = Vec::new();
+    match gen {
+        Some(g) => {
+            let generation = match parse_generation(g) {
+                Ok(v) => v,
+                Err(e) => usage_error(&e.to_string()),
+            };
+            let cfg = CoreConfig::for_generation(generation);
+            let mut sim = exp::must(SimBuilder::config(cfg.clone()).build());
+            let mut stream = build();
+            let r = exp::must(sim.run_slice(&mut *stream, plan));
+            rows.push((cfg.gen.name(), r));
+        }
+        None => {
+            let gens = CoreConfig::all_generations();
+            let mut batch = exynos_bench::batch::PopulationBatch::new();
+            for cfg in &gens {
+                batch.push(exp::must(SimBuilder::config(cfg.clone()).build()));
+            }
+            let mut stream = build();
+            let results = exp::must(batch.run_slice_lockstep(&mut *stream, plan));
+            for (cfg, r) in gens.iter().zip(results) {
+                rows.push((cfg.gen.name(), r));
+            }
+        }
+    }
+    println!(
+        "# program {name} ({warmup} warmup + {detail} measured instructions)"
+    );
+    println!("{:<6} {:>8} {:>8} {:>12}", "gen", "IPC", "MPKI", "load lat");
+    for (g, r) in &rows {
+        println!("{g:<6} {:>8.3} {:>8.3} {:>12.2}", r.ipc, r.mpki, r.avg_load_latency);
     }
 }
 
@@ -1045,7 +1198,7 @@ fn telemetry_run(epoch_len: u64, quick: bool, event_capacity: usize) -> exynos_t
         }
         seen.push(slice.suite);
         eprintln!("# slice {} ({} + {} instructions)", slice.name, warmup, detail);
-        let mut gen = slice.instantiate();
+        let mut gen = exp::must_gen(slice);
         exp::must(sim.run_slice_with(&mut *gen, SlicePlan::new(warmup, detail), &mut tel));
     }
     // Close the trailing partial epoch so short runs still emit rows.
@@ -1113,7 +1266,7 @@ fn checkpoint_cmd(path: &str, epoch_len: u64, quick: bool) {
     let mut sim = exp::must(SimBuilder::generation(exynos_core::config::Generation::M6).build());
     let suite = exynos_trace::standard_suite(1);
     let slice = &suite[0];
-    let mut gen = slice.instantiate();
+    let mut gen = exp::must_gen(slice);
     exp::must(sim.run_warmup(&mut *gen, warmup));
     let image = sim.checkpoint();
     if let Err(e) = std::fs::write(path, &image) {
@@ -1165,7 +1318,7 @@ fn resume_cmd(path: &str, epoch_len: u64, quick: bool) {
     };
     let suite = exynos_trace::standard_suite(1);
     let slice = &suite[0];
-    let mut gen = slice.instantiate();
+    let mut gen = exp::must_gen(slice);
     for _ in 0..sim.stats().instructions {
         let _ = gen.next_inst();
     }

@@ -15,7 +15,7 @@ use exynos_core::sim::Simulator;
 use exynos_trace::gen::loops::{LoopNest, LoopNestParams};
 use exynos_trace::gen::markov::{MarkovBranches, MarkovParams};
 use exynos_trace::gen::streaming::{MultiStride, MultiStrideParams, StrideComponent};
-use exynos_trace::{standard_suite, SlicePlan, TraceGen};
+use exynos_trace::{standard_suite, SlicePlan, SliceSpec, TraceGen};
 
 /// Unwrap a simulation result: benchmark traces are clean and run with no
 /// fault injector, so a `SimError` here is a harness bug worth aborting on.
@@ -24,6 +24,38 @@ pub fn must<T>(r: Result<T, exynos_core::SimError>) -> T {
         Ok(v) => v,
         Err(e) => panic!("benchmark simulation failed: {e}"),
     }
+}
+
+/// Build a catalog slice's generator. The embedded catalogs are all
+/// well-formed, so a build failure here is a harness bug worth aborting
+/// on; fallible callers (the service tier) go through
+/// [`SliceSpec::build`](exynos_trace::SliceSpec::build) directly.
+pub fn must_gen(slice: &exynos_trace::SliceSpec) -> exynos_trace::BoxedGen {
+    match slice.build() {
+        Ok(g) => g,
+        Err(e) => panic!("workload '{}' failed to build: {e}", slice.name),
+    }
+}
+
+/// Address-region base for program slices in a mixed catalog: far above
+/// every synthetic slice (they start at 0, stepping 16) yet below the
+/// 1M+ band `WorkloadSpec::Mix` reserves for its children.
+pub const PROGRAM_REGION_BASE: u64 = 500_000;
+
+/// The sweep catalog: the synthetic standard suite at `scale`, plus —
+/// when `programs` is set — the embedded `exynos-asm` corpus as
+/// `program/*` slices. Both populations build through the same fallible
+/// [`TraceSource`](exynos_trace::TraceSource) API; the corpus is
+/// embedded and well-formed, so a build failure here is a harness bug.
+pub fn catalog_suite(scale: usize, programs: bool) -> Vec<SliceSpec> {
+    let mut suite = standard_suite(scale);
+    if programs {
+        match exynos_asm::corpus_slices(SlicePlan::default(), PROGRAM_REGION_BASE) {
+            Ok(slices) => suite.extend(slices),
+            Err(e) => panic!("embedded program corpus failed to assemble: {e}"),
+        }
+    }
+    suite
 }
 
 /// A compact per-slice, per-generation result record.
@@ -64,14 +96,24 @@ pub fn run_population_with_threads(
     detail: u64,
     threads: usize,
 ) -> Vec<SliceRecord> {
-    let suite = standard_suite(scale);
+    run_suite_with_threads(&standard_suite(scale), warmup, detail, threads)
+}
+
+/// [`run_population_with_threads`] over an explicit slice catalog (e.g.
+/// [`catalog_suite`] with programs mixed in).
+pub fn run_suite_with_threads(
+    suite: &[SliceSpec],
+    warmup: u64,
+    detail: u64,
+    threads: usize,
+) -> Vec<SliceRecord> {
     let gens = CoreConfig::all_generations();
     let per_gen = suite.len();
     crate::sweep::run_indexed(gens.len() * per_gen, threads, |i| {
         let cfg = &gens[i / per_gen];
         let slice = &suite[i % per_gen];
         let mut sim = must(SimBuilder::config(cfg.clone()).build());
-        let mut gen = slice.instantiate();
+        let mut gen = must_gen(slice);
         let r = must(sim.run_slice(&mut *gen, SlicePlan::new(warmup, detail)));
         SliceRecord {
             name: slice.name.clone(),
@@ -97,11 +139,22 @@ pub fn run_population_batched(
     detail: u64,
     threads: usize,
 ) -> Vec<SliceRecord> {
-    let suite = standard_suite(scale);
+    run_suite_batched(&standard_suite(scale), warmup, detail, threads)
+}
+
+/// [`run_population_batched`] over an explicit slice catalog (e.g.
+/// [`catalog_suite`] with programs mixed in). Bit-identical to
+/// [`run_suite_with_threads`] on the same catalog and windows.
+pub fn run_suite_batched(
+    suite: &[SliceSpec],
+    warmup: u64,
+    detail: u64,
+    threads: usize,
+) -> Vec<SliceRecord> {
     let gens = CoreConfig::all_generations();
     let per_gen = suite.len();
     if gens.len() < 2 {
-        return run_population_with_threads(scale, warmup, detail, threads);
+        return run_suite_with_threads(suite, warmup, detail, threads);
     }
     let per_slice: Vec<Vec<SliceRecord>> = crate::sweep::run_indexed(per_gen, threads, |s| {
         let slice = &suite[s];
@@ -109,7 +162,7 @@ pub fn run_population_batched(
         for cfg in &gens {
             batch.push(must(SimBuilder::config(cfg.clone()).build()));
         }
-        let mut gen = slice.instantiate();
+        let mut gen = must_gen(slice);
         let results = must(batch.run_slice_lockstep(&mut *gen, SlicePlan::new(warmup, detail)));
         gens.iter()
             .zip(&results)
@@ -185,7 +238,7 @@ pub fn build_warm_pool(scale: usize, warmup: u64, threads: usize) -> WarmPool {
         let cfg = &gens[i / per_gen];
         let slice = &suite[i % per_gen];
         let mut sim = must(SimBuilder::config(cfg.clone()).build());
-        let mut gen = slice.instantiate();
+        let mut gen = must_gen(slice);
         must(sim.run_warmup(&mut *gen, warmup));
         sim.checkpoint()
     });
@@ -211,7 +264,7 @@ pub fn try_build_warm_pool(
         let cfg = &gens[i / per_gen];
         let slice = &suite[i % per_gen];
         let mut sim = SimBuilder::config(cfg.clone()).cancel_token(cancel.clone()).build()?;
-        let mut gen = slice.instantiate();
+        let mut gen = slice.build()?;
         sim.run_warmup(&mut *gen, warmup)?;
         Ok(sim.checkpoint())
     })?;
@@ -241,7 +294,7 @@ pub fn run_population_warm_scalar(pool: &WarmPool, detail: u64, threads: usize) 
             Ok(sim) => sim,
             Err(e) => panic!("warm pool image {i} failed to resume: {e}"),
         };
-        let mut gen = slice.instantiate();
+        let mut gen = must_gen(slice);
         // Fast-forward the freshly seeded generator to where the warmed
         // simulator stopped consuming it.
         for _ in 0..sim.stats().instructions {
@@ -345,7 +398,7 @@ fn run_warm_slice_groups(
         }
         // One shared fast-forward for the whole group: every member
         // consumed exactly `pool.warmup` generator records.
-        let mut gen = slice.instantiate();
+        let mut gen = must_gen(slice);
         for _ in 0..pool.warmup {
             let _ = gen.next_inst();
         }
@@ -741,7 +794,7 @@ pub fn branch_pair_stats() -> (f64, f64, f64) {
         .filter(|s| s.name.starts_with("web/") || s.name.starts_with("specint/"))
     {
         let mut fe = FrontEnd::new(FrontendConfig::m1());
-        let mut gen = slice.instantiate();
+        let mut gen = must_gen(&slice);
         for _ in 0..20_000 {
             let inst = gen.next_inst();
             let _ = fe.on_inst(&inst);

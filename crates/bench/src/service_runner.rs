@@ -102,7 +102,7 @@ impl BenchRunner {
                 let cfg = &gens[i / per_gen];
                 let slice = &suite[i % per_gen];
                 let mut sim = build_sim(cfg.clone(), spec, cancel)?;
-                let mut gen = slice.instantiate();
+                let mut gen = slice.build()?;
                 let sspan = slice_span(ctx, i, &slice.name, cfg.gen.name());
                 let r = sim.run_slice(&mut *gen, SlicePlan::new(warmup, detail));
                 end_slice_span(ctx, sspan, &sim);
@@ -123,7 +123,7 @@ impl BenchRunner {
                 let slice = &suite[i % per_gen];
                 let mut sim = Simulator::resume_with_config(cfg.clone(), pool.image(i))?;
                 sim.set_cancel_token(cancel.clone());
-                let mut gen = slice.instantiate();
+                let mut gen = slice.build()?;
                 // Fast-forward the freshly seeded generator to where the
                 // warmed simulator stopped consuming it.
                 for _ in 0..sim.stats().instructions {
@@ -137,6 +137,50 @@ impl BenchRunner {
             })?
         };
         Ok(sweep_payload(scale, warmup, detail, &records))
+    }
+
+    fn run_program(
+        &self,
+        spec: &JobSpec,
+        name: &str,
+        warmup: u64,
+        detail: u64,
+        ctx: &JobCtx,
+    ) -> Result<String, SimError> {
+        // Resolve the program against the embedded corpus; an unknown
+        // name or a program that fails to assemble surfaces as a typed
+        // `SimError::Config` via `From<TraceError>` — never a panic.
+        let slices =
+            exynos_asm::corpus_slices(SlicePlan::default(), exp::PROGRAM_REGION_BASE)?;
+        let slice = slices
+            .iter()
+            .find(|s| s.name == format!("program/{name}"))
+            .ok_or_else(|| SimError::Config {
+                param: "job.program",
+                detail: format!(
+                    "unknown corpus program {name:?} (available: {})",
+                    exynos_asm::CORPUS.map(|(n, _)| n).join(", ")
+                ),
+            })?;
+        let cancel = &ctx.cancel;
+        let gens = CoreConfig::all_generations();
+        let mut batch = crate::batch::PopulationBatch::new();
+        for cfg in &gens {
+            batch.push(build_sim(cfg.clone(), spec, cancel)?);
+        }
+        let mut gen = slice.build()?;
+        let sspan = slice_span(ctx, 0, &slice.name, "all");
+        let r = batch.run_slice_lockstep(&mut *gen, SlicePlan::new(warmup, detail));
+        if Telemetry::ACTIVE {
+            ctx.spans.end(sspan);
+        }
+        let results = r?;
+        let records: Vec<SliceRecord> = gens
+            .iter()
+            .zip(&results)
+            .map(|(cfg, res)| record(slice.name.clone(), cfg.gen.name(), res))
+            .collect();
+        Ok(program_payload(name, warmup, detail, &records))
     }
 
     fn run_instrumented(
@@ -165,7 +209,7 @@ impl BenchRunner {
         let mut tel = Telemetry::new(TelemetryConfig { epoch_len: epoch, event_capacity });
         let suite = standard_suite(1);
         let slice = &suite[0];
-        let mut gen = slice.instantiate();
+        let mut gen = slice.build()?;
         let sspan = slice_span(ctx, 0, &slice.name, generation);
         let r = sim.run_slice_with(&mut *gen, SlicePlan::new(warmup, detail), &mut tel);
         end_slice_span(ctx, sspan, &sim);
@@ -186,7 +230,7 @@ impl BenchRunner {
         let mut sim = build_sim(cfg, spec, &ctx.cancel)?;
         let suite = standard_suite(1);
         let slice = &suite[0];
-        let mut gen = slice.instantiate();
+        let mut gen = slice.build()?;
         let sspan = slice_span(ctx, 0, &slice.name, generation);
         let r = sim.run_warmup(&mut *gen, warmup);
         end_slice_span(ctx, sspan, &sim);
@@ -224,6 +268,9 @@ impl JobRunner for BenchRunner {
             }
             JobKind::Checkpoint { generation, warmup } => {
                 self.run_checkpoint(spec, generation, *warmup, ctx)
+            }
+            JobKind::Program { program, warmup, detail } => {
+                self.run_program(spec, program, *warmup, *detail, ctx)
             }
         }
     }
@@ -348,6 +395,40 @@ fn sweep_payload(scale: usize, warmup: u64, detail: u64, records: &[SliceRecord]
     out
 }
 
+/// Deterministic program-job payload: the job shape plus one record per
+/// generation, floats in shortest-round-trip form (same rationale as
+/// [`sweep_payload`]).
+fn program_payload(name: &str, warmup: u64, detail: u64, records: &[SliceRecord]) -> String {
+    let mut out = String::from("{");
+    json::push_key(&mut out, true, "kind");
+    json::push_str(&mut out, "program");
+    json::push_key(&mut out, false, "program");
+    json::push_str(&mut out, name);
+    json::push_key(&mut out, false, "warmup");
+    json::push_u64(&mut out, warmup);
+    json::push_key(&mut out, false, "detail");
+    json::push_u64(&mut out, detail);
+    json::push_key(&mut out, false, "records");
+    out.push('[');
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        json::push_key(&mut out, true, "gen");
+        json::push_str(&mut out, r.gen);
+        json::push_key(&mut out, false, "ipc");
+        json::push_f64(&mut out, r.ipc);
+        json::push_key(&mut out, false, "mpki");
+        json::push_f64(&mut out, r.mpki);
+        json::push_key(&mut out, false, "load_latency");
+        json::push_f64(&mut out, r.load_latency);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for &b in bytes {
@@ -414,6 +495,36 @@ mod tests {
         let ctx = JobCtx::detached(CancelToken::new());
         let mut spec = quick_sweep();
         spec.stall_every = 100; // no stall_cycles: period with no magnitude
+        let err = runner.run(&spec, &ctx).unwrap_err();
+        assert!(matches!(err, SimError::Config { .. }), "got {err}");
+    }
+
+    #[test]
+    fn program_job_is_deterministic_and_covers_every_generation() {
+        let runner = BenchRunner::new(1);
+        let ctx = JobCtx::detached(CancelToken::new());
+        let spec = JobSpec::plain(JobKind::Program {
+            program: "nested_loops".to_owned(),
+            warmup: 500,
+            detail: 1_500,
+        });
+        let a = runner.run(&spec, &ctx).unwrap();
+        let b = runner.run(&spec, &ctx).unwrap();
+        assert_eq!(a, b);
+        for g in ["M1", "M2", "M3", "M4", "M5", "M6"] {
+            assert!(a.contains(&format!("\"gen\":\"{g}\"")), "missing {g}: {a}");
+        }
+    }
+
+    #[test]
+    fn unknown_program_is_a_typed_config_error() {
+        let runner = BenchRunner::new(1);
+        let ctx = JobCtx::detached(CancelToken::new());
+        let spec = JobSpec::plain(JobKind::Program {
+            program: "no_such_kernel".to_owned(),
+            warmup: 100,
+            detail: 100,
+        });
         let err = runner.run(&spec, &ctx).unwrap_err();
         assert!(matches!(err, SimError::Config { .. }), "got {err}");
     }

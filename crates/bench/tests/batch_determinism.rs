@@ -50,7 +50,7 @@ fn digest(r: &exynos_core::sim::SliceResult) -> String {
 fn scalar_reference(g: usize, faults: bool, slice_idx: usize, plan: SlicePlan) -> String {
     let suite = standard_suite(1);
     let mut sim = member(g, faults);
-    let mut gen = suite[slice_idx].instantiate();
+    let mut gen = suite[slice_idx].build().unwrap();
     digest(&exp::must(sim.run_slice(&mut *gen, plan)))
 }
 
@@ -60,7 +60,7 @@ fn assert_width_matches(width: usize, faults: bool, slice_idx: usize, plan: Slic
     for g in 0..width {
         batch.push(member(g, faults));
     }
-    let mut shared = suite[slice_idx].instantiate();
+    let mut shared = suite[slice_idx].build().unwrap();
     let results = exp::must(batch.run_slice_lockstep(&mut *shared, plan));
     assert_eq!(results.len(), width);
     for (g, r) in results.iter().enumerate() {
@@ -127,7 +127,7 @@ fn warm_batches_forked_from_one_snapshot_match_scalar_forks() {
     // One warmed snapshot, forked into a width-4 batch.
     let image = {
         let mut sim = member(3, false);
-        let mut gen = slice.instantiate();
+        let mut gen = slice.build().unwrap();
         exp::must(sim.run_warmup(&mut *gen, warmup));
         sim.checkpoint()
     };
@@ -139,7 +139,7 @@ fn warm_batches_forked_from_one_snapshot_match_scalar_forks() {
     for _ in 0..4 {
         batch.push(resume());
     }
-    let mut shared = slice.instantiate();
+    let mut shared = slice.build().unwrap();
     for _ in 0..warmup {
         let _ = shared.next_inst();
     }
@@ -147,7 +147,7 @@ fn warm_batches_forked_from_one_snapshot_match_scalar_forks() {
     // Scalar forks: each resumes the same image with a private stream.
     for (m, b) in batched.iter().enumerate() {
         let mut sim = resume();
-        let mut gen = slice.instantiate();
+        let mut gen = slice.build().unwrap();
         for _ in 0..warmup {
             let _ = gen.next_inst();
         }
@@ -181,6 +181,53 @@ fn warm_population_batched_matches_scalar_warm_and_cold() {
     }
 }
 
+/// The acceptance gate for program-driven traces: every embedded corpus
+/// program, built through the unified `TraceSource` API, must run
+/// bit-identically through the scalar and batched lockstep engines
+/// across all six generations.
+#[test]
+fn program_slices_match_scalar_across_all_generations() {
+    let slices = match exynos_asm::corpus_slices(SlicePlan::default(), 900) {
+        Ok(s) => s,
+        Err(e) => panic!("corpus failed to assemble: {e}"),
+    };
+    assert!(slices.len() >= 8, "corpus smaller than expected: {}", slices.len());
+    let plan = SlicePlan::new(400, 800);
+    for slice in &slices {
+        let mut batch = PopulationBatch::new();
+        for g in 0..6 {
+            batch.push(member(g, false));
+        }
+        let mut shared = slice.build().unwrap();
+        let results = exp::must(batch.run_slice_lockstep(&mut *shared, plan));
+        for (g, b) in results.iter().enumerate() {
+            let mut sim = member(g, false);
+            let mut gen = slice.build().unwrap();
+            let scalar = exp::must(sim.run_slice(&mut *gen, plan));
+            assert_eq!(digest(&scalar), digest(b), "{} member {g} diverged", slice.name);
+        }
+    }
+}
+
+/// The mixed catalog (synthetic families + program slices) through the
+/// suite-parameterized sweep entry points: batched must stay
+/// bit-identical to scalar with programs in the population.
+#[test]
+fn mixed_catalog_batched_matches_scalar() {
+    let suite = exp::catalog_suite(1, true);
+    assert!(suite.iter().any(|s| s.name.starts_with("program/")), "corpus missing from catalog");
+    let scalar = exp::run_suite_with_threads(&suite, 300, 500, 1);
+    let batched = exp::run_suite_batched(&suite, 300, 500, 1);
+    assert_eq!(scalar.len(), batched.len());
+    for (a, b) in scalar.iter().zip(&batched) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.gen, b.gen);
+        assert_eq!(a.ipc.to_bits(), b.ipc.to_bits(), "{}/{}", a.name, a.gen);
+        assert_eq!(a.mpki.to_bits(), b.mpki.to_bits(), "{}/{}", a.name, a.gen);
+        assert_eq!(a.load_latency.to_bits(), b.load_latency.to_bits(), "{}/{}", a.name, a.gen);
+    }
+}
+
 /// With the telemetry feature on, an instrumented scalar run must still
 /// match the (uninstrumented) batched path — sampling is observation,
 /// not perturbation.
@@ -195,11 +242,11 @@ fn telemetry_instrumented_scalar_matches_batched() {
     for g in 0..6 {
         batch.push(member(g, false));
     }
-    let mut shared = slice.instantiate();
+    let mut shared = slice.build().unwrap();
     let batched = exp::must(batch.run_slice_lockstep(&mut *shared, plan));
     for (g, b) in batched.iter().enumerate() {
         let mut sim = member(g, false);
-        let mut gen = slice.instantiate();
+        let mut gen = slice.build().unwrap();
         let mut tel = Telemetry::new(TelemetryConfig { epoch_len: 250, event_capacity: 1 << 12 });
         let scalar = exp::must(sim.run_slice_with(&mut *gen, plan, &mut tel));
         assert_eq!(digest(&scalar), digest(b), "instrumented member {g} diverged");

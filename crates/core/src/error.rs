@@ -225,6 +225,14 @@ impl From<UocError> for SimError {
     }
 }
 
+impl From<exynos_trace::TraceError> for SimError {
+    fn from(e: exynos_trace::TraceError) -> SimError {
+        // A workload that fails to build is a configuration problem of the
+        // run that asked for it: deterministic, not retryable.
+        SimError::Config { param: "workload", detail: e.to_string() }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1063,7 +1063,7 @@ pub fn run_slice_on(
     slice: &exynos_trace::SliceSpec,
 ) -> Result<SliceResult, SimError> {
     let mut sim = Simulator::construct(cfg);
-    let mut gen = slice.instantiate();
+    let mut gen = slice.build()?;
     let plan = slice.plan;
     sim.run_slice(&mut *gen, plan)
 }

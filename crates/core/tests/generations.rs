@@ -14,7 +14,7 @@ fn run_suite(cfg: &CoreConfig, max_slices: usize) -> (f64, f64) {
     let mut lats = Vec::new();
     for slice in suite.iter().take(max_slices) {
         let mut sim = SimBuilder::config(cfg.clone()).build().unwrap();
-        let mut g = slice.instantiate();
+        let mut g = slice.build().unwrap();
         let r = sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000)).unwrap();
         ipcs.push(r.ipc);
         lats.push(r.avg_load_latency);
@@ -72,7 +72,7 @@ fn high_ipc_workloads_unlocked_by_width() {
         .unwrap();
     let run = |cfg: CoreConfig| {
         let mut sim = SimBuilder::config(cfg).build().unwrap();
-        let mut g = nest.instantiate();
+        let mut g = nest.build().unwrap();
         sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000)).unwrap().ipc
     };
     let m1 = run(CoreConfig::m1());
@@ -94,7 +94,7 @@ fn low_ipc_workloads_improved_by_memory_path() {
         .unwrap();
     let run = |cfg: CoreConfig| {
         let mut sim = SimBuilder::config(cfg).build().unwrap();
-        let mut g = chase.instantiate();
+        let mut g = chase.build().unwrap();
         let r = sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000)).unwrap();
         (r.ipc, r.avg_load_latency)
     };
@@ -109,7 +109,7 @@ fn uoc_supplies_uops_on_m5_loop_kernels() {
     let suite = standard_suite(1);
     let nest = suite.iter().find(|s| s.name.starts_with("specfp/")).unwrap();
     let mut sim = SimBuilder::config(CoreConfig::m5()).build().unwrap();
-    let mut g = nest.instantiate();
+    let mut g = nest.build().unwrap();
     sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000)).unwrap();
     assert!(
         sim.stats().uoc_supplied > 0,
@@ -118,7 +118,7 @@ fn uoc_supplies_uops_on_m5_loop_kernels() {
     );
     // M4 has no UOC.
     let mut sim4 = SimBuilder::config(CoreConfig::m4()).build().unwrap();
-    let mut g4 = nest.instantiate();
+    let mut g4 = nest.build().unwrap();
     sim4.run_slice(&mut *g4, SlicePlan::new(4_000, 25_000)).unwrap();
     assert_eq!(sim4.stats().uoc_supplied, 0);
 }
@@ -129,7 +129,7 @@ fn deterministic_replay() {
     let s = &suite[5];
     let run = || {
         let mut sim = SimBuilder::config(CoreConfig::m5()).build().unwrap();
-        let mut g = s.instantiate();
+        let mut g = s.build().unwrap();
         let r = sim.run_slice(&mut *g, SlicePlan::new(2_000, 10_000)).unwrap();
         (r.cycles, r.mpki.to_bits(), r.avg_load_latency.to_bits())
     };

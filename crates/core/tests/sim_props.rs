@@ -19,7 +19,7 @@ proptest! {
         let cfg = CoreConfig::all_generations()[gen_idx].clone();
         let width = cfg.width;
         let mut sim = SimBuilder::config(cfg).build().unwrap();
-        let mut gen = slice.spec.instantiate(slice.region, slice.seed ^ seed);
+        let mut gen = slice.spec.build(slice.region, slice.seed ^ seed).unwrap();
         let mut last_rt = 0u64;
         let mut touched = Vec::new();
         for _ in 0..4_000 {
@@ -52,7 +52,7 @@ proptest! {
         let cfg = CoreConfig::all_generations()[gen_idx].clone();
         let run = || {
             let mut sim = SimBuilder::config(cfg.clone()).build().unwrap();
-            let mut gen = slice.instantiate();
+            let mut gen = slice.build().unwrap();
             let r = sim.run_slice(&mut *gen, SlicePlan::new(500, 2_500)).unwrap();
             (r.cycles, r.mpki.to_bits())
         };

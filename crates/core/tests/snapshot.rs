@@ -30,7 +30,7 @@ fn assert_resume_invariant(cfg: CoreConfig, warmup: u64, detail: u64, fault: Opt
     if let Some(plan) = fault {
         straight.attach_fault_injector(plan);
     }
-    let mut g = slice.instantiate();
+    let mut g = slice.build().unwrap();
     straight
         .run_slice(&mut *g, SlicePlan::new(warmup, detail))
         .unwrap();
@@ -40,13 +40,13 @@ fn assert_resume_invariant(cfg: CoreConfig, warmup: u64, detail: u64, fault: Opt
     if let Some(plan) = fault {
         warm.attach_fault_injector(plan);
     }
-    let mut g = slice.instantiate();
+    let mut g = slice.build().unwrap();
     warm.run_warmup(&mut *g, warmup).unwrap();
     let image = warm.checkpoint();
     drop(warm);
 
     let mut resumed = Simulator::resume_with_config(cfg, &image).unwrap();
-    let mut g = slice.instantiate();
+    let mut g = slice.build().unwrap();
     fast_forward(&mut *g, resumed.stats().instructions);
     resumed
         .run_slice(&mut *g, SlicePlan::new(0, detail))
@@ -96,7 +96,7 @@ fn resume_restores_the_fault_injector_from_the_image() {
     let mut sim = SimBuilder::config(cfg.clone()).build().unwrap();
     sim.attach_fault_injector(FaultPlan::chaos(11));
     let slice = &standard_suite(1)[0];
-    let mut g = slice.instantiate();
+    let mut g = slice.build().unwrap();
     sim.run_warmup(&mut *g, 5_000).unwrap();
     let image = sim.checkpoint();
 
@@ -112,7 +112,7 @@ fn resume_restores_the_fault_injector_from_the_image() {
 fn resume_reads_the_generation_from_the_header() {
     let mut sim = SimBuilder::config(CoreConfig::m2()).build().unwrap();
     let slice = &standard_suite(1)[1];
-    let mut g = slice.instantiate();
+    let mut g = slice.build().unwrap();
     sim.run_warmup(&mut *g, 3_000).unwrap();
     let image = sim.checkpoint();
 
@@ -125,7 +125,7 @@ fn resume_reads_the_generation_from_the_header() {
 fn corrupted_images_yield_typed_errors_not_panics() {
     let mut sim = SimBuilder::config(CoreConfig::m6()).build().unwrap();
     let slice = &standard_suite(1)[2];
-    let mut g = slice.instantiate();
+    let mut g = slice.build().unwrap();
     sim.run_warmup(&mut *g, 2_000).unwrap();
     let image = sim.checkpoint();
 

@@ -63,6 +63,19 @@ pub enum JobKind {
         /// Warm-up instructions before the snapshot.
         warmup: u64,
     },
+    /// Run one embedded `exynos-asm` corpus program across all six
+    /// generations (batched lockstep over a shared execution stream) and
+    /// return per-generation records. The program is referenced by name;
+    /// an unknown or malformed program surfaces as a typed
+    /// `SimError::Config` from the runner, never a panic.
+    Program {
+        /// Corpus program name (e.g. `"fib_recursive"`).
+        program: String,
+        /// Warm-up instructions.
+        warmup: u64,
+        /// Measured instructions.
+        detail: u64,
+    },
 }
 
 impl JobKind {
@@ -73,6 +86,7 @@ impl JobKind {
             JobKind::Metrics { .. } => "metrics",
             JobKind::Trace { .. } => "trace",
             JobKind::Checkpoint { .. } => "checkpoint",
+            JobKind::Program { .. } => "program",
         }
     }
 }
@@ -158,6 +172,16 @@ impl JobSpec {
                 json::push_key(&mut out, false, "warmup");
                 json::push_u64(&mut out, *warmup);
             }
+            JobKind::Program { program, warmup, detail } => {
+                json::push_key(&mut out, true, "kind");
+                json::push_str(&mut out, "program");
+                json::push_key(&mut out, false, "program");
+                json::push_str(&mut out, program);
+                json::push_key(&mut out, false, "warmup");
+                json::push_u64(&mut out, *warmup);
+                json::push_key(&mut out, false, "detail");
+                json::push_u64(&mut out, *detail);
+            }
         }
         if let Some(seed) = self.chaos_seed {
             json::push_key(&mut out, false, "chaos_seed");
@@ -232,6 +256,15 @@ impl JobSpec {
                 epoch: u("epoch", 1_000)?,
             },
             "checkpoint" => JobKind::Checkpoint { generation: gen()?, warmup: u("warmup", 10_000)? },
+            "program" => JobKind::Program {
+                program: v
+                    .get("program")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+                    .ok_or("program job missing \"program\"")?,
+                warmup: u("warmup", 2_000)?,
+                detail: u("detail", 10_000)?,
+            },
             other => return Err(format!("unknown job kind {other:?}")),
         };
         let watchdog = match (v.get("watchdog_threshold"), v.get("watchdog_recoveries")) {
@@ -352,11 +385,25 @@ mod tests {
     }
 
     #[test]
+    fn program_kind_round_trips() {
+        let spec = JobSpec::plain(JobKind::Program {
+            program: "fib_recursive".to_owned(),
+            warmup: 1_000,
+            detail: 5_000,
+        });
+        assert_eq!(spec.kind.label(), "program");
+        let parsed = JobSpec::from_json(&Json::parse(&spec.canonical()).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.canonical(), spec.canonical());
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         for bad in [
             r#"{"scale":1}"#,
             r#"{"kind":"sweeep"}"#,
             r#"{"kind":"metrics"}"#,
+            r#"{"kind":"program"}"#,
             r#"{"kind":"sweep","scale":-1}"#,
             r#"{"kind":"sweep","warmup":"many"}"#,
             r#"{"kind":"sweep","watchdog_threshold":5}"#,

@@ -1,0 +1,108 @@
+//! Typed errors for trace-source construction.
+//!
+//! Workload construction is fallible: a program source may fail to
+//! assemble, a spec parameter may be out of range, and an executor may be
+//! asked for something it cannot provide. All of those surface as a
+//! [`TraceError`] from [`crate::suite::WorkloadSpec::build`] — never as a
+//! panic (the tier-1 clippy gate rejects `unwrap`/`expect` in library
+//! code).
+
+/// Why a workload could not be built into a trace generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The assembler rejected a program source.
+    Asm {
+        /// Program name (file stem or corpus key).
+        name: String,
+        /// 1-based source line the error was detected on.
+        line: u32,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A structurally valid program cannot be executed as a trace source
+    /// (e.g. an empty text section, or an entry point outside `.text`).
+    Program {
+        /// Program name.
+        name: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A workload spec parameter is out of its valid range.
+    Spec {
+        /// The offending parameter.
+        param: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl TraceError {
+    /// Short stable tag for reports and wire payloads.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceError::Asm { .. } => "asm",
+            TraceError::Program { .. } => "program",
+            TraceError::Spec { .. } => "spec",
+        }
+    }
+
+    /// Convenience constructor for assembler diagnostics.
+    pub fn asm(name: &str, line: u32, detail: impl Into<String>) -> TraceError {
+        TraceError::Asm {
+            name: name.to_string(),
+            line,
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for program-level diagnostics.
+    pub fn program(name: &str, detail: impl Into<String>) -> TraceError {
+        TraceError::Program {
+            name: name.to_string(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Asm { name, line, detail } => {
+                write!(f, "asm error: {name}:{line}: {detail}")
+            }
+            TraceError::Program { name, detail } => {
+                write!(f, "program error: {name}: {detail}")
+            }
+            TraceError::Spec { param, detail } => {
+                write!(f, "spec error: {param}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_location() {
+        let e = TraceError::asm("fib", 12, "unknown mnemonic `addd`");
+        assert_eq!(e.kind(), "asm");
+        let s = e.to_string();
+        assert!(s.contains("fib:12"), "{s}");
+        assert!(s.contains("addd"), "{s}");
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(TraceError::program("p", "d").kind(), "program");
+        let s = TraceError::Spec {
+            param: "scale",
+            detail: "must be >= 1".into(),
+        };
+        assert_eq!(s.kind(), "spec");
+        assert!(s.to_string().contains("scale"));
+    }
+}

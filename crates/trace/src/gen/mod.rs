@@ -129,7 +129,7 @@ impl RegRotor {
 /// Each generator claims a distinct 256 MiB code window so PCs never collide
 /// when generators are mixed.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct CodeLayout {
+pub struct CodeLayout {
     next: u64,
 }
 
@@ -151,7 +151,7 @@ impl CodeLayout {
 
 /// Data-region allocator: 1 GiB windows above the code space.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct DataLayout {
+pub struct DataLayout {
     base: u64,
 }
 

@@ -27,12 +27,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod error;
 pub mod gen;
 pub mod inst;
 pub mod sample;
+pub mod source;
 pub mod suite;
 
+pub use error::TraceError;
 pub use gen::{BoxedGen, TraceGen};
 pub use inst::{BranchInfo, BranchKind, Inst, InstKind, MemRef, Reg};
 pub use sample::SlicePlan;
+pub use source::TraceSource;
 pub use suite::{standard_suite, SliceSpec, SuiteKind, WorkloadSpec};

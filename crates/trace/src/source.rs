@@ -1,0 +1,63 @@
+//! The unified trace-source abstraction.
+//!
+//! Historically every workload family had its own infallible constructor
+//! and the catalog matched over them. [`TraceSource`] replaces that with a
+//! single contract that both the synthetic generator families and
+//! assembled programs (the `exynos-asm` crate) implement, so the suite
+//! catalog, the warm-pool builder, and the service runner all consume one
+//! API.
+//!
+//! ## Contract
+//!
+//! * **Determinism.** `build(region, seed)` must be a pure function of the
+//!   source's own construction parameters plus `region` and `seed`: two
+//!   calls with equal inputs yield generators that emit byte-identical
+//!   instruction streams. This is what makes sweep results, snapshots and
+//!   the batched lockstep engine reproducible.
+//! * **Fallibility.** Construction returns `Result`; invalid sources
+//!   (assembly errors, out-of-range parameters) surface as a typed
+//!   [`TraceError`], never a panic.
+//! * **Infinite streams, restart semantics.** The returned generator never
+//!   exhausts. Finite programs restart: when execution halts (explicitly
+//!   or by running off the end of `.text`), the source emits a branch back
+//!   to the entry point and resets its architectural state, so the stream
+//!   is periodic and slices of any [`crate::sample::SlicePlan`] length are
+//!   well defined.
+//! * **Region isolation.** All PCs and data addresses the generator emits
+//!   must stay inside the code/data windows derived from `region`, so
+//!   concurrently mixed slices never alias.
+
+use crate::error::TraceError;
+use crate::gen::BoxedGen;
+
+/// A buildable origin of deterministic instruction streams.
+///
+/// See the [module docs](self) for the determinism / fallibility /
+/// restart contract implementors must uphold.
+pub trait TraceSource: Send + Sync + std::fmt::Debug {
+    /// Short human-readable identity (used in slice names and reports).
+    fn label(&self) -> &str;
+
+    /// Build a generator in address `region` with `seed`.
+    fn build(&self, region: u64, seed: u64) -> Result<BoxedGen, TraceError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceGen;
+    use crate::suite::WorkloadSpec;
+    use crate::gen::loops::LoopNestParams;
+
+    #[test]
+    fn workload_spec_is_a_trace_source() {
+        let spec = WorkloadSpec::LoopNest(LoopNestParams::default());
+        let src: &dyn TraceSource = &spec;
+        assert_eq!(src.label(), "loopnest");
+        let mut a = src.build(3, 7).unwrap();
+        let mut b = src.build(3, 7).unwrap();
+        for _ in 0..200 {
+            assert_eq!(a.next_inst(), b.next_inst());
+        }
+    }
+}

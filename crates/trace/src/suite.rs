@@ -24,7 +24,10 @@ use crate::gen::spatial::{SpatialRegions, SpatialParams};
 use crate::gen::streaming::{CopyKernel, CopyKernelParams, MultiStride, MultiStrideParams, StrideComponent};
 use crate::gen::web::{WebParams, WebWorkload};
 use crate::gen::BoxedGen;
+use crate::error::TraceError;
 use crate::sample::SlicePlan;
+use crate::source::TraceSource;
+use std::sync::Arc;
 
 /// Which named suite a slice belongs to (the paper's workload grouping).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,20 +44,30 @@ pub enum SuiteKind {
     GameLike,
     /// Pure streaming/memory kernels.
     StreamLike,
+    /// Assembled programs (the `exynos-asm` corpus and user-supplied
+    /// sources); not part of the synthetic population.
+    ProgramLike,
 }
 
 impl SuiteKind {
-    /// All suite kinds, in catalog order.
-    pub const ALL: [SuiteKind; 6] = [
+    /// All suite kinds, in catalog order. The first
+    /// [`SuiteKind::NUM_SYNTHETIC`] entries are the synthetic generator
+    /// families that make up [`standard_suite`]; `ProgramLike` slices come
+    /// from program corpora instead.
+    pub const ALL: [SuiteKind; 7] = [
         SuiteKind::SpecIntLike,
         SuiteKind::SpecFpLike,
         SuiteKind::WebLike,
         SuiteKind::MobileLike,
         SuiteKind::GameLike,
         SuiteKind::StreamLike,
+        SuiteKind::ProgramLike,
     ];
 
-    /// Short label used in slice names and reports.
+    /// How many of [`SuiteKind::ALL`] are synthetic generator families.
+    pub const NUM_SYNTHETIC: usize = 6;
+
+    /// Short label used in slice names, reports and BENCH_sweep.json keys.
     pub fn label(self) -> &'static str {
         match self {
             SuiteKind::SpecIntLike => "specint",
@@ -63,6 +76,7 @@ impl SuiteKind {
             SuiteKind::MobileLike => "mobile",
             SuiteKind::GameLike => "game",
             SuiteKind::StreamLike => "stream",
+            SuiteKind::ProgramLike => "program",
         }
     }
 }
@@ -97,12 +111,19 @@ pub enum WorkloadSpec {
         /// Instructions per phase.
         phase_len: u64,
     },
+    /// An external trace source (e.g. an assembled program from the
+    /// `exynos-asm` crate) implementing [`TraceSource`].
+    Program(Arc<dyn TraceSource>),
 }
 
 impl WorkloadSpec {
-    /// Instantiate the generator in address `region` with `seed`.
-    pub fn instantiate(&self, region: u64, seed: u64) -> BoxedGen {
-        match self {
+    /// Build the generator in address `region` with `seed`.
+    ///
+    /// This is the single construction path for every workload family —
+    /// synthetic and program-driven alike. Errors are typed
+    /// ([`TraceError`]); nothing in the catalog panics on a bad source.
+    pub fn build(&self, region: u64, seed: u64) -> Result<BoxedGen, TraceError> {
+        Ok(match self {
             WorkloadSpec::LoopNest(p) => Box::new(LoopNest::new(p, region, seed)),
             WorkloadSpec::PointerChase(p) => Box::new(PointerChase::new(p, region, seed)),
             WorkloadSpec::MultiStride(p) => Box::new(MultiStride::new(p, region, seed)),
@@ -117,12 +138,50 @@ impl WorkloadSpec {
                     .map(|(i, c)| {
                         // Children live far above the plain-slice region
                         // space so code/data windows never alias.
-                        c.instantiate(1_000_000 + region * 8 + i as u64, seed ^ ((i as u64) << 32))
+                        c.build(1_000_000 + region * 8 + i as u64, seed ^ ((i as u64) << 32))
                     })
-                    .collect();
+                    .collect::<Result<_, _>>()?;
                 Box::new(PhaseMix::new(gens, *phase_len))
             }
+            WorkloadSpec::Program(src) => return src.build(region, seed),
+        })
+    }
+
+    /// Short family label (generator family or program name).
+    pub fn family(&self) -> &str {
+        match self {
+            WorkloadSpec::LoopNest(_) => "loopnest",
+            WorkloadSpec::PointerChase(_) => "chase",
+            WorkloadSpec::MultiStride(_) => "multistride",
+            WorkloadSpec::Copy(_) => "copy",
+            WorkloadSpec::Web(_) => "web",
+            WorkloadSpec::Spatial(_) => "spatial",
+            WorkloadSpec::Markov(_) => "markov",
+            WorkloadSpec::Mix { .. } => "mix",
+            WorkloadSpec::Program(src) => src.label(),
         }
+    }
+
+    /// Instantiate the generator in address `region` with `seed`.
+    ///
+    /// # Panics
+    /// Panics if the workload fails to build; use [`WorkloadSpec::build`].
+    #[deprecated(since = "0.1.0", note = "use the fallible `WorkloadSpec::build` instead")]
+    pub fn instantiate(&self, region: u64, seed: u64) -> BoxedGen {
+        match self.build(region, seed) {
+            Ok(g) => g,
+            Err(e) => panic!("workload build failed: {e}"),
+        }
+    }
+}
+
+impl TraceSource for WorkloadSpec {
+    fn label(&self) -> &str {
+        self.family()
+    }
+
+    fn build(&self, region: u64, seed: u64) -> Result<BoxedGen, TraceError> {
+        WorkloadSpec::build(self, region, seed)
     }
 }
 
@@ -144,9 +203,21 @@ pub struct SliceSpec {
 }
 
 impl SliceSpec {
+    /// Build this slice's generator (the fallible construction path).
+    pub fn build(&self) -> Result<BoxedGen, TraceError> {
+        self.spec.build(self.region, self.seed)
+    }
+
     /// Instantiate this slice's generator.
+    ///
+    /// # Panics
+    /// Panics if the workload fails to build; use [`SliceSpec::build`].
+    #[deprecated(since = "0.1.0", note = "use the fallible `SliceSpec::build` instead")]
     pub fn instantiate(&self) -> BoxedGen {
-        self.spec.instantiate(self.region, self.seed)
+        match self.build() {
+            Ok(g) => g,
+            Err(e) => panic!("slice `{}` failed to build: {e}", self.name),
+        }
     }
 }
 
@@ -361,7 +432,15 @@ mod tests {
         let s = standard_suite(1);
         assert!(s.len() >= 20, "got {}", s.len());
         let kinds: HashSet<SuiteKind> = s.iter().map(|x| x.suite).collect();
-        assert_eq!(kinds.len(), SuiteKind::ALL.len(), "all suites represented");
+        assert_eq!(
+            kinds.len(),
+            SuiteKind::NUM_SYNTHETIC,
+            "all synthetic suites represented"
+        );
+        assert!(
+            !kinds.contains(&SuiteKind::ProgramLike),
+            "the synthetic population must not change shape under the program catalog"
+        );
     }
 
     #[test]
@@ -379,13 +458,20 @@ mod tests {
     }
 
     #[test]
-    fn every_slice_instantiates_and_streams() {
+    fn every_slice_builds_and_streams() {
         for slice in standard_suite(1) {
-            let mut g = slice.instantiate();
+            let mut g = slice.build().unwrap();
             for _ in 0..500 {
                 let _ = g.next_inst();
             }
         }
+    }
+
+    #[test]
+    fn deprecated_instantiate_still_works() {
+        #[allow(deprecated)]
+        let mut g = standard_suite(1)[0].instantiate();
+        let _ = g.next_inst();
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn main() {
         let mut lat = 0.0;
         for slice in &slices {
             let mut sim = SimBuilder::config(cfg.clone()).build().unwrap();
-            let mut gen = slice.instantiate();
+            let mut gen = slice.build().unwrap();
             let r = sim.run_slice(&mut *gen, SlicePlan::new(4_000, 25_000)).expect("clean example slice");
             ipc += r.ipc;
             mpki += r.mpki;

@@ -29,7 +29,7 @@ fn main() {
     );
     for slice in standard_suite(1) {
         let mut sim = SimBuilder::config(cfg.clone()).build().unwrap();
-        let mut g = slice.instantiate();
+        let mut g = slice.build().unwrap();
         let r = sim.run_slice(&mut *g, SlicePlan::new(4_000, 25_000)).expect("clean example slice");
         let l1 = 100.0 * r.mem.l1_hits as f64 / r.mem.loads.max(1) as f64;
         let dram_ki = r.mem.dram_loads as f64 * 1000.0 / (r.instructions.max(1)) as f64;

@@ -154,6 +154,32 @@ wait "$SERVER_PID"
 SERVER_PID=0
 test ! -e "$SOCK"
 
+# Assembler smoke: every embedded corpus program must assemble and
+# disassemble cleanly, and one program slice must run end to end through
+# the lockstep batch across all six generations.
+ASM_DIR="$(mktemp -d)"
+for prog in nested_loops fib_recursive computed_goto pointer_chase \
+            stride_copy parity_history call_tree matrix; do
+  "$HARNESS" asm "$prog" > "$ASM_DIR/$prog.dis"
+  test -s "$ASM_DIR/$prog.dis"
+done
+"$HARNESS" run --program fib_recursive --quick > "$ASM_DIR/run.txt"
+for gen in M1 M2 M3 M4 M5 M6; do
+  grep -q "^$gen " "$ASM_DIR/run.txt"
+done
+
+# A malformed program must surface as a typed diagnostic with exit
+# status 2 — a usage error, never a panic.
+printf 'main:\n    ldr x1\n' > "$ASM_DIR/bad.s"
+set +e
+"$HARNESS" asm "$ASM_DIR/bad.s" > "$ASM_DIR/bad.out" 2> "$ASM_DIR/bad.err"
+RC=$?
+set -e
+test "$RC" -eq 2
+grep -q 'asm error' "$ASM_DIR/bad.err"
+! grep -q 'panicked' "$ASM_DIR/bad.err"
+rm -rf "$ASM_DIR"
+
 # Format-version gate: the snapshot wire version and the documented one
 # must move together (bump both or neither).
 CODE_VER="$(sed -n 's/^pub const FORMAT_VERSION: u16 = \([0-9]*\);$/\1/p' crates/snapshot/src/lib.rs)"

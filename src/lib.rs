@@ -6,6 +6,11 @@
 //!
 //! * [`trace`] — the instruction/trace model and the synthetic workload
 //!   population standing in for the paper's 4,026 proprietary slices;
+//! * [`asm`] — the `exynos-asm` frontend: a two-pass assembler and
+//!   functional executor turning small ARM-ish programs into trace
+//!   streams behind the same [`trace::TraceSource`] API the synthetic
+//!   generators use (`harness asm` inspects a program; the embedded
+//!   corpus under `asm/` joins the catalog as `program/*` slices);
 //! * [`branch`] — the SHP/µBTB/mBTB/vBTB/L2BTB/VPC/MRB prediction stack
 //!   (§IV) with per-generation configurations;
 //! * [`secure`] — CONTEXT_HASH target encryption and the Spectre-v2
@@ -46,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub use exynos_asm as asm;
 pub use exynos_branch as branch;
 pub use exynos_core as core;
 pub use exynos_dram as dram;

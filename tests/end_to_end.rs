@@ -14,7 +14,7 @@ fn whole_suite_smoke_on_m1_and_m6() {
     for cfg in [CoreConfig::m1(), CoreConfig::m6()] {
         for slice in standard_suite(1) {
             let mut sim = SimBuilder::config(cfg.clone()).build().unwrap();
-            let mut gen = slice.instantiate();
+            let mut gen = slice.build().unwrap();
             let r = sim.run_slice(&mut *gen, SlicePlan::new(1_000, 6_000)).unwrap();
             assert!(r.ipc > 0.0 && r.ipc <= cfg.width as f64 + 1e-9,
                 "{} on {}: ipc {}", slice.name, cfg.gen, r.ipc);
@@ -33,7 +33,7 @@ fn all_suite_kinds_have_distinct_behaviour_profiles() {
     let run = |kind: SuiteKind| -> f64 {
         let slice = suite.iter().find(|s| s.suite == kind).unwrap();
         let mut sim = SimBuilder::config(CoreConfig::m3()).build().unwrap();
-        let mut gen = slice.instantiate();
+        let mut gen = slice.build().unwrap();
         sim.run_slice(&mut *gen, SlicePlan::new(2_000, 12_000)).unwrap().ipc
     };
     let fp = run(SuiteKind::SpecFpLike);
@@ -76,7 +76,7 @@ fn mpki_and_ipc_improve_together_on_branchy_code() {
         .unwrap();
     let run = |cfg: CoreConfig| {
         let mut sim = SimBuilder::config(cfg).build().unwrap();
-        let mut gen = slice.instantiate();
+        let mut gen = slice.build().unwrap();
         let r = sim.run_slice(&mut *gen, SlicePlan::new(4_000, 25_000)).unwrap();
         (r.mpki, r.ipc)
     };
