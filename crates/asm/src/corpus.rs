@@ -15,7 +15,7 @@ use crate::exec::Executor;
 use crate::program::Program;
 use exynos_trace::sample::SlicePlan;
 use exynos_trace::suite::{SliceSpec, SuiteKind, WorkloadSpec};
-use exynos_trace::{BoxedGen, TraceError, TraceSource};
+use exynos_trace::{BoxedGen, FingerprintHasher, TraceError, TraceSource};
 use std::sync::Arc;
 
 /// The embedded corpus: `(name, source)` pairs, in catalog order.
@@ -100,6 +100,30 @@ impl TraceSource for AsmSource {
         ex.set_restart_after(self.restart_after);
         Ok(Box::new(ex))
     }
+
+    /// Hash the assembled *content*, not the program name: two sources
+    /// that reuse a file name for different programs must not collide in
+    /// the chunk cache, and identical programs under different names may
+    /// legitimately share chunks.
+    fn fingerprint_into(&self, h: &mut FingerprintHasher) {
+        h.write_str("asm");
+        h.write_u64(self.prog.entry() as u64);
+        h.write_u64(self.prog.ops().len() as u64);
+        for op in self.prog.ops() {
+            h.write_str(&self.prog.render_op(op));
+        }
+        h.write_u64(self.prog.data().len() as u64);
+        for cell in self.prog.data() {
+            h.write_str(&format!("{cell:?}"));
+        }
+        match self.restart_after {
+            None => h.write_bool(false),
+            Some(n) => {
+                h.write_bool(true);
+                h.write_u64(n);
+            }
+        }
+    }
 }
 
 /// Package the whole corpus as catalog slices.
@@ -165,6 +189,23 @@ mod tests {
         regions.sort_unstable();
         regions.dedup();
         assert_eq!(regions.len(), slices.len());
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_name() {
+        let fp = |s: &AsmSource| {
+            let mut h = FingerprintHasher::new();
+            s.fingerprint_into(&mut h);
+            h.finish()
+        };
+        let src = corpus_source("nested_loops").unwrap();
+        let a = AsmSource::assemble("nested_loops", src).unwrap();
+        let renamed = AsmSource::assemble("other_name", src).unwrap();
+        assert_eq!(fp(&a), fp(&renamed), "name must not affect the content digest");
+        let other = AsmSource::assemble("nested_loops", corpus_source("matrix").unwrap()).unwrap();
+        assert_ne!(fp(&a), fp(&other), "same name, different program must differ");
+        let bounded = a.clone().with_restart_after(Some(4_000));
+        assert_ne!(fp(&a), fp(&bounded), "restart bound changes the stream");
     }
 
     #[test]

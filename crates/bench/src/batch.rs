@@ -27,10 +27,14 @@
 use exynos_branch::btb::BtbEntry;
 use exynos_branch::shp::ShpPrediction;
 use exynos_branch::ubtb::UbtbPrediction;
-use exynos_core::batch::{InstChunk, CHUNK_LEN};
+use exynos_core::batch::{CachedStream, InstChunk, CHUNK_LEN};
 use exynos_core::sim::{Simulator, SliceMeasure, SliceResult};
 use exynos_core::SimError;
-use exynos_trace::{SlicePlan, TraceGen};
+use exynos_trace::{Inst, SlicePlan, TraceError, TraceGen};
+use std::ops::Range;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A same-trace group of simulators advanced in lockstep over one shared
 /// decoded record stream.
@@ -103,6 +107,157 @@ impl PopulationBatch {
         let measures: Vec<SliceMeasure> =
             self.members.iter().map(Simulator::measure_begin).collect();
         self.run_lockstep(gen, plan.detail)?;
+        Ok(self
+            .members
+            .iter()
+            .zip(&measures)
+            .map(|(s, m)| s.measure_end(m))
+            .collect())
+    }
+
+    /// Cached equivalent of [`PopulationBatch::run_lockstep`]: advance
+    /// every member `n` instructions over blocks drawn through the shared
+    /// chunk cache. Per member this performs exactly the same `step`
+    /// sequence — block granularity (which differs from the uncached
+    /// path near warmup boundaries, since cached blocks never cross
+    /// canonical chunk edges) is invisible to results because
+    /// `run_block` is a plain per-record step loop.
+    pub fn run_lockstep_cached(
+        &mut self,
+        stream: &mut CachedStream,
+        n: u64,
+    ) -> Result<(), SimError> {
+        let mut rem = n;
+        while rem > 0 {
+            let take = rem.min(CHUNK_LEN as u64) as usize;
+            let (chunk, range) = stream.next_block(take).map_err(SimError::from)?;
+            let block = &chunk[range];
+            for sim in &mut self.members {
+                sim.run_block(block)?;
+            }
+            rem -= block.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Cached (and optionally pipelined) equivalent of
+    /// [`PopulationBatch::run_slice_lockstep`].
+    ///
+    /// * `pipelined = false` — interleaved-on-miss: blocks are pulled
+    ///   through the cache inline; a miss materializes on the consumer
+    ///   thread. The right mode for single-core hosts.
+    /// * `pipelined = true` — double-buffered: a scoped producer thread
+    ///   pulls block k+1 through the cache while the members step block
+    ///   k (a bounded rendezvous channel of depth 1 is the double
+    ///   buffer). Consumer wait time is recorded to the cache's
+    ///   `pipeline_stall` samples.
+    ///
+    /// Both modes feed every member the identical record sequence the
+    /// uncached lockstep path would, splitting precisely at the
+    /// warmup/detail boundary for `measure_begin`, so results stay
+    /// bit-identical for any cache budget including zero.
+    pub fn run_slice_cached(
+        &mut self,
+        stream: &mut CachedStream,
+        plan: SlicePlan,
+        pipelined: bool,
+    ) -> Result<Vec<SliceResult>, SimError> {
+        if !pipelined {
+            self.run_lockstep_cached(stream, plan.warmup)?;
+            let measures: Vec<SliceMeasure> =
+                self.members.iter().map(Simulator::measure_begin).collect();
+            self.run_lockstep_cached(stream, plan.detail)?;
+            return Ok(self
+                .members
+                .iter()
+                .zip(&measures)
+                .map(|(s, m)| s.measure_end(m))
+                .collect());
+        }
+        self.run_slice_pipelined(stream, plan)
+    }
+
+    /// The double-buffered producer/consumer path behind
+    /// [`PopulationBatch::run_slice_cached`].
+    fn run_slice_pipelined(
+        &mut self,
+        stream: &mut CachedStream,
+        plan: SlicePlan,
+    ) -> Result<Vec<SliceResult>, SimError> {
+        type Block = Result<(Arc<Vec<Inst>>, Range<usize>), TraceError>;
+        let total = plan.warmup + plan.detail;
+        let cache = Arc::clone(stream.cache());
+        let mut measures: Option<Vec<SliceMeasure>> = None;
+        if plan.warmup == 0 {
+            measures = Some(self.members.iter().map(Simulator::measure_begin).collect());
+        }
+        let members = &mut self.members;
+        let run = std::thread::scope(|scope| -> Result<(), SimError> {
+            let (tx, rx) = mpsc::sync_channel::<Block>(1);
+            scope.spawn(move || {
+                let mut rem = total;
+                while rem > 0 {
+                    let take = rem.min(CHUNK_LEN as u64) as usize;
+                    match stream.next_block(take) {
+                        Ok((chunk, range)) => {
+                            rem -= range.len() as u64;
+                            if tx.send(Ok((chunk, range))).is_err() {
+                                return; // consumer bailed (error path)
+                            }
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            return;
+                        }
+                    }
+                }
+            });
+            let mut done = 0u64;
+            while done < total {
+                let wait = Instant::now();
+                let block = match rx.recv() {
+                    Ok(b) => b,
+                    // Producer gone without delivering: its error (if
+                    // any) was already sent; a clean disconnect here
+                    // means counts disagreed, which the loop bound
+                    // makes unreachable — treat as a typed trace error.
+                    Err(_) => {
+                        return Err(SimError::from(TraceError::program(
+                            "pipeline",
+                            "producer stopped early",
+                        )))
+                    }
+                };
+                cache.record_stall(wait.elapsed().as_micros() as u64);
+                let (chunk, range) = block.map_err(SimError::from)?;
+                let mut block = &chunk[range];
+                // Split mid-block at the warmup/detail boundary so the
+                // measurement baseline lands on the same instruction it
+                // does in every other engine path.
+                if measures.is_none() && done + block.len() as u64 >= plan.warmup {
+                    let split = (plan.warmup - done) as usize;
+                    let (head, tail) = block.split_at(split);
+                    for sim in members.iter_mut() {
+                        sim.run_block(head)?;
+                    }
+                    done += split as u64;
+                    measures =
+                        Some(members.iter().map(Simulator::measure_begin).collect());
+                    block = tail;
+                }
+                for sim in members.iter_mut() {
+                    sim.run_block(block)?;
+                }
+                done += block.len() as u64;
+            }
+            Ok(())
+        });
+        run?;
+        let measures = match measures {
+            Some(m) => m,
+            // total >= warmup guarantees the boundary was crossed.
+            None => self.members.iter().map(Simulator::measure_begin).collect(),
+        };
         Ok(self
             .members
             .iter()
@@ -207,6 +362,40 @@ mod tests {
         assert_eq!(probe.ubtb.len(), 6);
         assert_eq!(probe.l1d.len(), 6);
         assert_eq!(probe.uoc.len(), 6);
+    }
+
+    #[test]
+    fn cached_and_pipelined_match_uncached_lockstep() {
+        use exynos_core::batch::ChunkCache;
+        let suite = standard_suite(1);
+        let slice = &suite[1];
+        let plan = SlicePlan::new(700, 900);
+        let gens = CoreConfig::all_generations();
+        let build = || {
+            let mut b = PopulationBatch::new();
+            for cfg in &gens {
+                b.push(must(SimBuilder::config(cfg.clone()).build()));
+            }
+            b
+        };
+        let mut reference = build();
+        let mut shared = slice.build().unwrap();
+        let want: Vec<String> = must(reference.run_slice_lockstep(&mut *shared, plan))
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        for budget in [None, Some(0), Some(64 * 1024)] {
+            for pipelined in [false, true] {
+                let cache = Arc::new(ChunkCache::with_budget(budget));
+                let mut stream = CachedStream::for_slice(Arc::clone(&cache), slice);
+                let mut batch = build();
+                let got: Vec<String> = must(batch.run_slice_cached(&mut stream, plan, pipelined))
+                    .iter()
+                    .map(|r| format!("{r:?}"))
+                    .collect();
+                assert_eq!(want, got, "budget {budget:?} pipelined {pipelined}");
+            }
+        }
     }
 
     #[test]

@@ -9,9 +9,11 @@ use exynos_branch::indirect::{IndirectConfig, IndirectPredictor};
 use exynos_branch::shp::{apply_bias_delta, Shp, ShpConfig};
 use exynos_branch::storage_budget;
 use exynos_branch::ubtb::{MicroBtb, UbtbConfig};
+use exynos_core::batch::{CachedStream, ChunkCache};
 use exynos_core::builder::SimBuilder;
 use exynos_core::config::CoreConfig;
 use exynos_core::sim::Simulator;
+use std::sync::Arc;
 use exynos_trace::gen::loops::{LoopNest, LoopNestParams};
 use exynos_trace::gen::markov::{MarkovBranches, MarkovParams};
 use exynos_trace::gen::streaming::{MultiStride, MultiStrideParams, StrideComponent};
@@ -55,6 +57,9 @@ pub fn catalog_suite(scale: usize, programs: bool) -> Vec<SliceSpec> {
             Err(e) => panic!("embedded program corpus failed to assemble: {e}"),
         }
     }
+    // Collapse any program slices with identical content digests onto one
+    // shared source (drops duplicate assemblies; see the trace crate).
+    exynos_trace::dedupe_shared_sources(&mut suite);
     suite
 }
 
@@ -184,6 +189,53 @@ pub fn run_suite_batched(
     out
 }
 
+/// [`run_suite_batched`] through the shared [`ChunkCache`]: one lockstep
+/// job per slice, each pulling its decoded record blocks through `cache`
+/// (keyed by [`SliceSpec::stream_fingerprint`]). With `pipelined`, each
+/// job double-buffers: a producer thread materializes chunk k+1 while
+/// the batch steps chunk k. Bit-identical to [`run_suite_batched`] and
+/// [`run_suite_with_threads`] for any cache budget (including zero) in
+/// either mode; repeated sweeps over the same catalog are served from
+/// resident chunks.
+pub fn run_suite_cached(
+    suite: &[SliceSpec],
+    warmup: u64,
+    detail: u64,
+    threads: usize,
+    cache: &Arc<ChunkCache>,
+    pipelined: bool,
+) -> Vec<SliceRecord> {
+    let gens = CoreConfig::all_generations();
+    let per_gen = suite.len();
+    let per_slice: Vec<Vec<SliceRecord>> = crate::sweep::run_indexed(per_gen, threads, |s| {
+        let slice = &suite[s];
+        let mut batch = crate::batch::PopulationBatch::new();
+        for cfg in &gens {
+            batch.push(must(SimBuilder::config(cfg.clone()).build()));
+        }
+        let mut stream = CachedStream::for_slice(Arc::clone(cache), slice);
+        let results =
+            must(batch.run_slice_cached(&mut stream, SlicePlan::new(warmup, detail), pipelined));
+        gens.iter()
+            .zip(&results)
+            .map(|(cfg, r)| SliceRecord {
+                name: slice.name.clone(),
+                gen: cfg.gen.name(),
+                ipc: r.ipc,
+                mpki: r.mpki,
+                load_latency: r.avg_load_latency,
+            })
+            .collect()
+    });
+    let mut out = Vec::with_capacity(gens.len() * per_gen);
+    for g in 0..gens.len() {
+        for s in 0..per_gen {
+            out.push(per_slice[s][g].clone());
+        }
+    }
+    out
+}
+
 /// A pool of warmed checkpoint images, one per (generation, slice) job
 /// of the population sweep, in job order (generation-major,
 /// slice-minor). Building the pool pays each job's warmup exactly once;
@@ -194,6 +246,11 @@ pub fn run_suite_batched(
 pub struct WarmPool {
     /// Checkpoint image per job, job order.
     images: Vec<Vec<u8>>,
+    /// The warmed simulators themselves, job order — the decoded states
+    /// the images were snapshotted from. Forking by [`WarmPool::resident`]
+    /// clone skips the snapshot codec entirely; the images remain the
+    /// serialization-facing API (service checkpoints, on-disk pools).
+    residents: Vec<Simulator>,
     /// Catalog scale the pool was built at.
     scale: usize,
     /// Warmup instructions burned into every image.
@@ -226,6 +283,18 @@ impl WarmPool {
     pub fn image(&self, i: usize) -> &[u8] {
         &self.images[i]
     }
+
+    /// Fork job `i`'s warmed simulator by cloning the resident state —
+    /// no snapshot decode. The clone carries no cancel token (runtime
+    /// state is not part of the warmed identity); attach one with
+    /// [`Simulator::set_cancel_token`] if the job needs it. By the
+    /// checkpoint bit-identity invariant the clone behaves exactly like
+    /// [`Simulator::resume_with_config`] on [`WarmPool::image`]`(i)`.
+    pub fn resident(&self, i: usize) -> Simulator {
+        let mut sim = self.residents[i].clone();
+        sim.clear_cancel_token();
+        sim
+    }
 }
 
 /// Warm one simulator per (generation, slice) job for `warmup`
@@ -234,15 +303,17 @@ pub fn build_warm_pool(scale: usize, warmup: u64, threads: usize) -> WarmPool {
     let suite = standard_suite(scale);
     let gens = CoreConfig::all_generations();
     let per_gen = suite.len();
-    let images = crate::sweep::run_indexed(gens.len() * per_gen, threads, |i| {
+    let warmed = crate::sweep::run_indexed(gens.len() * per_gen, threads, |i| {
         let cfg = &gens[i / per_gen];
         let slice = &suite[i % per_gen];
         let mut sim = must(SimBuilder::config(cfg.clone()).build());
         let mut gen = must_gen(slice);
         must(sim.run_warmup(&mut *gen, warmup));
-        sim.checkpoint()
+        let image = sim.checkpoint();
+        (image, sim)
     });
-    WarmPool { images, scale, warmup }
+    let (images, residents) = warmed.into_iter().unzip();
+    WarmPool { images, residents, scale, warmup }
 }
 
 /// Fallible, cancellable [`build_warm_pool`]: every warming simulator
@@ -260,15 +331,20 @@ pub fn try_build_warm_pool(
     let suite = standard_suite(scale);
     let gens = CoreConfig::all_generations();
     let per_gen = suite.len();
-    let images = crate::sweep::run_indexed_result(gens.len() * per_gen, threads, |i| {
+    let warmed = crate::sweep::run_indexed_result(gens.len() * per_gen, threads, |i| {
         let cfg = &gens[i / per_gen];
         let slice = &suite[i % per_gen];
         let mut sim = SimBuilder::config(cfg.clone()).cancel_token(cancel.clone()).build()?;
         let mut gen = slice.build()?;
         sim.run_warmup(&mut *gen, warmup)?;
-        Ok(sim.checkpoint())
+        let image = sim.checkpoint();
+        // Residents outlive the building job; they must not carry its
+        // cancel token (a later deadline on job A canceling job B).
+        sim.clear_cancel_token();
+        Ok((image, sim))
     })?;
-    Ok(WarmPool { images, scale, warmup })
+    let (images, residents) = warmed.into_iter().unzip();
+    Ok(WarmPool { images, residents, scale, warmup })
 }
 
 /// [`run_population`], but forking every job from its warmed image in
@@ -337,7 +413,28 @@ pub fn run_population_warm_timed(
     detail: u64,
     threads: usize,
 ) -> (Vec<SliceRecord>, WarmTiming) {
-    let per_slice = run_warm_slice_groups(pool, detail, threads);
+    assemble_warm(run_warm_slice_groups(pool, detail, threads, None))
+}
+
+/// The resident-fork warm sweep: members clone the pool's decoded
+/// simulator states (no snapshot codec) and the generator fast-forward
+/// becomes a [`CachedStream::skip`] — free wherever the stream's chunks
+/// are already resident in `cache`. `prep_s` shrinks to the clone cost;
+/// records stay bit-identical to [`run_population_warm_timed`] and the
+/// scalar warm/cold references.
+pub fn run_population_warm_resident(
+    pool: &WarmPool,
+    detail: u64,
+    threads: usize,
+    cache: &Arc<ChunkCache>,
+    pipelined: bool,
+) -> (Vec<SliceRecord>, WarmTiming) {
+    assemble_warm(run_warm_slice_groups(pool, detail, threads, Some((cache, pipelined))))
+}
+
+fn assemble_warm(
+    per_slice: Vec<(Vec<SliceRecord>, WarmTiming)>,
+) -> (Vec<SliceRecord>, WarmTiming) {
     let gens = CoreConfig::all_generations();
     let per_gen = per_slice.len();
     let mut timing = WarmTiming::default();
@@ -356,24 +453,31 @@ pub fn run_population_warm_timed(
 }
 
 /// [`run_population_warm_scalar`] through the batched lockstep engine:
-/// one job per slice, resuming all six generations' images and sharing a
-/// single generator fast-forward (every image consumed exactly the pool
-/// warmup, so one fast-forwarded stream serves the whole group).
-/// Bit-identical to the scalar warm path.
+/// one job per slice, forking all six generations from the pool's
+/// resident states and skipping the shared stream's warmup through a
+/// fresh chunk cache (every member consumed exactly the pool warmup, so
+/// one stream cursor serves the whole group). Bit-identical to the
+/// scalar warm path.
 pub fn run_population_warm_batched(
     pool: &WarmPool,
     detail: u64,
     threads: usize,
 ) -> Vec<SliceRecord> {
-    run_population_warm_timed(pool, detail, threads).0
+    let cache = Arc::new(ChunkCache::unbounded());
+    run_population_warm_resident(pool, detail, threads, &cache, false).0
 }
 
 /// One warm lockstep job per slice, returning each slice group's records
-/// (generation order) plus its timing split.
+/// (generation order) plus its timing split. `cached` selects the fork
+/// strategy: `None` resumes every member through the snapshot codec and
+/// fast-forwards a private generator (the pre-resident baseline);
+/// `Some((cache, pipelined))` clones the pool's resident states and
+/// skips the warmup on a [`CachedStream`].
 fn run_warm_slice_groups(
     pool: &WarmPool,
     detail: u64,
     threads: usize,
+    cached: Option<(&Arc<ChunkCache>, bool)>,
 ) -> Vec<(Vec<SliceRecord>, WarmTiming)> {
     let suite = standard_suite(pool.scale);
     let gens = CoreConfig::all_generations();
@@ -384,28 +488,46 @@ fn run_warm_slice_groups(
         let mut batch = crate::batch::PopulationBatch::new();
         for (g, cfg) in gens.iter().enumerate() {
             let i = g * per_gen + s;
-            match Simulator::resume_with_config(cfg.clone(), pool.image(i)) {
-                Ok(sim) => {
-                    assert_eq!(
-                        sim.stats().instructions,
-                        pool.warmup,
-                        "warm image {i} consumed a different warmup than the pool records"
-                    );
-                    batch.push(sim);
-                }
-                Err(e) => panic!("warm pool image {i} failed to resume: {e}"),
+            let sim = match cached {
+                Some(_) => pool.resident(i),
+                None => match Simulator::resume_with_config(cfg.clone(), pool.image(i)) {
+                    Ok(sim) => sim,
+                    Err(e) => panic!("warm pool image {i} failed to resume: {e}"),
+                },
+            };
+            assert_eq!(
+                sim.stats().instructions,
+                pool.warmup,
+                "warm fork {i} consumed a different warmup than the pool records"
+            );
+            batch.push(sim);
+        }
+        let (records, timing) = match cached {
+            Some((cache, pipelined)) => {
+                // Cursor-skip the warmup: no records are generated unless
+                // a later miss needs the generator fast-forwarded.
+                let mut stream = CachedStream::for_slice(Arc::clone(cache), slice);
+                stream.skip(pool.warmup);
+                let prep_s = t0.elapsed().as_secs_f64();
+                let t1 = std::time::Instant::now();
+                let results =
+                    must(batch.run_slice_cached(&mut stream, SlicePlan::new(0, detail), pipelined));
+                (results, (prep_s, t1.elapsed().as_secs_f64()))
             }
-        }
-        // One shared fast-forward for the whole group: every member
-        // consumed exactly `pool.warmup` generator records.
-        let mut gen = must_gen(slice);
-        for _ in 0..pool.warmup {
-            let _ = gen.next_inst();
-        }
-        let prep_s = t0.elapsed().as_secs_f64();
-        let t1 = std::time::Instant::now();
-        let results = must(batch.run_slice_lockstep(&mut *gen, SlicePlan::new(0, detail)));
-        let stepping_s = t1.elapsed().as_secs_f64();
+            None => {
+                // One shared fast-forward for the whole group: every
+                // member consumed exactly `pool.warmup` generator records.
+                let mut gen = must_gen(slice);
+                for _ in 0..pool.warmup {
+                    let _ = gen.next_inst();
+                }
+                let prep_s = t0.elapsed().as_secs_f64();
+                let t1 = std::time::Instant::now();
+                let results = must(batch.run_slice_lockstep(&mut *gen, SlicePlan::new(0, detail)));
+                (results, (prep_s, t1.elapsed().as_secs_f64()))
+            }
+        };
+        let (results, (prep_s, stepping_s)) = (records, timing);
         let records: Vec<SliceRecord> = gens
             .iter()
             .zip(&results)

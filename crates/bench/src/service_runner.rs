@@ -16,6 +16,7 @@
 
 use crate::experiments::{self as exp, SliceRecord, WarmPool};
 use crate::sweep;
+use exynos_core::batch::{CachedStream, ChunkCache, ChunkCacheStats};
 use exynos_core::builder::SimBuilder;
 use exynos_core::cancel::CancelToken;
 use exynos_core::config::{CoreConfig, Generation};
@@ -29,6 +30,11 @@ use exynos_trace::{standard_suite, SlicePlan};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+/// Byte budget for the runner's shared chunk cache: enough to keep a
+/// whole small-scale sweep's decoded chunks resident across jobs while
+/// bounding a long-lived server's footprint.
+const SERVICE_CACHE_BYTES: u64 = 64 << 20;
+
 /// Executes service jobs on the bench crate's experiment engine.
 #[derive(Debug)]
 pub struct BenchRunner {
@@ -36,6 +42,8 @@ pub struct BenchRunner {
     pools: Mutex<HashMap<(usize, u64), Arc<WarmPool>>>,
     /// Thread count used when building a shared pool.
     pool_threads: usize,
+    /// Decoded trace chunks shared across every job this runner serves.
+    chunks: Arc<ChunkCache>,
 }
 
 fn lock_pools(
@@ -48,12 +56,21 @@ impl BenchRunner {
     /// A runner whose shared warm pools are built on `pool_threads`
     /// worker threads.
     pub fn new(pool_threads: usize) -> BenchRunner {
-        BenchRunner { pools: Mutex::new(HashMap::new()), pool_threads: pool_threads.max(1) }
+        BenchRunner {
+            pools: Mutex::new(HashMap::new()),
+            pool_threads: pool_threads.max(1),
+            chunks: Arc::new(ChunkCache::with_budget(Some(SERVICE_CACHE_BYTES))),
+        }
     }
 
     /// Number of warm pools currently cached.
     pub fn pool_count(&self) -> usize {
         lock_pools(&self.pools).len()
+    }
+
+    /// The runner's cross-job chunk cache.
+    pub fn chunk_cache(&self) -> &Arc<ChunkCache> {
+        &self.chunks
     }
 
     /// Fetch or build the shared pool for `(scale, warmup)`. The build
@@ -121,19 +138,27 @@ impl BenchRunner {
             sweep::run_indexed_result(jobs, threads, |i| {
                 let cfg = &gens[i / per_gen];
                 let slice = &suite[i % per_gen];
-                let mut sim = Simulator::resume_with_config(cfg.clone(), pool.image(i))?;
+                // Fork the resident warmed simulator instead of decoding
+                // the checkpoint image; by the snapshot invariant the
+                // clone behaves identically.
+                let mut sim = pool.resident(i);
                 sim.set_cancel_token(cancel.clone());
-                let mut gen = slice.build()?;
-                // Fast-forward the freshly seeded generator to where the
-                // warmed simulator stopped consuming it.
-                for _ in 0..sim.stats().instructions {
-                    let _ = gen.next_inst();
-                }
+                let mut batch = crate::batch::PopulationBatch::new();
+                batch.push(sim);
+                // Detail records come from the shared chunk cache: the
+                // first job of a shape decodes them, every later job
+                // (and every other generation of this one) hits.
+                let mut stream = CachedStream::for_slice(Arc::clone(&self.chunks), slice);
+                stream.skip(pool.warmup());
                 let sspan = slice_span(ctx, i, &slice.name, cfg.gen.name());
-                let r = sim.run_slice(&mut *gen, SlicePlan::new(0, detail));
-                end_slice_span(ctx, sspan, &sim);
+                let r = batch.run_slice_cached(&mut stream, SlicePlan::new(0, detail), false);
+                end_slice_span(ctx, sspan, &batch.members()[0]);
                 let r = r?;
-                Ok(record(slice.name.clone(), cfg.gen.name(), &r))
+                let res = r.first().ok_or_else(|| SimError::Config {
+                    param: "job.batch",
+                    detail: "width-1 batch returned no result".to_owned(),
+                })?;
+                Ok(record(slice.name.clone(), cfg.gen.name(), res))
             })?
         };
         Ok(sweep_payload(scale, warmup, detail, &records))
@@ -168,9 +193,12 @@ impl BenchRunner {
         for cfg in &gens {
             batch.push(build_sim(cfg.clone(), spec, cancel)?);
         }
-        let mut gen = slice.build()?;
+        // Program records come from the shared chunk cache keyed on the
+        // program's content fingerprint, so resubmitting the same
+        // program skips re-assembly and re-decode entirely.
+        let mut stream = CachedStream::for_slice(Arc::clone(&self.chunks), slice);
         let sspan = slice_span(ctx, 0, &slice.name, "all");
-        let r = batch.run_slice_lockstep(&mut *gen, SlicePlan::new(warmup, detail));
+        let r = batch.run_slice_cached(&mut stream, SlicePlan::new(warmup, detail), false);
         if Telemetry::ACTIVE {
             ctx.spans.end(sspan);
         }
@@ -273,6 +301,14 @@ impl JobRunner for BenchRunner {
                 self.run_program(spec, program, *warmup, *detail, ctx)
             }
         }
+    }
+
+    fn chunk_cache_stats(&self) -> ChunkCacheStats {
+        self.chunks.stats()
+    }
+
+    fn take_pipeline_stalls(&self) -> Vec<u64> {
+        self.chunks.take_stalls()
     }
 }
 
@@ -514,6 +550,27 @@ mod tests {
         for g in ["M1", "M2", "M3", "M4", "M5", "M6"] {
             assert!(a.contains(&format!("\"gen\":\"{g}\"")), "missing {g}: {a}");
         }
+    }
+
+    #[test]
+    fn repeated_program_job_hits_the_chunk_cache() {
+        let runner = BenchRunner::new(1);
+        let ctx = JobCtx::detached(CancelToken::new());
+        let spec = JobSpec::plain(JobKind::Program {
+            program: "nested_loops".to_owned(),
+            warmup: 500,
+            detail: 1_500,
+        });
+        let a = runner.run(&spec, &ctx).unwrap();
+        let after_first = runner.chunk_cache_stats();
+        assert!(after_first.misses > 0, "first job decodes chunks: {after_first:?}");
+        let b = runner.run(&spec, &ctx).unwrap();
+        let after_second = runner.chunk_cache_stats();
+        assert_eq!(a, b, "cache reuse must not perturb the payload");
+        assert!(
+            after_second.hits > after_first.hits,
+            "second identical job must hit the shared cache: {after_first:?} -> {after_second:?}"
+        );
     }
 
     #[test]

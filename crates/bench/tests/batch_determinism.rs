@@ -228,6 +228,55 @@ fn mixed_catalog_batched_matches_scalar() {
     }
 }
 
+/// The chunk-cache acceptance matrix: the cached lockstep path must be
+/// bit-identical to the scalar reference for every cache budget — zero
+/// (pure pass-through), one byte (every insert immediately evicted, so
+/// chunks rematerialize constantly), exactly one chunk, and unbounded —
+/// in both serial and pipelined (double-buffered producer) modes, with
+/// all six generations in the batch, with and without fault injection.
+/// The plan deliberately crosses a canonical chunk boundary so block
+/// splits at the chunk edge and at the warmup/detail boundary are both
+/// exercised.
+#[test]
+fn cached_budgets_and_pipelining_match_scalar() {
+    use exynos_core::batch::{CachedStream, ChunkCache, CHUNK_LEN};
+    use std::sync::Arc;
+    let chunk_bytes = (CHUNK_LEN * std::mem::size_of::<exynos_trace::Inst>()) as u64;
+    let suite = standard_suite(1);
+    let slice_idx = 0;
+    let plan = SlicePlan::new(6_000, 4_000); // total 10k > CHUNK_LEN=8192
+    for faults in [false, true] {
+        let refs: Vec<String> =
+            (0..6).map(|g| scalar_reference(g, faults, slice_idx, plan)).collect();
+        for budget in [Some(0), Some(1), Some(chunk_bytes), None] {
+            let cache = Arc::new(ChunkCache::with_budget(budget));
+            for pipelined in [false, true] {
+                let mut batch = PopulationBatch::new();
+                for g in 0..6 {
+                    batch.push(member(g, faults));
+                }
+                let mut stream = CachedStream::for_slice(Arc::clone(&cache), &suite[slice_idx]);
+                let results = exp::must(batch.run_slice_cached(&mut stream, plan, pipelined));
+                for (g, r) in results.iter().enumerate() {
+                    assert_eq!(
+                        refs[g],
+                        digest(r),
+                        "member {g} diverged (faults {faults}, budget {budget:?}, \
+                         pipelined {pipelined})"
+                    );
+                }
+            }
+            let stats = cache.stats();
+            if budget == Some(1) {
+                assert!(stats.evictions > 0, "1-byte budget must evict: {stats:?}");
+            }
+            if budget == Some(0) {
+                assert_eq!(stats.bytes, 0, "zero budget must hold nothing: {stats:?}");
+            }
+        }
+    }
+}
+
 /// With the telemetry feature on, an instrumented scalar run must still
 /// match the (uninstrumented) batched path — sampling is observation,
 /// not perturbation.
@@ -250,5 +299,17 @@ fn telemetry_instrumented_scalar_matches_batched() {
         let mut tel = Telemetry::new(TelemetryConfig { epoch_len: 250, event_capacity: 1 << 12 });
         let scalar = exp::must(sim.run_slice_with(&mut *gen, plan, &mut tel));
         assert_eq!(digest(&scalar), digest(b), "instrumented member {g} diverged");
+    }
+    // The cached pipelined path must agree with the same instrumented
+    // scalar reference: the cache serves records, not timing.
+    let cache = std::sync::Arc::new(exynos_core::batch::ChunkCache::unbounded());
+    let mut batch = PopulationBatch::new();
+    for g in 0..6 {
+        batch.push(member(g, false));
+    }
+    let mut stream = exynos_core::batch::CachedStream::for_slice(cache, slice);
+    let cached = exp::must(batch.run_slice_cached(&mut stream, plan, true));
+    for (b, c) in batched.iter().zip(&cached) {
+        assert_eq!(digest(b), digest(c), "cached pipelined diverged under telemetry build");
     }
 }

@@ -133,7 +133,7 @@ impl FrontendStats {
 }
 
 /// The assembled front end of one generation.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FrontEnd {
     cfg: FrontendConfig,
     shp: Shp,

@@ -59,7 +59,7 @@ impl MemStats {
 }
 
 /// The composed per-generation memory system.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemSystem {
     l1i: Cache,
     l1d: Cache,

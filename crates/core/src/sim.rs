@@ -179,7 +179,7 @@ pub struct SliceResult {
 }
 
 /// The per-generation core simulator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Simulator {
     cfg: CoreConfig,
     frontend: FrontEnd,

@@ -53,7 +53,7 @@ impl L1PrefetcherConfig {
 }
 
 /// The composed L1 prefetcher.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct L1Prefetcher {
     reorder: AddressReorderBuffer,
     stride: MultiStrideEngine,

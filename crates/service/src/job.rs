@@ -354,6 +354,22 @@ impl JobCtx {
 pub trait JobRunner: Send + Sync + 'static {
     /// Run `spec` to completion or typed failure.
     fn run(&self, spec: &JobSpec, ctx: &JobCtx) -> Result<String, SimError>;
+
+    /// Cumulative counters of the runner's shared trace-chunk cache, if
+    /// it has one. The engine samples this after every job and exports
+    /// the *deltas* as `chunk_cache_*` ops metrics. The default (no
+    /// cache) reports all-zero stats forever.
+    fn chunk_cache_stats(&self) -> exynos_core::batch::ChunkCacheStats {
+        exynos_core::batch::ChunkCacheStats::default()
+    }
+
+    /// Drain buffered pipeline-stall samples (microseconds a consumer
+    /// spent blocked on a chunk producer) for the `pipeline_stall`
+    /// histogram. Draining transfers ownership: each sample is exported
+    /// once. The default (no pipeline) never yields samples.
+    fn take_pipeline_stalls(&self) -> Vec<u64> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod error;
+pub mod fingerprint;
 pub mod gen;
 pub mod inst;
 pub mod sample;
@@ -35,8 +36,9 @@ pub mod source;
 pub mod suite;
 
 pub use error::TraceError;
+pub use fingerprint::{Fingerprint, FingerprintHasher};
 pub use gen::{BoxedGen, TraceGen};
 pub use inst::{BranchInfo, BranchKind, Inst, InstKind, MemRef, Reg};
 pub use sample::SlicePlan;
 pub use source::TraceSource;
-pub use suite::{standard_suite, SliceSpec, SuiteKind, WorkloadSpec};
+pub use suite::{dedupe_shared_sources, standard_suite, SliceSpec, SuiteKind, WorkloadSpec};

@@ -28,6 +28,7 @@
 //!   concurrently mixed slices never alias.
 
 use crate::error::TraceError;
+use crate::fingerprint::FingerprintHasher;
 use crate::gen::BoxedGen;
 
 /// A buildable origin of deterministic instruction streams.
@@ -40,6 +41,22 @@ pub trait TraceSource: Send + Sync + std::fmt::Debug {
 
     /// Build a generator in address `region` with `seed`.
     fn build(&self, region: u64, seed: u64) -> Result<BoxedGen, TraceError>;
+
+    /// Fold this source's *content identity* into `h`.
+    ///
+    /// Per the determinism contract, `build(region, seed)` is a pure
+    /// function of the source's construction parameters — so two sources
+    /// that hash equal here (plus equal region and seed) produce
+    /// byte-identical streams, which is what lets the chunk cache share
+    /// decoded chunks between them. The default folds the label, which is
+    /// only safe when the label uniquely determines the stream; sources
+    /// whose label can collide across distinct contents (e.g. user-loaded
+    /// programs that reuse a file name) must override this and hash the
+    /// actual content.
+    fn fingerprint_into(&self, h: &mut FingerprintHasher) {
+        h.write_str("source");
+        h.write_str(self.label());
+    }
 }
 
 #[cfg(test)]

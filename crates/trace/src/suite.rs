@@ -25,6 +25,7 @@ use crate::gen::streaming::{CopyKernel, CopyKernelParams, MultiStride, MultiStri
 use crate::gen::web::{WebParams, WebWorkload};
 use crate::gen::BoxedGen;
 use crate::error::TraceError;
+use crate::fingerprint::{Fingerprint, FingerprintHasher};
 use crate::sample::SlicePlan;
 use crate::source::TraceSource;
 use std::sync::Arc;
@@ -147,6 +148,108 @@ impl WorkloadSpec {
         })
     }
 
+    /// Fold every stream-affecting parameter of this spec into `h`.
+    ///
+    /// This is the canonical content identity behind [`Fingerprint`]-keyed
+    /// chunk sharing: every field that [`WorkloadSpec::build`] consults is
+    /// hashed (with a per-family tag), and nothing else is. Two specs that
+    /// hash equal produce byte-identical streams for equal `(region,
+    /// seed)`; changing any field changes the digest.
+    pub fn fingerprint_into(&self, h: &mut FingerprintHasher) {
+        match self {
+            WorkloadSpec::LoopNest(p) => {
+                h.write_str("loopnest");
+                h.write_u64(p.depth as u64);
+                h.write_u64(p.trip_counts.len() as u64);
+                for &t in &p.trip_counts {
+                    h.write_u64(t as u64);
+                }
+                h.write_u64(p.body_len as u64);
+                h.write_u64(p.loads_per_body as u64);
+                h.write_u64(p.stores_per_body as u64);
+                h.write_i64(p.stride);
+                h.write_u64(p.working_set);
+                h.write_f64(p.fp_frac);
+            }
+            WorkloadSpec::PointerChase(p) => {
+                h.write_str("chase");
+                h.write_u64(p.working_set);
+                h.write_u64(p.chains as u64);
+                h.write_u64(p.work_between as u64);
+                h.write_bool(p.spatial_payload);
+            }
+            WorkloadSpec::MultiStride(p) => {
+                h.write_str("multistride");
+                h.write_u64(p.components.len() as u64);
+                for c in &p.components {
+                    h.write_i64(c.stride);
+                    h.write_u64(c.repeat as u64);
+                }
+                h.write_u64(p.unit);
+                h.write_u64(p.working_set);
+                h.write_u64(p.work_between as u64);
+                h.write_u64(p.streams as u64);
+                h.write_u64(p.restart_every);
+            }
+            WorkloadSpec::Copy(p) => {
+                h.write_str("copy");
+                h.write_u64(p.length);
+                h.write_u64(p.work_between as u64);
+            }
+            WorkloadSpec::Web(p) => {
+                h.write_str("web");
+                h.write_u64(p.functions as u64);
+                h.write_u64(p.dispatch_targets as u64);
+                h.write_f64(p.markov_follow);
+                h.write_u64(p.blocks_per_fn as u64);
+                h.write_u64(p.block_len as u64);
+                h.write_f64(p.noisy_frac);
+                h.write_u64(p.working_set);
+            }
+            WorkloadSpec::Spatial(p) => {
+                h.write_str("spatial");
+                h.write_u64(p.regions as u64);
+                h.write_u64(p.signature_len as u64);
+                h.write_u64(p.transient_per_visit as u64);
+                h.write_u64(p.sites as u64);
+                h.write_u64(p.work_between as u64);
+            }
+            WorkloadSpec::Markov(p) => {
+                h.write_str("markov");
+                h.write_u64(p.sites as u64);
+                h.write_u64(p.history_depth as u64);
+                h.write_u64(p.taps as u64);
+                h.write_u64(match p.mode {
+                    MarkovMode::Pattern => 0,
+                    MarkovMode::Parity => 1,
+                });
+                h.write_f64(p.noise);
+                h.write_u64(p.work_between as u64);
+                h.write_f64(p.load_frac);
+                h.write_u64(p.working_set);
+            }
+            WorkloadSpec::Mix { children, phase_len } => {
+                h.write_str("mix");
+                h.write_u64(*phase_len);
+                h.write_u64(children.len() as u64);
+                for c in children {
+                    c.fingerprint_into(h);
+                }
+            }
+            WorkloadSpec::Program(src) => {
+                h.write_str("program");
+                src.fingerprint_into(h);
+            }
+        }
+    }
+
+    /// The spec's content digest (region/seed-independent).
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FingerprintHasher::new();
+        self.fingerprint_into(&mut h);
+        h.finish()
+    }
+
     /// Short family label (generator family or program name).
     pub fn family(&self) -> &str {
         match self {
@@ -183,6 +286,10 @@ impl TraceSource for WorkloadSpec {
     fn build(&self, region: u64, seed: u64) -> Result<BoxedGen, TraceError> {
         WorkloadSpec::build(self, region, seed)
     }
+
+    fn fingerprint_into(&self, h: &mut FingerprintHasher) {
+        WorkloadSpec::fingerprint_into(self, h);
+    }
 }
 
 /// One catalog entry: a named, seeded slice of a workload.
@@ -208,6 +315,22 @@ impl SliceSpec {
         self.spec.build(self.region, self.seed)
     }
 
+    /// Digest of the *instruction stream* this slice materializes.
+    ///
+    /// Folds the spec's content identity with the two instantiation inputs
+    /// ([`SliceSpec::region`], [`SliceSpec::seed`]) that `build` consults.
+    /// `name`, `suite` and `plan` deliberately do not participate: they
+    /// change what a slice is called and how much of the stream a run
+    /// consumes, never the bytes of the stream itself — so two catalog
+    /// entries that replay the same stream share one cache identity.
+    pub fn stream_fingerprint(&self) -> Fingerprint {
+        let mut h = FingerprintHasher::new();
+        self.spec.fingerprint_into(&mut h);
+        h.write_u64(self.region);
+        h.write_u64(self.seed);
+        h.finish()
+    }
+
     /// Instantiate this slice's generator.
     ///
     /// # Panics
@@ -219,6 +342,44 @@ impl SliceSpec {
             Err(e) => panic!("slice `{}` failed to build: {e}", self.name),
         }
     }
+}
+
+/// Collapse program slices with identical content digests onto one
+/// shared source.
+///
+/// Catalogs built from several corpora (or repeated catalog builds glued
+/// together) can carry multiple [`WorkloadSpec::Program`] entries whose
+/// fingerprints collide — identical assembled programs instantiated
+/// separately. Pointing every duplicate at the *first* occurrence's
+/// `Arc` drops the redundant assemblies and lets downstream per-source
+/// state (chunk-cache streams, warm generators) be shared. Synthetic
+/// specs are plain parameter records with no instantiation to share and
+/// are left untouched. Returns the number of slices re-pointed.
+pub fn dedupe_shared_sources(slices: &mut [SliceSpec]) -> usize {
+    let mut seen: std::collections::HashMap<u128, Arc<dyn TraceSource>> =
+        std::collections::HashMap::new();
+    let mut collapsed = 0;
+    for s in slices {
+        if let WorkloadSpec::Program(src) = &mut s.spec {
+            let digest = {
+                let mut h = FingerprintHasher::new();
+                src.fingerprint_into(&mut h);
+                h.finish().0
+            };
+            match seen.entry(digest) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if !Arc::ptr_eq(src, e.get()) {
+                        *src = Arc::clone(e.get());
+                        collapsed += 1;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(Arc::clone(src));
+                }
+            }
+        }
+    }
+    collapsed
 }
 
 /// Build the standard cross-generation evaluation population.
@@ -484,5 +645,109 @@ mod tests {
         for k in SuiteKind::ALL {
             assert_eq!(k.to_string(), k.label());
         }
+    }
+
+    #[test]
+    fn equal_specs_hash_equal() {
+        let a = standard_suite(1);
+        let b = standard_suite(1);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.stream_fingerprint(), y.stream_fingerprint(), "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn distinct_catalog_streams_hash_distinct() {
+        let s = standard_suite(2);
+        let fps: HashSet<u128> = s.iter().map(|x| x.stream_fingerprint().0).collect();
+        assert_eq!(fps.len(), s.len(), "catalog streams must not collide");
+    }
+
+    #[test]
+    fn any_field_change_changes_the_digest() {
+        use crate::gen::loops::LoopNestParams;
+        let base = LoopNestParams::default();
+        let fp = |p: LoopNestParams| WorkloadSpec::LoopNest(p).fingerprint();
+        let reference = fp(base.clone());
+        let variants = [
+            LoopNestParams { depth: base.depth + 1, ..base.clone() },
+            LoopNestParams { trip_counts: vec![99], ..base.clone() },
+            LoopNestParams { body_len: base.body_len + 1, ..base.clone() },
+            LoopNestParams { loads_per_body: base.loads_per_body + 1, ..base.clone() },
+            LoopNestParams { stores_per_body: base.stores_per_body + 1, ..base.clone() },
+            LoopNestParams { stride: base.stride + 8, ..base.clone() },
+            LoopNestParams { working_set: base.working_set * 2, ..base.clone() },
+            LoopNestParams { fp_frac: base.fp_frac + 0.125, ..base.clone() },
+        ];
+        let mut seen = HashSet::new();
+        seen.insert(reference.0);
+        for (i, v) in variants.into_iter().enumerate() {
+            assert!(seen.insert(fp(v).0), "variant {i} collided");
+        }
+    }
+
+    #[test]
+    fn markov_mode_and_mix_shape_participate() {
+        use crate::gen::markov::MarkovParams;
+        let pat = WorkloadSpec::Markov(MarkovParams { mode: markov_pattern(), ..Default::default() });
+        let par = WorkloadSpec::Markov(MarkovParams { mode: markov_parity(), ..Default::default() });
+        assert_ne!(pat.fingerprint(), par.fingerprint());
+
+        let mix = |phase_len| WorkloadSpec::Mix {
+            children: vec![pat.clone(), par.clone()],
+            phase_len,
+        };
+        assert_eq!(mix(500).fingerprint(), mix(500).fingerprint());
+        assert_ne!(mix(500).fingerprint(), mix(501).fingerprint());
+        let swapped = WorkloadSpec::Mix { children: vec![par.clone(), pat.clone()], phase_len: 500 };
+        assert_ne!(mix(500).fingerprint(), swapped.fingerprint());
+    }
+
+    #[test]
+    fn dedupe_collapses_identical_program_sources() {
+        use crate::gen::loops::LoopNestParams;
+        let src = |p: LoopNestParams| -> Arc<dyn TraceSource> {
+            Arc::new(WorkloadSpec::LoopNest(p))
+        };
+        let slice = |name: &str, s: Arc<dyn TraceSource>, region: u64| SliceSpec {
+            name: name.to_string(),
+            suite: SuiteKind::ProgramLike,
+            spec: WorkloadSpec::Program(s),
+            seed: 1,
+            region,
+            plan: SlicePlan::default(),
+        };
+        let mut other = LoopNestParams::default();
+        other.body_len += 1;
+        // Two separately instantiated identical sources plus one distinct.
+        let mut slices = vec![
+            slice("p/a", src(LoopNestParams::default()), 0),
+            slice("p/b", src(LoopNestParams::default()), 16),
+            slice("p/c", src(other), 32),
+        ];
+        assert_eq!(dedupe_shared_sources(&mut slices), 1);
+        let arc = |s: &SliceSpec| match &s.spec {
+            WorkloadSpec::Program(a) => Arc::clone(a),
+            _ => unreachable!(),
+        };
+        assert!(Arc::ptr_eq(&arc(&slices[0]), &arc(&slices[1])), "duplicates share one source");
+        assert!(!Arc::ptr_eq(&arc(&slices[0]), &arc(&slices[2])), "distinct content stays apart");
+        // Idempotent.
+        assert_eq!(dedupe_shared_sources(&mut slices), 0);
+    }
+
+    #[test]
+    fn region_and_seed_participate_but_name_and_plan_do_not() {
+        let mut a = standard_suite(1).remove(0);
+        let fp = a.stream_fingerprint();
+        a.name = "renamed/slice".to_string();
+        a.plan = SlicePlan::new(1, 2);
+        assert_eq!(fp, a.stream_fingerprint(), "name/plan must not affect the stream digest");
+        let mut b = a.clone();
+        b.seed ^= 1;
+        assert_ne!(fp, b.stream_fingerprint());
+        let mut c = a.clone();
+        c.region += 1;
+        assert_ne!(fp, c.stream_fingerprint());
     }
 }

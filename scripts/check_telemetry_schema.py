@@ -22,6 +22,16 @@ the `trace-job` protocol command):
   and an attrs object;
 * span ids are unique and the stream contains exactly one root.
 
+`--prom` validates a Prometheus text exposition (the `metrics --prom`
+protocol command):
+
+* every non-comment line is `name[{labels}] value` with a numeric value
+  and a name declared by a preceding `# TYPE` comment;
+* the chunk-cache instrumentation is present: `chunk_cache_hit_total`,
+  `chunk_cache_miss_total` and `chunk_cache_eviction_total` counters,
+  the `chunk_cache_bytes` gauge, and the `pipeline_stall` summary with
+  its `_sum`/`_count` series.
+
 `--postmortem` validates a flight-recorder dump (`harness -- serve
 --postmortem-dir`, the `postmortem` protocol command):
 
@@ -148,6 +158,59 @@ def check_postmortem_stream(stream):
     )
 
 
+PROM_REQUIRED = {
+    "chunk_cache_hit_total": "counter",
+    "chunk_cache_miss_total": "counter",
+    "chunk_cache_eviction_total": "counter",
+    "chunk_cache_bytes": "gauge",
+    "pipeline_stall": "summary",
+}
+
+
+def check_prom_stream(stream):
+    declared = {}
+    samples = 0
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                declared[parts[2]] = parts[3]
+            continue
+        if "{" in line.split()[0]:
+            name = line.split("{", 1)[0]
+            value = line.rsplit("}", 1)[1].strip()
+        else:
+            parts = line.split()
+            name = parts[0]
+            value = parts[1] if len(parts) > 1 else ""
+        try:
+            float(value)
+        except ValueError:
+            fail(lineno, f"sample '{name}' has non-numeric value {value!r}")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in declared:
+                base = base[: -len(suffix)]
+                break
+        if base not in declared:
+            fail(lineno, f"sample '{name}' has no preceding # TYPE declaration")
+        samples += 1
+    if samples == 0:
+        fail(0, "exposition contained no samples")
+    for name, kind in PROM_REQUIRED.items():
+        if name not in declared:
+            fail(0, f"required metric '{name}' missing from exposition")
+        if declared[name] != kind:
+            fail(0, f"metric '{name}' declared as {declared[name]!r}, expected {kind!r}")
+    print(
+        f"check_telemetry_schema: OK — prometheus exposition: {samples} samples, "
+        f"{len(declared)} metrics, chunk-cache instrumentation present"
+    )
+
+
 def check_metrics_stream(stream):
     metric_names = set()
     epochs = 0
@@ -211,13 +274,15 @@ def check_metrics_stream(stream):
 def main():
     args = sys.argv[1:]
     mode = "metrics"
-    if args and args[0] in ("--spans", "--postmortem"):
+    if args and args[0] in ("--spans", "--postmortem", "--prom"):
         mode = args.pop(0)[2:]
     stream = open(args[0]) if args else sys.stdin
     if mode == "spans":
         check_spans_stream(stream)
     elif mode == "postmortem":
         check_postmortem_stream(stream)
+    elif mode == "prom":
+        check_prom_stream(stream)
     else:
         check_metrics_stream(stream)
 

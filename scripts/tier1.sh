@@ -39,6 +39,12 @@ if command -v jq >/dev/null 2>&1; then
   # bit-identical (asserted by .bit_identical above, which covers it).
   jq -e '.warm.stepped_insts > 0 and .warm.parallel_stepping_s > 0' BENCH_sweep.json >/dev/null
   jq -e '.batched.steps_per_sec > 0 and .batched.width >= 2 and .batched_speedup >= 1.0' BENCH_sweep.json >/dev/null
+  # The resident cached+pipelined warm sweep must not lose to the
+  # legacy image-decode warm sweep at the same thread count (reps after
+  # the first run from resident chunks, so min-of-N measures the warm
+  # steady state), and the cache must actually have been exercised.
+  jq -e '.pipelined_speedup >= 1.0' BENCH_sweep.json >/dev/null
+  jq -e '.chunk_cache.hits > 0 and .chunk_cache.misses > 0 and (.chunk_cache | has("evictions") and has("bytes"))' BENCH_sweep.json >/dev/null
   # The comparison pass must record its mode honestly: a host without
   # real parallelism runs (and labels) a serial fallback.
   jq -e '(.mode == "parallel" and .threads > 1) or (.mode == "serial-fallback" and .threads == 1)' BENCH_sweep.json >/dev/null
@@ -142,10 +148,26 @@ assert jt["p50"] <= jt["p90"] <= jt["p99"], f"quantiles out of order: {jt}"
 for stage in ("queue_wait", "attempt", "slice", "result_encode"):
     assert q[f"service.latency.{stage}"]["count"] >= 1, f"{stage} unobserved"
 PY
+# Chunk-cache smoke: the same program job twice through the running
+# server — the second run must be served from the shared chunk cache,
+# and the cache counters must reach the Prometheus exposition.
+PROG_JOB='{"cmd":"submit","job":{"kind":"program","program":"nested_loops","warmup":2000,"detail":6000}}'
+P1_ID="$(svc_call "$PROG_JOB" | svc_field id)"
+test "$(svc_wait_terminal "$P1_ID" 120)" = completed
+P2_ID="$(svc_call "$PROG_JOB" | svc_field id)"
+test "$(svc_wait_terminal "$P2_ID" 120)" = completed
+svc_call "{\"cmd\":\"result\",\"id\":$P1_ID}" | svc_field payload > "$SVC_DIR/prog1.json"
+svc_call "{\"cmd\":\"result\",\"id\":$P2_ID}" | svc_field payload > "$SVC_DIR/prog2.json"
+cmp "$SVC_DIR/prog1.json" "$SVC_DIR/prog2.json"
+
 "$HARNESS" call metrics --prom --socket "$SOCK" > "$SVC_DIR/metrics.prom"
 grep -q '^service_queue_depth ' "$SVC_DIR/metrics.prom"
 grep -q '^service_queue_shed_total ' "$SVC_DIR/metrics.prom"
 grep -q 'service_latency_job_total{quantile="0.99"}' "$SVC_DIR/metrics.prom"
+python3 scripts/check_telemetry_schema.py --prom "$SVC_DIR/metrics.prom"
+# The repeated program job above must have produced cache hits.
+HITS="$(awk '$1 == "chunk_cache_hit_total" { print $2 }' "$SVC_DIR/metrics.prom")"
+test -n "$HITS" && test "$HITS" -gt 0
 svc_call '{"cmd":"postmortem"}' >/dev/null
 
 # Graceful shutdown drains and removes the socket.
